@@ -1,0 +1,60 @@
+// Command helixbench regenerates the paper's evaluation: every table and
+// figure as a text table, written to stdout or one file per experiment.
+//
+// Usage:
+//
+//	helixbench                 # run everything
+//	helixbench -exp fig8       # run the Figure 8 panels only
+//	helixbench -exp table2     # one experiment
+//	helixbench -out results/   # also write one .txt per experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	helixpipe "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("helixbench: ")
+	var (
+		exp    = flag.String("exp", "all", "experiment id prefix (all, table1, table2, table3, fig3, fig4, fig8, fig9, fig10, fig11, chunk, saturation, interleaved, zb1p-sensitivity)")
+		outDir = flag.String("out", "", "directory to write one .txt per experiment")
+	)
+	flag.Parse()
+
+	tables, err := helixpipe.AllExperiments()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+	matched := 0
+	for _, t := range tables {
+		if *exp != "all" && !strings.HasPrefix(t.ID, *exp) {
+			continue
+		}
+		matched++
+		out := t.Render()
+		fmt.Println(out)
+		if *outDir != "" {
+			path := filepath.Join(*outDir, t.ID+".txt")
+			if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if matched == 0 {
+		log.Fatalf("no experiment matches %q", *exp)
+	}
+	fmt.Printf("ran %d experiments\n", matched)
+}

@@ -1,0 +1,110 @@
+// Command helixsim simulates one training iteration of a pipeline
+// parallelism on a simulated GPU cluster and prints the per-stage
+// utilization, memory and throughput summary.
+//
+// Usage:
+//
+//	helixsim -model 7B -cluster H20 -seq 131072 -pp 8 -method HelixPipe [-timeline] [-svg out.svg]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	helixpipe "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("helixsim: ")
+	var (
+		modelName   = flag.String("model", "7B", "model preset: 1.3B, 3B, 7B, 13B")
+		clusterName = flag.String("cluster", "H20", "cluster preset: H20 or A800")
+		seqLen      = flag.Int("seq", 131072, "sequence length")
+		stages      = flag.Int("pp", 8, "pipeline size (stages, one node each)")
+		microBatch  = flag.Int("b", 1, "micro batch size")
+		numMB       = flag.Int("m", 0, "micro batches per iteration (default 2*pp)")
+		methodName  = flag.String("method", "HelixPipe", "schedule: GPipe, 1F1B, Interleaved1F1B, ZB1P, AdaPipe, HelixPipe-naive, HelixPipe, HelixPipe-norecompute, or 'all'")
+		timeline    = flag.Bool("timeline", false, "print an ASCII timeline")
+		svgPath     = flag.String("svg", "", "write an SVG timeline to this path")
+	)
+	flag.Parse()
+
+	mc, ok := modelByName(*modelName)
+	if !ok {
+		log.Fatalf("unknown model %q", *modelName)
+	}
+	cl, ok := clusterByName(*clusterName)
+	if !ok {
+		log.Fatalf("unknown cluster %q", *clusterName)
+	}
+	s := helixpipe.NewScenario(mc, cl, *seqLen, *stages)
+	s.MicroBatch = *microBatch
+	if *numMB > 0 {
+		s.MicroBatches = *numMB
+	}
+
+	methods := []helixpipe.Method{helixpipe.Method(*methodName)}
+	if *methodName == "all" {
+		methods = helixpipe.Methods()
+	}
+	for _, method := range methods {
+		plan, err := helixpipe.BuildPlan(s, method)
+		if err != nil {
+			log.Fatalf("%s: %v", method, err)
+		}
+		opt := helixpipe.SimOptions{Trace: *timeline || *svgPath != "", SMPenalty: cl.CommSMPenalty}
+		res, err := helixpipe.Simulate(plan, opt)
+		if err != nil {
+			log.Fatalf("%s: %v", method, err)
+		}
+		tokens := s.TokensPerIteration()
+		fmt.Printf("%-22s iteration %8.3f s   %10.0f tokens/s   bubble %6.1f%%   peak stash %.1f GB\n",
+			method, res.IterationSeconds, res.Throughput(tokens),
+			res.BubbleSeconds()/res.IterationSeconds*100,
+			float64(res.MaxPeakStashBytes())/(1<<30))
+		for st := 0; st < res.Stages; st++ {
+			fmt.Printf("  P%-2d busy %7.2fs  idle %6.2fs  recv-wait %6.2fs  comm-stall %6.2fs  stash %.1f GB  sent %.1f GB\n",
+				st, res.BusySeconds[st], res.IdleSeconds[st], res.WaitSeconds[st],
+				res.CommStallSeconds[st], float64(res.PeakStashBytes[st])/(1<<30),
+				float64(res.BytesSent[st])/(1<<30))
+		}
+		if *timeline {
+			fmt.Println(helixpipe.TimelineASCII(res, 140))
+		}
+		if *svgPath != "" {
+			if err := os.WriteFile(*svgPath, []byte(helixpipe.TimelineSVG(res, 1400)), 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *svgPath)
+		}
+	}
+}
+
+func modelByName(name string) (helixpipe.ModelConfig, bool) {
+	switch name {
+	case "1.3B":
+		return helixpipe.Model1B3(), true
+	case "3B":
+		return helixpipe.Model3B(), true
+	case "7B":
+		return helixpipe.Model7B(), true
+	case "13B":
+		return helixpipe.Model13B(), true
+	case "tiny":
+		return helixpipe.TinyModel(), true
+	}
+	return helixpipe.ModelConfig{}, false
+}
+
+func clusterByName(name string) (helixpipe.ClusterSpec, bool) {
+	switch name {
+	case "H20":
+		return helixpipe.H20Cluster(), true
+	case "A800":
+		return helixpipe.A800Cluster(), true
+	}
+	return helixpipe.ClusterSpec{}, false
+}

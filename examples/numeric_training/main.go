@@ -1,0 +1,56 @@
+// Numeric training: train one tiny GPT twice from identical initialization —
+// once on a single device, once pipeline-parallel under HelixPipe's two-fold
+// FILO schedule with recomputation — and show the loss curves coincide
+// exactly, step by step. This is the paper's section 4.1 claim ("maintains
+// the same computation semantics and convergence as 1F1B") made executable.
+//
+// Run with: go run ./examples/numeric_training
+package main
+
+import (
+	"fmt"
+	"log"
+
+	helixpipe "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	cfg := helixpipe.TinyModel()
+	const stages, microBatches, seqLen, steps = 2, 8, 16, 8
+	const seed = 1234
+
+	plan, err := helixpipe.BuildHelix(
+		helixpipe.ScheduleConfig{Stages: stages, MicroBatches: microBatches, Layers: cfg.Layers},
+		helixpipe.UnitCosts(0), helixpipe.HelixOptions{Fold: 2, Recompute: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pipe := helixpipe.NewNumericModel(cfg, seed)
+	ref := helixpipe.NewNumericModel(cfg, seed)
+	optPipe := helixpipe.NewAdam(3e-3)
+	optRef := helixpipe.NewAdam(3e-3)
+
+	fmt.Printf("%-5s %-14s %-14s %-10s\n", "step", "helix loss", "reference loss", "identical")
+	for step := 0; step < steps; step++ {
+		batches := make([]helixpipe.MicroBatch, microBatches)
+		for i := range batches {
+			batches[i] = helixpipe.SyntheticBatch(cfg, 1, seqLen, uint64(step*microBatches+i)+1)
+		}
+		res, err := helixpipe.RunNumeric(plan, pipe, batches)
+		if err != nil {
+			log.Fatal(err)
+		}
+		refLoss, refGrads := helixpipe.ReferenceStep(ref, batches)
+		same := res.Loss == refLoss && helixpipe.GradDiff(res.Grads, refGrads) == 0
+		fmt.Printf("%-5d %-14.9f %-14.9f %v\n", step, res.Loss, refLoss, same)
+		if !same {
+			log.Fatal("semantics violated: pipeline differs from single device")
+		}
+		optPipe.Step(pipe, res.Grads)
+		optRef.Step(ref, refGrads)
+	}
+	fmt.Println("\nHelixPipe's attention parallel partition reorders work across stages but")
+	fmt.Println("preserves each micro batch's computation order: training is bit-identical.")
+}

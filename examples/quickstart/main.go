@@ -1,0 +1,54 @@
+// Quickstart: simulate the paper's headline configuration — a 7B model at
+// 128k sequence length on 8 H20 nodes — under all four evaluated pipeline
+// parallelisms, and print the throughput comparison.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	helixpipe "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	scenario := helixpipe.NewScenario(helixpipe.Model7B(), helixpipe.H20Cluster(), 131072, 8)
+	fmt.Printf("7B model, 128k tokens/sequence, %d pipeline stages (one 8-GPU node each), %d micro batches\n\n",
+		scenario.Stages, scenario.MicroBatches)
+
+	methods := []helixpipe.Method{
+		helixpipe.Method1F1B, helixpipe.MethodZB1P, helixpipe.MethodAdaPipe, helixpipe.MethodHelix,
+	}
+	tokens := scenario.TokensPerIteration()
+	best := 0.0
+	results := map[helixpipe.Method]*helixpipe.SimResult{}
+	for _, m := range methods {
+		res, err := scenario.Simulate(m)
+		if err != nil {
+			log.Fatalf("%s: %v", m, err)
+		}
+		results[m] = res
+		if tput := res.Throughput(tokens); tput > best {
+			best = tput
+		}
+	}
+	fmt.Printf("%-12s %12s %12s %10s %12s\n", "method", "iteration", "tokens/s", "bubble", "peak stash")
+	for _, m := range methods {
+		res := results[m]
+		fmt.Printf("%-12s %10.2f s %12.0f %9.1f%% %9.1f GB\n",
+			m, res.IterationSeconds, res.Throughput(tokens),
+			res.BubbleSeconds()/res.IterationSeconds*100,
+			float64(res.MaxPeakStashBytes())/(1<<30))
+	}
+	helix := results[helixpipe.MethodHelix].Throughput(tokens)
+	baseline := 0.0
+	for _, m := range methods[:3] {
+		if t := results[m].Throughput(tokens); t > baseline {
+			baseline = t
+		}
+	}
+	fmt.Printf("\nHelixPipe vs best baseline: %+.1f%% (paper reports 26%% on its H20 testbed)\n",
+		(helix/baseline-1)*100)
+}

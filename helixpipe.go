@@ -1,0 +1,154 @@
+// Package helixpipe is a Go reproduction of "HelixPipe: Efficient
+// Distributed Training of Long Sequence Transformers with Attention Parallel
+// Pipeline Parallelism" (PPoPP 2026).
+//
+// It packages two engines behind one API:
+//
+//   - A deterministic discrete-event simulator of GPU-cluster pipeline
+//     training, driven by the paper's analytic cost model (Table 1 FLOP and
+//     byte counts, H20/A800 cluster specs). It regenerates every performance
+//     table and figure of the paper's evaluation.
+//
+//   - A numeric pipeline runtime — one goroutine per stage, channels as the
+//     interconnect, a pure-Go tensor library underneath — that executes the
+//     same schedules on real transformer math and proves the semantics
+//     claim: HelixPipe's gradients are bit-identical to 1F1B's and to a
+//     single device's.
+//
+// Both engines consume the same schedule IR. Plans are built per method:
+// the HelixPipe variants (attention parallel partition with naive or
+// two-fold FILO schedules, with or without recomputation without attention)
+// plus the baselines GPipe, 1F1B, interleaved 1F1B, ZB1P and AdaPipe.
+//
+// Quick start:
+//
+//	s := helixpipe.NewScenario(helixpipe.Model7B(), helixpipe.H20Cluster(), 131072, 8)
+//	res, err := s.Simulate(helixpipe.MethodHelix)
+//	// res.IterationSeconds, res.PeakStashBytes, ...
+package helixpipe
+
+import (
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/model"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Model and cluster configuration types.
+type (
+	// ModelConfig describes a GPT-family transformer (paper Table 3).
+	ModelConfig = model.Config
+	// ClusterSpec describes a GPU cluster testbed.
+	ClusterSpec = costmodel.ClusterSpec
+	// GPUSpec describes one GPU type.
+	GPUSpec = costmodel.GPUSpec
+	// Workload binds a model, cluster and micro-batch shape.
+	Workload = costmodel.Workload
+	// Shape is a micro-batch shape (batch, sequence length).
+	Shape = model.Shape
+)
+
+// Schedule types.
+type (
+	// Method names a pipeline parallelism.
+	Method = sched.Method
+	// Plan is a static pipeline schedule consumable by both engines.
+	Plan = sched.Plan
+	// ScheduleConfig carries pipeline size, micro batches and layers.
+	ScheduleConfig = sched.Config
+	// Costs is the cost book plans are annotated with.
+	Costs = sched.Costs
+	// HelixOptions selects the HelixPipe variant.
+	HelixOptions = core.Options
+)
+
+// Simulation types.
+type (
+	// SimResult is a simulated iteration's metrics.
+	SimResult = sim.Result
+	// SimOptions tunes the simulator.
+	SimOptions = sim.Options
+	// Scenario is a full experiment configuration.
+	Scenario = bench.Scenario
+	// ExperimentTable is a rendered experiment result.
+	ExperimentTable = bench.Table
+)
+
+// The implemented pipeline parallelisms.
+const (
+	MethodGPipe            = sched.MethodGPipe
+	Method1F1B             = sched.Method1F1B
+	MethodInterleaved      = sched.MethodInterleaved
+	MethodZB1P             = sched.MethodZB1P
+	MethodAdaPipe          = sched.MethodAdaPipe
+	MethodHelixNaive       = sched.MethodHelixNaive
+	MethodHelix            = sched.MethodHelix
+	MethodHelixNoRecompute = sched.MethodHelixNoRecompute
+)
+
+// Model presets (paper Table 3 plus the 13B model of Figure 4).
+func Model1B3() ModelConfig { return model.Model1B3() }
+func Model3B() ModelConfig  { return model.Model3B() }
+func Model7B() ModelConfig  { return model.Model7B() }
+func Model13B() ModelConfig { return model.Model13B() }
+
+// TinyModel returns the miniature configuration used by the numeric runtime.
+func TinyModel() ModelConfig { return model.TinyTest() }
+
+// Cluster presets (paper section 5.1 testbeds).
+func H20Cluster() ClusterSpec  { return costmodel.H20Cluster() }
+func A800Cluster() ClusterSpec { return costmodel.A800Cluster() }
+
+// Methods lists every implemented pipeline parallelism.
+func Methods() []Method { return sched.Methods() }
+
+// NewScenario builds a paper-default scenario: micro batch size 1 and
+// m = 2p micro batches per iteration (section 5.1).
+func NewScenario(m ModelConfig, cl ClusterSpec, seqLen, stages int) Scenario {
+	return bench.NewScenario(m, cl, seqLen, stages)
+}
+
+// BuildPlan constructs the schedule plan for a method under a scenario.
+func BuildPlan(s Scenario, method Method) (*Plan, error) { return s.BuildPlan(method) }
+
+// BuildHelix constructs a HelixPipe plan with explicit options.
+func BuildHelix(cfg ScheduleConfig, costs Costs, opt HelixOptions) (*Plan, error) {
+	return core.Build(cfg, costs, opt)
+}
+
+// NewCosts builds the cost book of a workload.
+func NewCosts(w Workload) Costs { return sched.NewCosts(w) }
+
+// UnitCosts returns the didactic 1:3:2 cost book of the paper's figures.
+func UnitCosts(commTime float64) Costs { return sched.UnitCosts(commTime) }
+
+// ValidatePlan checks a plan's structural and dataflow invariants.
+func ValidatePlan(p *Plan) error { return sched.Validate(p) }
+
+// Simulate runs one simulated training iteration of a plan.
+func Simulate(p *Plan, opt SimOptions) (*SimResult, error) { return sim.Run(p, opt) }
+
+// TimelineASCII renders a simulated (traced) result as text lanes.
+func TimelineASCII(res *SimResult, width int) string { return trace.ASCII(res, width) }
+
+// TimelineSVG renders a simulated (traced) result as an SVG document.
+func TimelineSVG(res *SimResult, width int) string { return trace.SVG(res, width) }
+
+// AllExperiments regenerates every paper table and figure.
+func AllExperiments() ([]*ExperimentTable, error) { return bench.All() }
+
+// AttnStage exposes the attention parallel partition's placement function:
+// the stage executing the attention of micro batch mb at layer l in a
+// p-stage pipeline (paper section 4.2).
+func AttnStage(layer, mb, stages int) int { return core.AttnStage(layer, mb, stages) }
+
+// BuildBaseline constructs a baseline plan (GPipe, 1F1B, interleaved 1F1B,
+// ZB1P, AdaPipe) from an explicit schedule configuration and cost book.
+// AdaPipe receives an unlimited memory budget here; use Scenario.BuildPlan
+// for budgeted AdaPipe runs.
+func BuildBaseline(method Method, cfg ScheduleConfig, costs Costs) (*Plan, error) {
+	return sched.Build(method, cfg, costs, 0)
+}

@@ -1,0 +1,114 @@
+package helixpipe
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPublicAPISimulation exercises the simulation surface end to end.
+func TestPublicAPISimulation(t *testing.T) {
+	s := NewScenario(Model3B(), H20Cluster(), 65536, 4)
+	for _, m := range []Method{Method1F1B, MethodHelix} {
+		plan, err := BuildPlan(s, m)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if err := ValidatePlan(plan); err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		res, err := Simulate(plan, SimOptions{Trace: true})
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if res.IterationSeconds <= 0 {
+			t.Errorf("%s: non-positive iteration", m)
+		}
+		if out := TimelineASCII(res, 100); !strings.Contains(out, "P0") {
+			t.Errorf("%s: timeline broken", m)
+		}
+		if out := TimelineSVG(res, 800); !strings.Contains(out, "<svg") {
+			t.Errorf("%s: SVG broken", m)
+		}
+	}
+}
+
+// TestPublicAPIHelixWins checks the headline through the public API only.
+func TestPublicAPIHelixWins(t *testing.T) {
+	s := NewScenario(Model7B(), H20Cluster(), 131072, 8)
+	row, err := s.ThroughputRow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[MethodHelix] <= row[Method1F1B] {
+		t.Errorf("HelixPipe (%f) should beat 1F1B (%f) at 128k", row[MethodHelix], row[Method1F1B])
+	}
+}
+
+// TestPublicAPINumeric exercises the numeric training surface.
+func TestPublicAPINumeric(t *testing.T) {
+	report, err := Train(TrainConfig{
+		Model: TinyModel(), Method: MethodHelix,
+		Stages: 2, MicroBatches: 4, Batch: 1, SeqLen: 8,
+		Steps: 2, LR: 1e-3, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Losses) != 2 {
+		t.Fatalf("want 2 losses, got %d", len(report.Losses))
+	}
+	for _, l := range report.Losses {
+		if l <= 0 {
+			t.Error("loss must be positive at init scale")
+		}
+	}
+	if _, err := Train(TrainConfig{}); err == nil {
+		t.Error("empty train config must error")
+	}
+}
+
+// TestPublicAPIParityHelpers checks GradDiff and ReferenceStep wiring.
+func TestPublicAPIParityHelpers(t *testing.T) {
+	cfg := TinyModel()
+	m1 := NewNumericModel(cfg, 3)
+	m2 := NewNumericModel(cfg, 3)
+	batches := []MicroBatch{SyntheticBatch(cfg, 1, 8, 1), SyntheticBatch(cfg, 1, 8, 2)}
+	plan, err := BuildHelix(ScheduleConfig{Stages: 2, MicroBatches: 2, Layers: cfg.Layers},
+		UnitCosts(0), HelixOptions{Fold: 1, Recompute: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunNumeric(plan, m1, batches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refLoss, refGrads := ReferenceStep(m2, batches)
+	if res.Loss != refLoss {
+		t.Errorf("loss mismatch: %v vs %v", res.Loss, refLoss)
+	}
+	if d := GradDiff(res.Grads, refGrads); d != 0 {
+		t.Errorf("gradients differ by %g", d)
+	}
+}
+
+// TestPublicAPIMisc covers the small helpers.
+func TestPublicAPIMisc(t *testing.T) {
+	if len(Methods()) < 6 {
+		t.Error("Methods() incomplete")
+	}
+	if AttnStage(0, 3, 4) != 0 {
+		t.Error("AttnStage mapping wrong")
+	}
+	for _, mc := range []ModelConfig{Model1B3(), Model3B(), Model7B(), Model13B(), TinyModel()} {
+		if err := mc.Validate(); err != nil {
+			t.Error(err)
+		}
+	}
+	if H20Cluster().Validate() != nil || A800Cluster().Validate() != nil {
+		t.Error("cluster presets invalid")
+	}
+	w := NewScenario(Model3B(), A800Cluster(), 32768, 2).Workload()
+	if NewCosts(w).LayerDur(0) <= 0 {
+		t.Error("cost book broken")
+	}
+}

@@ -1,0 +1,177 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/costmodel"
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+// Table1 reproduces paper Table 1: per-component FLOPs, parameters and
+// activation elements of a transformer layer, printed symbolically (in
+// multiples of bsh^2, bs^2h, h^2 and bsh) plus a numeric column for a
+// reference shape.
+func Table1() *Table {
+	cfg := model.Model7B()
+	sh := model.Shape{B: 1, S: 4096}
+	t := &Table{
+		ID:     "table1",
+		Title:  "Computation and memory overhead of a transformer layer (paper Table 1)",
+		Header: []string{"Component", "Fwd GFLOPs", "BwdB GFLOPs", "BwdW GFLOPs", "Params (M)", "Activation (M elems)"},
+		Notes: []string{
+			fmt.Sprintf("numeric columns for h=%d, b=%d, s=%d", cfg.Hidden, sh.B, sh.S),
+			"totals verified against 4bsh(6h+s), 4bsh(6h+2s), 24bsh*h and 16bsh by unit tests",
+		},
+	}
+	add := func(name string, comp model.Component) {
+		t.Rows = append(t.Rows, []string{
+			name,
+			fmtF(cfg.ComponentFLOPs(comp, model.Forward, sh)/1e9, 1),
+			fmtF(cfg.ComponentFLOPs(comp, model.BackwardB, sh)/1e9, 1),
+			fmtF(cfg.ComponentFLOPs(comp, model.BackwardW, sh)/1e9, 1),
+			fmtF(float64(cfg.ComponentParams(comp))/1e6, 2),
+			fmtF(float64(cfg.ComponentActivationElems(comp, sh))/1e6, 1),
+		})
+	}
+	for _, comp := range model.Components {
+		add(comp.String(), comp)
+	}
+	t.Rows = append(t.Rows, []string{
+		"Total",
+		fmtF(cfg.LayerFLOPs(model.Forward, sh)/1e9, 1),
+		fmtF(cfg.LayerFLOPs(model.BackwardB, sh)/1e9, 1),
+		fmtF(cfg.LayerFLOPs(model.BackwardW, sh)/1e9, 1),
+		fmtF(float64(cfg.LayerParams())/1e6, 2),
+		fmtF(float64(cfg.LayerActivationElems(sh))/1e6, 1),
+	})
+	return t
+}
+
+// Table2 reproduces paper Table 2 and cross-validates it: the analytic
+// bubble and activation-memory expressions next to the simulator's measured
+// values for the same configuration.
+func Table2() *Table {
+	s := NewScenario(model.Model7B(), costmodel.H20Cluster(), 65536, 4)
+	w := s.Workload()
+	rows := w.AnalyzeTable2(s.Stages, s.MicroBatches)
+	t := &Table{
+		ID:     "table2",
+		Title:  "Pipeline bubble time and activation memory, analytic vs simulated (paper Table 2)",
+		Header: []string{"Pipeline", "Analytic bubble (ms)", "Measured bubble (ms)", "Analytic act mem (GB)", "Measured stash peak (GB)"},
+		Notes: []string{
+			"7B model, 64k sequence, p=4, m=8, H20 cluster",
+			"measured helix bubble exceeds the closed form: the paper's analysis idealizes the FILO drain (it draws L = p); see EXPERIMENTS.md",
+		},
+	}
+	methods := map[string]sched.Method{
+		"1F1B": sched.Method1F1B, "ZB1P": sched.MethodZB1P, "HelixPipe": sched.MethodHelix,
+	}
+	for _, row := range rows {
+		res, err := s.Simulate(methods[row.Method])
+		measuredBubble, measuredMem := "-", "-"
+		if err == nil {
+			measuredBubble = fmtMS(res.BubbleSeconds())
+			measuredMem = fmtGB(res.MaxPeakStashBytes())
+		}
+		t.Rows = append(t.Rows, []string{
+			row.Method,
+			fmtMS(row.BubbleSeconds),
+			measuredBubble,
+			fmtGB(row.PeakActivationBytes),
+			measuredMem,
+		})
+	}
+	return t
+}
+
+// Table3 reproduces paper Table 3: the model configurations.
+func Table3() *Table {
+	t := &Table{
+		ID:     "table3",
+		Title:  "Targeting model configurations (paper Table 3)",
+		Header: []string{"Model Size", "#Layers", "#Heads", "Hidden size", "Params (B)"},
+	}
+	for _, cfg := range []model.Config{model.Model1B3(), model.Model3B(), model.Model7B()} {
+		t.Rows = append(t.Rows, []string{
+			cfg.Name,
+			fmt.Sprintf("%d", cfg.Layers),
+			fmt.Sprintf("%d", cfg.Heads),
+			fmt.Sprintf("%d", cfg.Hidden),
+			fmtF(float64(cfg.TotalParams())/1e9, 2),
+		})
+	}
+	return t
+}
+
+// Figure3 reproduces paper Figure 3: the normalized execution-time share of
+// each layer phase on a single A800 (h=4096, b=1) across sequence lengths.
+func Figure3() *Table {
+	seqs := []int{4096, 8192, 16384, 32768, 65536, 131072}
+	prof := costmodel.ComponentProfile(model.Model7B(), costmodel.A800Cluster(), seqs)
+	t := &Table{
+		ID:     "fig3",
+		Title:  "Normalized layer-phase time on one A800, h=4096 (paper Figure 3)",
+		Header: []string{"Seq len", "pre fwd %", "attn fwd %", "post fwd %", "pre bwd %", "attn bwd %", "post bwd %"},
+		Notes:  []string{"attention (fwd+bwd) dominates from 32k and exceeds 80% at 128k"},
+	}
+	for _, c := range prof {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%dk", c.SeqLen/1024),
+			fmtF(c.PreFwd*100, 1), fmtF(c.AttnFwd*100, 1), fmtF(c.PostFwd*100, 1),
+			fmtF(c.PreBwd*100, 1), fmtF(c.AttnBwd*100, 1), fmtF(c.PostBwd*100, 1),
+		})
+	}
+	return t
+}
+
+// Figure4 reproduces paper Figure 4: the theoretical 1F1B activation memory
+// per pipeline stage for the 13B model on 8 stages at various sequence
+// lengths (fp16, sequence parallel size 8).
+func Figure4() *Table {
+	cfg := model.Model13B()
+	const stages, seqPar = 8, 8
+	seqs := []int{4096, 8192, 16384, 32768, 65536, 131072}
+	t := &Table{
+		ID:     "fig4",
+		Title:  "1F1B activation memory (GB) per stage, 13B model, p=8 (paper Figure 4)",
+		Header: []string{"Seq len", "P0", "P1", "P2", "P3", "P4", "P5", "P6", "P7"},
+		Notes:  []string{"at 128k the first two stages exceed the 80 GB A800 capacity while late stages idle"},
+	}
+	for _, s := range seqs {
+		row := []string{fmt.Sprintf("%dk", s/1024)}
+		for st := 0; st < stages; st++ {
+			row = append(row, fmtGB(cfg.ActivationBytes1F1B(model.Shape{B: 1, S: s}, stages, st, seqPar)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Figure9 reproduces paper Figure 9: decoupled per-layer compute times of
+// the 7B model and the estimated two-fold FILO p2p time, per cluster.
+func Figure9() *Table {
+	t := &Table{
+		ID:     "fig9",
+		Title:  "Decoupled layer compute vs two-fold FILO p2p time, 7B model (paper Figure 9)",
+		Header: []string{"Cluster", "Seq len", "pre+post fwd (ms)", "attention fwd (ms)", "p2p comm (ms)", "overlapped"},
+		Notes: []string{
+			"communication is hidden iff attention time >= p2p time (section 5.3)",
+			"H20 overlaps everywhere; A800 fails to overlap at 32k — the paper's explanation for its weakest result",
+		},
+	}
+	seqs := []int{32768, 65536, 98304, 131072}
+	for _, cl := range costmodel.Clusters() {
+		for _, r := range costmodel.OverlapProfile(model.Model7B(), cl, seqs) {
+			t.Rows = append(t.Rows, []string{
+				cl.Name,
+				fmt.Sprintf("%dk", r.SeqLen/1024),
+				fmtMS(r.PrePostSeconds),
+				fmtMS(r.AttentionSeconds),
+				fmtMS(r.CommSeconds),
+				fmt.Sprintf("%v", r.FullyOverlapped),
+			})
+		}
+	}
+	return t
+}

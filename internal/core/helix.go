@@ -1,0 +1,541 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+// Options selects the HelixPipe variant to build.
+type Options struct {
+	// Fold is the number of micro batches executed per schedule slot:
+	// 1 reproduces the naive FILO schedule of section 4.3.1 (with blocking
+	// communication, the behaviour Figure 6a illustrates), 2 the
+	// asynchronous two-fold FILO schedule of section 4.3.2.
+	Fold int
+	// Recompute enables the recomputation-without-attention strategy of
+	// section 4.4.1 (on by default in the paper's HelixPipe).
+	Recompute bool
+}
+
+// DefaultOptions returns the paper's HelixPipe configuration: two-fold FILO
+// with recomputation without attention.
+func DefaultOptions() Options { return Options{Fold: 2, Recompute: true} }
+
+// Build constructs the HelixPipe plan for the given pipeline configuration
+// and cost book.
+//
+// The FILO schedule admits fold*p micro batches per loop (section 4.3: "each
+// loop admitting p micro batches"; the two-fold variant doubles that), so
+// MicroBatches must be a positive multiple of fold*stages. Stages must be at
+// least 2 and divide Layers, which keeps both pipeline ends on stage 0.
+func Build(cfg sched.Config, costs sched.Costs, opt Options) (*sched.Plan, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.Fold != 1 && opt.Fold != 2 {
+		return nil, fmt.Errorf("core: fold must be 1 (naive FILO) or 2 (two-fold FILO), got %d", opt.Fold)
+	}
+	if cfg.Stages < 2 {
+		return nil, fmt.Errorf("core: HelixPipe needs at least 2 stages, got %d", cfg.Stages)
+	}
+	loopSize := opt.Fold * cfg.Stages
+	if cfg.MicroBatches%loopSize != 0 {
+		return nil, fmt.Errorf("core: micro batches (%d) must be a multiple of fold*stages (%d)",
+			cfg.MicroBatches, loopSize)
+	}
+	b := &helixBuilder{cfg: cfg, costs: costs, opt: opt}
+	b.buildTasks()
+	if err := b.schedule(); err != nil {
+		return nil, err
+	}
+	method := sched.MethodHelix
+	switch {
+	case opt.Fold == 1:
+		method = sched.MethodHelixNaive
+	case !opt.Recompute:
+		method = sched.MethodHelixNoRecompute
+	}
+	return &sched.Plan{
+		Method:       method,
+		Stages:       cfg.Stages,
+		MicroBatches: cfg.MicroBatches,
+		Layers:       cfg.Layers,
+		Ops:          b.ops,
+		Costs:        costs,
+	}, nil
+}
+
+// taskKind discriminates helix schedule tasks.
+type taskKind int
+
+const (
+	tUnitF taskKind = iota // forward of one unit for one micro-batch group
+	tAttnF                 // forward attention of one (layer, micro batch)
+	tUnitB                 // backward of one unit for one group (reversed)
+	tAttnB                 // backward attention of one (layer, micro batch)
+)
+
+// hTask is one schedulable unit of helix work. Unit tasks process a whole
+// fold group back to back (the essence of the two-fold schedule); attention
+// tasks are per micro batch so they interleave freely.
+type hTask struct {
+	id      int
+	kind    taskKind
+	unit    int   // unit index for tUnitF/tUnitB (0..L); layer for attention
+	mbs     []int // the micro batches, in emission order
+	stage   int
+	key     [4]int // lexicographic priority
+	prereqs []int
+}
+
+type helixBuilder struct {
+	cfg   sched.Config
+	costs sched.Costs
+	opt   Options
+
+	tasks []hTask
+	ops   [][]sched.Op
+
+	// scheduling state
+	arrival map[sched.Tag]float64
+	clock   []float64
+	done    []bool
+	endAt   []float64
+	// NIC availability per stage (full duplex), mirrored from the
+	// simulator so arrival estimates account for link contention and the
+	// emitted program order matches true arrival order.
+	sendFree []float64
+	recvFree []float64
+}
+
+func (b *helixBuilder) addTask(t hTask) int {
+	t.id = len(b.tasks)
+	b.tasks = append(b.tasks, t)
+	return t.id
+}
+
+// buildTasks enumerates every task of one training iteration with its
+// priority key and prerequisites.
+func (b *helixBuilder) buildTasks() {
+	p, m, L := b.cfg.Stages, b.cfg.MicroBatches, b.cfg.Layers
+	fold := b.opt.Fold
+	loopSize := fold * p
+	loops := m / loopSize
+
+	// Task id lookup tables.
+	unitF := make([][]int, L+1) // [unit][group] -> task id
+	attnF := make([][]int, L)   // [layer][mb] -> task id
+	for u := range unitF {
+		unitF[u] = make([]int, m/fold)
+	}
+	for l := range attnF {
+		attnF[l] = make([]int, m)
+	}
+	groupMBs := func(g int) []int {
+		mbs := make([]int, fold)
+		for i := range mbs {
+			mbs[i] = g*fold + i
+		}
+		return mbs
+	}
+	totalGroups := m / fold
+
+	// Forward unit and attention tasks.
+	for u := 0; u <= L; u++ {
+		for g := 0; g < totalGroups; g++ {
+			loop := (g * fold) / loopSize
+			gInLoop := g % p
+			t := hTask{
+				kind:  tUnitF,
+				unit:  u,
+				mbs:   groupMBs(g),
+				stage: UnitOwner(u, p),
+				key:   [4]int{0, loop, 2 * u, gInLoop},
+			}
+			if u > 0 {
+				for _, mb := range t.mbs {
+					t.prereqs = append(t.prereqs, attnF[u-1][mb])
+				}
+			}
+			unitF[u][g] = b.addTask(t)
+		}
+		if u == L {
+			break
+		}
+		for g := 0; g < totalGroups; g++ {
+			for _, mb := range groupMBs(g) {
+				loop := mb / loopSize
+				t := hTask{
+					kind:    tAttnF,
+					unit:    u,
+					mbs:     []int{mb},
+					stage:   AttnStage(u, mb, p),
+					key:     [4]int{0, loop, 2*u + 1, mb % loopSize},
+					prereqs: []int{unitF[u][g]},
+				}
+				attnF[u][mb] = b.addTask(t)
+			}
+		}
+	}
+
+	// Backward: FILO — loops in reverse, micro batches in reverse.
+	unitB := make([][]int, L+1)
+	attnB := make([][]int, L)
+	for u := range unitB {
+		unitB[u] = make([]int, totalGroups)
+	}
+	for l := range attnB {
+		attnB[l] = make([]int, m)
+	}
+	invLoop := func(loop int) int { return loops - 1 - loop }
+	for u := L; u >= 0; u-- {
+		for g := totalGroups - 1; g >= 0; g-- {
+			loop := (g * fold) / loopSize
+			gInLoop := g % p
+			mbs := groupMBs(g)
+			rev := make([]int, len(mbs))
+			for i, mb := range mbs {
+				rev[len(mbs)-1-i] = mb
+			}
+			t := hTask{
+				kind:  tUnitB,
+				unit:  u,
+				mbs:   rev,
+				stage: UnitOwner(u, p),
+				key:   [4]int{1, invLoop(loop), 2 * (L - u), p - 1 - gInLoop},
+			}
+			if u == L {
+				t.prereqs = append(t.prereqs, unitF[u][g])
+			} else {
+				for _, mb := range t.mbs {
+					t.prereqs = append(t.prereqs, attnB[u][mb])
+				}
+				t.prereqs = append(t.prereqs, unitF[u][g])
+			}
+			unitB[u][g] = b.addTask(t)
+		}
+		if u == 0 {
+			break
+		}
+		l := u - 1 // attention backward of layer u-1 follows unit u backward
+		for g := totalGroups - 1; g >= 0; g-- {
+			mbs := groupMBs(g)
+			for i := len(mbs) - 1; i >= 0; i-- {
+				mb := mbs[i]
+				loop := mb / loopSize
+				t := hTask{
+					kind:    tAttnB,
+					unit:    l,
+					mbs:     []int{mb},
+					stage:   AttnStage(l, mb, p),
+					key:     [4]int{1, invLoop(loop), 2*(L-u) + 1, loopSize - 1 - mb%loopSize},
+					prereqs: []int{unitB[u][g], attnF[l][mb]},
+				}
+				attnB[l][mb] = b.addTask(t)
+			}
+		}
+	}
+}
+
+// schedule orders the tasks with deterministic earliest-start greedy list
+// scheduling and emits the per-stage op programs.
+func (b *helixBuilder) schedule() error {
+	p := b.cfg.Stages
+	b.ops = make([][]sched.Op, p)
+	b.arrival = map[sched.Tag]float64{}
+	b.clock = make([]float64, p)
+	b.done = make([]bool, len(b.tasks))
+	b.endAt = make([]float64, len(b.tasks))
+	b.sendFree = make([]float64, p)
+	b.recvFree = make([]float64, p)
+
+	remaining := len(b.tasks)
+	// Stable candidate iteration order: by key then id.
+	order := make([]int, len(b.tasks))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		a, c := b.tasks[order[i]], b.tasks[order[j]]
+		if a.key != c.key {
+			return lessKey(a.key, c.key)
+		}
+		return a.id < c.id
+	})
+
+	for remaining > 0 {
+		bestIdx, bestStart := -1, math.MaxFloat64
+		for _, id := range order {
+			t := &b.tasks[id]
+			if b.done[id] {
+				continue
+			}
+			ready := true
+			depEnd := 0.0
+			for _, pre := range t.prereqs {
+				if !b.done[pre] {
+					ready = false
+					break
+				}
+				if b.endAt[pre] > depEnd {
+					depEnd = b.endAt[pre]
+				}
+			}
+			if !ready {
+				continue
+			}
+			start := math.Max(b.clock[t.stage], b.firstInputArrival(t))
+			if start < bestStart-1e-15 {
+				bestIdx, bestStart = id, start
+			}
+		}
+		if bestIdx < 0 {
+			return fmt.Errorf("core: helix scheduling wedged with %d tasks remaining", remaining)
+		}
+		b.runTask(&b.tasks[bestIdx])
+		b.done[bestIdx] = true
+		remaining--
+	}
+	return nil
+}
+
+func lessKey(a, c [4]int) bool {
+	for i := range a {
+		if a[i] != c[i] {
+			return a[i] < c[i]
+		}
+	}
+	return false
+}
+
+// firstInputArrival returns the arrival estimate of the task's first message
+// input, or 0 when it has none.
+func (b *helixBuilder) firstInputArrival(t *hTask) float64 {
+	tags := b.inputTags(t, t.mbs[0])
+	first := 0.0
+	for _, tag := range tags {
+		if a, ok := b.arrival[tag]; ok && a > first {
+			first = a
+		}
+	}
+	return first
+}
+
+// inputTags returns the message tags one micro-batch piece of the task
+// consumes.
+func (b *helixBuilder) inputTags(t *hTask, mb int) []sched.Tag {
+	L := b.cfg.Layers
+	switch t.kind {
+	case tUnitF:
+		if t.unit == 0 {
+			return nil
+		}
+		return []sched.Tag{{MB: mb, Layer: t.unit - 1, Bound: sched.BoundAttnPost}}
+	case tAttnF:
+		return []sched.Tag{{MB: mb, Layer: t.unit, Bound: sched.BoundPreAttn}}
+	case tUnitB:
+		if t.unit == L {
+			return nil
+		}
+		return []sched.Tag{{MB: mb, Layer: t.unit, Bound: sched.BoundPreAttn, Back: true}}
+	default: // tAttnB
+		return []sched.Tag{{MB: mb, Layer: t.unit, Bound: sched.BoundAttnPost, Back: true}}
+	}
+}
+
+// runTask emits the ops of a task and advances the builder clocks.
+func (b *helixBuilder) runTask(t *hTask) {
+	switch t.kind {
+	case tUnitF:
+		b.runUnitF(t)
+	case tAttnF:
+		b.runAttn(t, false)
+	case tUnitB:
+		b.runUnitB(t)
+	default:
+		b.runAttn(t, true)
+	}
+	b.endAt[t.id] = b.clock[t.stage]
+}
+
+func (b *helixBuilder) emit(stage int, op sched.Op) { b.ops[stage] = append(b.ops[stage], op) }
+
+// recvPiece emits the recv ops for one micro-batch piece and returns the
+// stage clock after waiting for the arrivals. When the producer ran on this
+// very stage (the attention of micro batch mb at layer l is co-located with
+// a pre/post owner whenever (l+mb+1) = l or l+1 mod p) the value is already
+// local and no communication op is emitted.
+func (b *helixBuilder) recvPiece(t *hTask, mb int, from int, clock float64) float64 {
+	for _, tag := range b.inputTags(t, mb) {
+		if from != t.stage {
+			b.emit(t.stage, sched.Op{Kind: sched.KRecv, MB: mb, Peer: from, Tag: tag})
+		}
+		if a, ok := b.arrival[tag]; ok && a > clock {
+			clock = a
+		}
+	}
+	return clock
+}
+
+// sendPiece emits a send and records the message arrival estimate. Naive
+// FILO (fold 1) uses blocking sends that occupy the compute stream (the
+// paper's Figure 6a behaviour); the two-fold schedule sends asynchronously.
+func (b *helixBuilder) sendPiece(stage, mb, peer int, tag sched.Tag, clock float64) float64 {
+	if peer == stage {
+		// Co-located consumer: the value is available immediately, no
+		// transfer happens.
+		b.arrival[tag] = clock
+		return clock
+	}
+	blocking := b.opt.Fold == 1
+	bytes := b.costs.BoundBytes[tag.Bound]
+	b.emit(stage, sched.Op{
+		Kind: sched.KSend, MB: mb, Peer: peer, Tag: tag, Bytes: bytes, Blocking: blocking,
+	})
+	// Reserve the duplex NIC pair exactly like the simulator does, so the
+	// emitted program order anticipates link contention.
+	var wire float64
+	if b.costs.P2PBytesPerSec > 0 {
+		wire = float64(bytes) / b.costs.P2PBytesPerSec
+	}
+	start := clock
+	if b.sendFree[stage] > start {
+		start = b.sendFree[stage]
+	}
+	if b.recvFree[peer] > start {
+		start = b.recvFree[peer]
+	}
+	end := start + wire
+	arrival := end + b.costs.P2PLatency
+	b.sendFree[stage] = end
+	b.recvFree[peer] = end
+	b.arrival[tag] = arrival
+	if blocking {
+		return arrival
+	}
+	return clock
+}
+
+// stashAlloc returns the forward allocation for a segment under the active
+// memory strategy.
+func (b *helixBuilder) stashAlloc(seg model.Segment) int64 {
+	if b.opt.Recompute {
+		return b.costs.HelixSegStash[seg]
+	}
+	return b.costs.SegStash[seg]
+}
+
+// attnFree returns the stash released by attention backward.
+func (b *helixBuilder) attnFree() int64 {
+	if b.opt.Recompute {
+		return b.costs.HelixSegStash[model.SegAttn]
+	}
+	return b.costs.SegStash[model.SegAttn]
+}
+
+func (b *helixBuilder) runUnitF(t *hTask) {
+	c, L, p := b.costs, b.cfg.Layers, b.cfg.Stages
+	clock := b.clock[t.stage]
+	for _, mb := range t.mbs {
+		if t.unit > 0 {
+			from := AttnStage(t.unit-1, mb, p)
+			clock = b.recvPiece(t, mb, from, clock)
+			b.emit(t.stage, sched.Op{Kind: sched.KForward, MB: mb, Layer: t.unit - 1, Seg: model.SegPost,
+				Dur: c.Seg[model.SegPost][model.Forward], Alloc: b.stashAlloc(model.SegPost)})
+			clock += c.Seg[model.SegPost][model.Forward]
+		} else {
+			b.emit(t.stage, sched.Op{Kind: sched.KForward, MB: mb, Layer: sched.LayerEmbed, Dur: c.EmbedF})
+			clock += c.EmbedF
+		}
+		if t.unit < L {
+			b.emit(t.stage, sched.Op{Kind: sched.KForward, MB: mb, Layer: t.unit, Seg: model.SegPre,
+				Dur: c.Seg[model.SegPre][model.Forward], Alloc: b.stashAlloc(model.SegPre)})
+			clock += c.Seg[model.SegPre][model.Forward]
+			clock = b.sendPiece(t.stage, mb, AttnStage(t.unit, mb, p),
+				sched.Tag{MB: mb, Layer: t.unit, Bound: sched.BoundPreAttn}, clock)
+		}
+	}
+	b.clock[t.stage] = clock
+}
+
+func (b *helixBuilder) runAttn(t *hTask, back bool) {
+	c, p := b.costs, b.cfg.Stages
+	l := t.unit
+	mb := t.mbs[0]
+	clock := b.clock[t.stage]
+	if back {
+		clock = b.recvPiece(t, mb, PostOwner(l, p), clock)
+		b.emit(t.stage, sched.Op{Kind: sched.KBackwardB, MB: mb, Layer: l, Seg: model.SegAttn,
+			Dur: c.Seg[model.SegAttn][model.BackwardB], Free: b.attnFree()})
+		clock += c.Seg[model.SegAttn][model.BackwardB]
+		clock = b.sendPiece(t.stage, mb, PreOwner(l, p),
+			sched.Tag{MB: mb, Layer: l, Bound: sched.BoundPreAttn, Back: true}, clock)
+	} else {
+		clock = b.recvPiece(t, mb, PreOwner(l, p), clock)
+		b.emit(t.stage, sched.Op{Kind: sched.KForward, MB: mb, Layer: l, Seg: model.SegAttn,
+			Dur: c.Seg[model.SegAttn][model.Forward], Alloc: b.stashAlloc(model.SegAttn)})
+		clock += c.Seg[model.SegAttn][model.Forward]
+		clock = b.sendPiece(t.stage, mb, PostOwner(l, p),
+			sched.Tag{MB: mb, Layer: l, Bound: sched.BoundAttnPost}, clock)
+	}
+	b.clock[t.stage] = clock
+}
+
+func (b *helixBuilder) runUnitB(t *hTask) {
+	c, L, p := b.costs, b.cfg.Layers, b.cfg.Stages
+	clock := b.clock[t.stage]
+	for _, mb := range t.mbs {
+		if t.unit == L {
+			// Deferred LM head: forward + loss + backward-B fused (4.6),
+			// weight gradient immediately after (no ZB1P-style deferral).
+			b.emit(t.stage, sched.Op{Kind: sched.KBackwardB, MB: mb, Layer: sched.LayerHead,
+				Dur: c.HeadFB, Alloc: c.EmbedGradStash})
+			b.emit(t.stage, sched.Op{Kind: sched.KBackwardW, MB: mb, Layer: sched.LayerHead,
+				Dur: c.HeadW, Free: c.EmbedGradStash})
+			clock += c.HeadFB + c.HeadW
+		} else {
+			from := AttnStage(t.unit, mb, p)
+			clock = b.recvPiece(t, mb, from, clock)
+		}
+		// Recompute the unit's discarded intermediates in forward order:
+		// post-attention of layer unit-1, then pre-attention of layer unit.
+		if b.opt.Recompute {
+			if t.unit > 0 {
+				b.emit(t.stage, sched.Op{Kind: sched.KRecompute, MB: mb, Layer: t.unit - 1, Seg: model.SegPost,
+					Dur:   c.SegRecompute[model.SegPost],
+					Alloc: c.SegStash[model.SegPost] - c.HelixSegStash[model.SegPost]})
+				clock += c.SegRecompute[model.SegPost]
+			}
+			if t.unit < L {
+				b.emit(t.stage, sched.Op{Kind: sched.KRecompute, MB: mb, Layer: t.unit, Seg: model.SegPre,
+					Dur:   c.SegRecompute[model.SegPre],
+					Alloc: c.SegStash[model.SegPre] - c.HelixSegStash[model.SegPre]})
+				clock += c.SegRecompute[model.SegPre]
+			}
+		}
+		if t.unit < L {
+			b.emit(t.stage, sched.Op{Kind: sched.KBackwardB, MB: mb, Layer: t.unit, Seg: model.SegPre,
+				Dur: c.Seg[model.SegPre][model.BackwardB], Free: c.SegStashBFree[model.SegPre]})
+			b.emit(t.stage, sched.Op{Kind: sched.KBackwardW, MB: mb, Layer: t.unit, Seg: model.SegPre,
+				Dur: c.Seg[model.SegPre][model.BackwardW], Free: c.SegStashWFree[model.SegPre]})
+			clock += c.Seg[model.SegPre][model.BackwardB] + c.Seg[model.SegPre][model.BackwardW]
+		}
+		if t.unit > 0 {
+			b.emit(t.stage, sched.Op{Kind: sched.KBackwardB, MB: mb, Layer: t.unit - 1, Seg: model.SegPost,
+				Dur: c.Seg[model.SegPost][model.BackwardB], Free: c.SegStashBFree[model.SegPost]})
+			b.emit(t.stage, sched.Op{Kind: sched.KBackwardW, MB: mb, Layer: t.unit - 1, Seg: model.SegPost,
+				Dur: c.Seg[model.SegPost][model.BackwardW], Free: c.SegStashWFree[model.SegPost]})
+			clock += c.Seg[model.SegPost][model.BackwardB] + c.Seg[model.SegPost][model.BackwardW]
+			clock = b.sendPiece(t.stage, mb, AttnStage(t.unit-1, mb, p),
+				sched.Tag{MB: mb, Layer: t.unit - 1, Bound: sched.BoundAttnPost, Back: true}, clock)
+		} else {
+			b.emit(t.stage, sched.Op{Kind: sched.KBackwardW, MB: mb, Layer: sched.LayerEmbed, Dur: c.EmbedW})
+			clock += c.EmbedW
+		}
+	}
+	b.clock[t.stage] = clock
+}

@@ -1,0 +1,35 @@
+// Package core implements the paper's primary contribution: HelixPipe's
+// attention parallel partition (section 4.2) and the first-in-last-out
+// micro-batch schedules built on it — the naive FILO schedule and the
+// asynchronous two-fold FILO schedule (section 4.3) — together with the
+// recomputation-without-attention memory strategy (section 4.4.1).
+//
+// Plans are expressed in the shared IR of internal/sched, so the simulator
+// and the numeric executor run HelixPipe exactly like the baselines.
+package core
+
+// PreOwner returns the pipeline stage owning the pre-attention of layer l in
+// a p-stage pipeline. Section 4.2: "the pre-attention of 0-th layer is
+// assigned to stage 0; for l in [1, L), post-attention of layer (l-1) and
+// pre-attention of layer l are concatenated to stage (l mod p)".
+func PreOwner(layer, stages int) int { return layer % stages }
+
+// PostOwner returns the stage owning the post-attention of layer l: the
+// stage that also owns the pre-attention of layer l+1 ((l+1) mod p). The
+// post-attention of the final layer L-1 lands back on stage 0 whenever p
+// divides L.
+func PostOwner(layer, stages int) int { return (layer + 1) % stages }
+
+// AttnStage returns the stage executing the attention of micro batch mb at
+// layer l: (l + mb + 1) mod p, "which makes different attention computation
+// executed in parallel" (section 4.2) — for a fixed layer, consecutive
+// micro batches map to consecutive stages.
+func AttnStage(layer, mb, stages int) int { return ((layer+mb+1)%stages + stages) % stages }
+
+// UnitOwner returns the stage owning helix unit u for u in [0, L]: unit 0 is
+// the input embedding plus pre-attention of layer 0, unit u (0<u<L) is the
+// concatenation [post-attention of layer u-1, pre-attention of layer u], and
+// unit L is the post-attention of the final layer plus the (deferred) LM
+// head. With p | L both ends sit on stage 0, which lets HelixPipe keep the
+// tied word embedding entirely on one stage (section 4.6).
+func UnitOwner(unit, stages int) int { return unit % stages }

@@ -1,0 +1,156 @@
+package costmodel
+
+import "repro/internal/model"
+
+// This file reproduces the closed-form pipeline-bubble analysis of paper
+// Table 2. The formulas are expressed with the actual pass times of the cost
+// model rather than the paper's "backward = 2x forward" approximation, and
+// degenerate to the paper's exact expressions when that approximation holds.
+// The discrete-event simulator measures the same quantities dynamically; the
+// Table 2 experiment cross-checks the two.
+
+// BubbleAnalysis summarises one schedule's analytic bubble time per
+// iteration and the activation memory of the most loaded stage.
+type BubbleAnalysis struct {
+	// Method names the schedule ("1F1B", "ZB1P", ...).
+	Method string
+	// BubbleSeconds is the pipeline bubble time per training iteration.
+	BubbleSeconds float64
+	// PeakActivationBytes is the per-GPU activation memory of the most
+	// loaded pipeline stage.
+	PeakActivationBytes int64
+}
+
+// Bubble1F1B returns the 1F1B bubble per Equation 1:
+// (p-1) * (F + B + W) * L/p, which equals 3(p-1)(t_pre+t_attn+t_post)L/p
+// under the backward = 2x forward approximation.
+func (w Workload) Bubble1F1B(stages int) float64 {
+	perLayer := w.LayerTime(model.Forward) + w.LayerTime(model.BackwardB) + w.LayerTime(model.BackwardW)
+	return float64(stages-1) * perLayer * float64(w.Model.Layers) / float64(stages)
+}
+
+// BubbleZB1P returns the ZB1P bubble per Equation 3:
+// (p-1) * (F_layer + B_attn) * L/p, i.e. (p-1)(t_pre + 3 t_attn + t_post)L/p
+// under the 2x approximation: delaying backward-W can remove the pre/post
+// backward work from the bubble but never the non-parameterized attention.
+func (w Workload) BubbleZB1P(stages int) float64 {
+	perLayer := w.LayerTime(model.Forward) + w.SegmentTime(model.SegAttn, model.BackwardB)
+	return float64(stages-1) * perLayer * float64(w.Model.Layers) / float64(stages)
+}
+
+// BubbleHelixNaive returns the naive-FILO HelixPipe bubble of section 4.5:
+// (p-1) * (F + B + W of pre+post only) = 3(p-1)(t_pre + t_post). Attention
+// is executed in parallel across stages and leaves the bubble entirely; the
+// bubble is also independent of the layer count.
+func (w Workload) BubbleHelixNaive(stages int) float64 {
+	perUnit := w.PrePostTime(model.Forward) + w.PrePostTime(model.BackwardB) + w.PrePostTime(model.BackwardW)
+	return float64(stages-1) * perUnit
+}
+
+// BubbleHelixTwoFold returns the two-fold FILO bubble: twice the naive
+// bubble, the price of executing two micro batches per slot to hide
+// communication (section 4.5).
+func (w Workload) BubbleHelixTwoFold(stages int) float64 {
+	return 2 * w.BubbleHelixNaive(stages)
+}
+
+// BubbleHelixRecompute returns the two-fold FILO bubble with recomputation
+// without attention: 8(p-1)(t_pre+t_post) in the paper's approximation —
+// the two-fold bubble plus the recomputed pre/post forward passes.
+func (w Workload) BubbleHelixRecompute(stages int) float64 {
+	recompute := 2 * float64(stages-1) * w.PrePostTime(model.Forward)
+	return w.BubbleHelixTwoFold(stages) + recompute
+}
+
+// AnalyzeTable2 returns the paper's Table 2 for this workload: analytic
+// bubble time and peak activation memory for 1F1B, ZB1P and HelixPipe
+// (two-fold FILO with recomputation), using m micro batches and the given
+// pipeline size.
+func (w Workload) AnalyzeTable2(stages, microBatches int) []BubbleAnalysis {
+	sp := w.seqPar()
+	return []BubbleAnalysis{
+		{
+			Method:              "1F1B",
+			BubbleSeconds:       w.Bubble1F1B(stages),
+			PeakActivationBytes: w.Model.ActivationBytes1F1B(w.Shape, stages, 0, sp),
+		},
+		{
+			Method:              "ZB1P",
+			BubbleSeconds:       w.BubbleZB1P(stages),
+			PeakActivationBytes: w.Model.ActivationBytesZB1P(w.Shape, stages, sp),
+		},
+		{
+			Method:              "HelixPipe",
+			BubbleSeconds:       w.BubbleHelixRecompute(stages),
+			PeakActivationBytes: w.Model.ActivationBytesHelix(w.Shape, stages, microBatches, sp),
+		},
+	}
+}
+
+// ComponentShare holds the normalized execution-time share of the six layer
+// phases of paper Figure 3 for one sequence length.
+type ComponentShare struct {
+	SeqLen  int
+	PreFwd  float64
+	AttnFwd float64
+	PostFwd float64
+	PreBwd  float64
+	AttnBwd float64
+	PostBwd float64
+}
+
+// ComponentProfile reproduces paper Figure 3: the share of one transformer
+// layer's forward+backward execution time spent in each phase, for the given
+// sequence lengths. The paper profiles a single A800 GPU with b=1, h=4096;
+// pass the corresponding workload (SkipSPComm is forced on, matching the
+// single-GPU setting).
+func ComponentProfile(m model.Config, cl ClusterSpec, seqLens []int) []ComponentShare {
+	out := make([]ComponentShare, 0, len(seqLens))
+	for _, s := range seqLens {
+		w := Workload{Model: m, Cluster: cl, Shape: model.Shape{B: 1, S: s}, SeqPar: 1, SkipSPComm: true}
+		preF := w.SegmentTime(model.SegPre, model.Forward)
+		attnF := w.SegmentTime(model.SegAttn, model.Forward)
+		postF := w.SegmentTime(model.SegPost, model.Forward)
+		preB := w.SegmentTime(model.SegPre, model.BackwardB) + w.SegmentTime(model.SegPre, model.BackwardW)
+		attnB := w.SegmentTime(model.SegAttn, model.BackwardB)
+		postB := w.SegmentTime(model.SegPost, model.BackwardB) + w.SegmentTime(model.SegPost, model.BackwardW)
+		total := preF + attnF + postF + preB + attnB + postB
+		out = append(out, ComponentShare{
+			SeqLen: s,
+			PreFwd: preF / total, AttnFwd: attnF / total, PostFwd: postF / total,
+			PreBwd: preB / total, AttnBwd: attnB / total, PostBwd: postB / total,
+		})
+	}
+	return out
+}
+
+// OverlapReport quantifies the section 5.3 overlap rule for the two-fold
+// FILO schedule: communication is hidden iff the attention computation
+// behind it is at least as long as the per-layer p2p transfer.
+type OverlapReport struct {
+	SeqLen           int
+	PrePostSeconds   float64 // forward time of combined pre+post per layer
+	AttentionSeconds float64 // forward time of attention per layer
+	CommSeconds      float64 // one boundary p2p (two activations)
+	FullyOverlapped  bool
+}
+
+// OverlapProfile reproduces paper Figure 9 for the given workload across
+// sequence lengths: decoupled per-layer compute times and the estimated
+// p2p time of the two-fold FILO boundary transfer.
+func OverlapProfile(m model.Config, cl ClusterSpec, seqLens []int) []OverlapReport {
+	out := make([]OverlapReport, 0, len(seqLens))
+	for _, s := range seqLens {
+		w := NewWorkload(m, cl, model.Shape{B: 1, S: s})
+		attn := w.SegmentTime(model.SegAttn, model.Forward)
+		comm := w.P2PTime(w.HelixAttnPostBytes())
+		out = append(out, OverlapReport{
+			SeqLen:           s,
+			PrePostSeconds:   w.PrePostTime(model.Forward),
+			AttentionSeconds: attn,
+			CommSeconds:      comm,
+			FullyOverlapped:  attn >= comm,
+		})
+	}
+	return out
+}

@@ -1,0 +1,251 @@
+package memsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestAllocFreeBasics(t *testing.T) {
+	a := New(DefaultConfig())
+	h1, err := a.Alloc(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := a.Alloc(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := a.Stats()
+	if st.AllocatedBytes < 3000 {
+		t.Errorf("allocated %d, want >= 3000", st.AllocatedBytes)
+	}
+	if st.AllocatedBytes%512 != 0 {
+		t.Error("allocations must be rounded to 512")
+	}
+	if err := a.Free(h1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(h2); err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats().AllocatedBytes != 0 {
+		t.Error("everything freed but allocated > 0")
+	}
+	if err := a.Free(h1); err == nil {
+		t.Error("double free must error")
+	}
+	if _, err := a.Alloc(0); err == nil {
+		t.Error("zero alloc must error")
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCoalescing frees neighbouring blocks and expects one merged block.
+func TestCoalescing(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SegmentBytes = 8192
+	a := New(cfg)
+	var hs []int64
+	for i := 0; i < 4; i++ {
+		h, err := a.Alloc(2048)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs = append(hs, h)
+	}
+	// Free all four: they must coalesce into a single full-segment block.
+	for _, h := range hs {
+		if err := a.Free(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := a.Stats()
+	if st.FreeBlocks != 1 {
+		t.Errorf("free blocks = %d, want 1 after coalescing", st.FreeBlocks)
+	}
+	if st.LargestFreeBlock != 8192 {
+		t.Errorf("largest free block %d, want 8192", st.LargestFreeBlock)
+	}
+}
+
+// TestReuseCachedBlock verifies the caching behaviour: freeing then
+// reallocating the same size must not reserve new device memory.
+func TestReuseCachedBlock(t *testing.T) {
+	a := New(DefaultConfig())
+	h, err := a.Alloc(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reserved := a.Stats().ReservedBytes
+	if err := a.Free(h); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Alloc(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Stats().ReservedBytes; got != reserved {
+		t.Errorf("reserved grew from %d to %d despite cached block", reserved, got)
+	}
+}
+
+// TestCapacityOOM verifies the capacity cap produces allocation failures.
+func TestCapacityOOM(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CapacityBytes = 1 << 20
+	cfg.SegmentBytes = 1 << 19
+	a := New(cfg)
+	var live []int64
+	for {
+		h, err := a.Alloc(1 << 18)
+		if err != nil {
+			break
+		}
+		live = append(live, h)
+	}
+	if len(live) == 0 {
+		t.Fatal("no allocation succeeded under the cap")
+	}
+	if a.Stats().Failures == 0 {
+		t.Error("OOM not recorded")
+	}
+	if a.Stats().ReservedBytes > cfg.CapacityBytes {
+		t.Error("reserved memory exceeded the cap")
+	}
+}
+
+// TestExpandableSegments verifies the expandable mode grows the tail
+// segment in place instead of reserving a fresh one, reducing waste — the
+// effect of PYTORCH_CUDA_ALLOC_CONF the paper enables for all methods.
+func TestExpandableSegments(t *testing.T) {
+	run := func(expandable bool) Stats {
+		cfg := DefaultConfig()
+		cfg.SegmentBytes = 1 << 20
+		cfg.Expandable = expandable
+		a := New(cfg)
+		// Grow-shrink pattern: allocate big, free, allocate bigger.
+		size := int64(1 << 20)
+		for i := 0; i < 6; i++ {
+			h, err := a.Alloc(size)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := a.Free(h); err != nil {
+				t.Fatal(err)
+			}
+			size += size / 2
+		}
+		return a.Stats()
+	}
+	plain := run(false)
+	expandable := run(true)
+	if expandable.PeakReservedBytes >= plain.PeakReservedBytes {
+		t.Errorf("expandable segments should reserve less: %d vs %d",
+			expandable.PeakReservedBytes, plain.PeakReservedBytes)
+	}
+}
+
+// TestRandomWorkloadInvariants is a property test: a random alloc/free
+// storm never violates the allocator invariants and always balances.
+func TestRandomWorkloadInvariants(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		cfg := DefaultConfig()
+		cfg.SegmentBytes = 1 << 16
+		a := New(cfg)
+		stream := rng.New(seed)
+		var live []int64
+		for i := 0; i < 300; i++ {
+			if len(live) > 0 && stream.Float64() < 0.45 {
+				idx := stream.Intn(len(live))
+				if err := a.Free(live[idx]); err != nil {
+					return false
+				}
+				live = append(live[:idx], live[idx+1:]...)
+			} else {
+				h, err := a.Alloc(int64(stream.Intn(1<<14) + 1))
+				if err != nil {
+					return false
+				}
+				live = append(live, h)
+			}
+			if a.CheckInvariants() != nil {
+				return false
+			}
+		}
+		for _, h := range live {
+			if err := a.Free(h); err != nil {
+				return false
+			}
+		}
+		return a.Stats().AllocatedBytes == 0 && a.CheckInvariants() == nil
+	}, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestChunkedMLPReducesFragmentation reproduces the section 4.4.2 claim:
+// replaying the two-fold FILO stage workload, chunked MLP yields a smaller
+// reserved-over-allocated inflation than unchunked MLP.
+func TestChunkedMLPReducesFragmentation(t *testing.T) {
+	base := DefaultConfig()
+	base.SegmentBytes = 4 << 20
+	cfg := ChunkedMLPConfig{
+		UnitBytes:       8 << 20, // a long-sequence [s,b,h] shard
+		LayersPerStage:  4,
+		MicroBatches:    8,
+		ChunkTokensFrac: 0.125,
+	}
+	plain, chunked, err := CompareChunking(base, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("unchunked: reserved %.1f MiB, allocated %.1f MiB, ratio %.3f, free blocks %d",
+		float64(plain.PeakReservedBytes)/(1<<20), float64(plain.PeakAllocatedBytes)/(1<<20),
+		plain.FragmentationRatio(), plain.FreeBlocks)
+	t.Logf("chunked:   reserved %.1f MiB, allocated %.1f MiB, ratio %.3f, free blocks %d",
+		float64(chunked.PeakReservedBytes)/(1<<20), float64(chunked.PeakAllocatedBytes)/(1<<20),
+		chunked.FragmentationRatio(), chunked.FreeBlocks)
+	if chunked.FragmentationRatio() >= plain.FragmentationRatio() {
+		t.Errorf("chunked MLP should reduce fragmentation: %.3f vs %.3f",
+			chunked.FragmentationRatio(), plain.FragmentationRatio())
+	}
+	// The chunked run should be close to waste-free.
+	if chunked.FragmentationRatio() > 1.15 {
+		t.Errorf("chunked fragmentation ratio %.3f, expected near 1", chunked.FragmentationRatio())
+	}
+}
+
+// TestChunkedMLPWithinCapacity verifies the practical consequence: under a
+// capacity cap sized between the chunked and unchunked peaks, only the
+// chunked variant completes the iteration (the paper's "enables longer
+// sequences").
+func TestChunkedMLPWithinCapacity(t *testing.T) {
+	base := DefaultConfig()
+	base.SegmentBytes = 4 << 20
+	cfg := ChunkedMLPConfig{UnitBytes: 8 << 20, LayersPerStage: 4, MicroBatches: 8, ChunkTokensFrac: 0.125}
+	plain, chunked, err := CompareChunking(base, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := (plain.PeakReservedBytes + chunked.PeakReservedBytes) / 2
+	capped := base
+	capped.CapacityBytes = cap
+
+	noChunk := cfg
+	noChunk.ChunkTokensFrac = 0
+	if _, err := RunChunkedMLP(New(capped), noChunk); err == nil {
+		t.Error("unchunked run should OOM under the cap")
+	}
+	if _, err := RunChunkedMLP(New(capped), cfg); err != nil {
+		t.Errorf("chunked run should fit under the cap: %v", err)
+	}
+}
+
+func TestWorkloadValidation(t *testing.T) {
+	if _, err := RunChunkedMLP(New(DefaultConfig()), ChunkedMLPConfig{}); err == nil {
+		t.Error("invalid config must error")
+	}
+}

@@ -1,0 +1,196 @@
+package memsim
+
+import "fmt"
+
+// ChunkedMLPConfig describes the allocation workload of one HelixPipe stage
+// under the two-fold FILO schedule with recomputation without attention —
+// the setting whose fragmentation motivated chunked MLP (section 4.4.2).
+type ChunkedMLPConfig struct {
+	// UnitBytes is the size of one [s, b, h] activation shard on the GPU
+	// (b*s*h*2/t bytes).
+	UnitBytes int64
+	// LayersPerStage is L/p.
+	LayersPerStage int
+	// MicroBatches is the number of micro batches whose stashes the FILO
+	// schedule holds simultaneously (m).
+	MicroBatches int
+	// ChunkTokensFrac is the chunk size as a fraction of the sequence
+	// (0 disables chunking: the whole [s, b, 4h] MLP buffers are allocated
+	// at once). The paper's chunked MLP processes the all-gathered sequence
+	// in configurable chunks through pre-allocated reusable buffers.
+	ChunkTokensFrac float64
+}
+
+// irregular returns the transient-buffer irregularity multiplier for a
+// layer. Real MLP temporaries are not perfectly uniform (all-gather
+// workspaces, alignment padding, occasional fp32 epilogues), and it is this
+// irregularity interacting with long-lived FILO stashes that carves the
+// pool; a deterministic per-layer variation stands in for it.
+func irregular(layer int) int64 {
+	return int64(layer%3) - 1 // -1, 0, +1 quarter units
+}
+
+// RunChunkedMLP replays the stage's allocation trace for one training
+// iteration and returns the allocator statistics. The trace interleaves
+// long-lived FILO stashes (4 units per layer per micro batch under
+// recomputation without attention) with the transient MLP buffers of the
+// forward pass, then replays the backward pass in FILO order with
+// recomputed intermediates.
+func RunChunkedMLP(a *Allocator, cfg ChunkedMLPConfig) (Stats, error) {
+	if cfg.UnitBytes <= 0 || cfg.LayersPerStage <= 0 || cfg.MicroBatches <= 0 {
+		return Stats{}, fmt.Errorf("memsim: invalid chunked-MLP config %+v", cfg)
+	}
+	u := cfg.UnitBytes
+	chunked := cfg.ChunkTokensFrac > 0
+
+	// Chunked MLP pre-allocates reusable all-gather / intermediate buffers
+	// once ("pre-allocating reusable buffers for all-gather and
+	// reduce-scatter communications, eliminating dynamic memory overhead").
+	var reusable []int64
+	if chunked {
+		c := cfg.ChunkTokensFrac
+		for _, size := range []int64{int64(float64(u) * c), int64(float64(4*u) * c), int64(float64(4*u) * c)} {
+			h, err := a.Alloc(size)
+			if err != nil {
+				return a.Stats(), err
+			}
+			reusable = append(reusable, h)
+		}
+	}
+
+	// stash[mb][layer] holds the long-lived FILO handles.
+	type layerStash struct{ unitIn, attn int64 }
+	stash := make([][]layerStash, cfg.MicroBatches)
+	for mb := range stash {
+		stash[mb] = make([]layerStash, cfg.LayersPerStage)
+	}
+
+	transientSizes := func(layer int) []int64 {
+		extra := irregular(layer) * u / 4
+		if chunked {
+			// Chunked MLP streams through the reusable buffers; only a
+			// small per-chunk bookkeeping allocation remains.
+			return []int64{u / 64}
+		}
+		return []int64{u + extra, 4*u + extra, 4 * u, u + extra}
+	}
+
+	allocTransients := func(layer int) ([]int64, error) {
+		var hs []int64
+		for _, size := range transientSizes(layer) {
+			if size <= 0 {
+				size = u / 4
+			}
+			h, err := a.Alloc(size)
+			if err != nil {
+				return nil, err
+			}
+			hs = append(hs, h)
+		}
+		return hs, nil
+	}
+	freeAll := func(hs []int64) error {
+		for _, h := range hs {
+			if err := a.Free(h); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	runTransients := func(layer int) error {
+		hs, err := allocTransients(layer)
+		if err != nil {
+			return err
+		}
+		return freeAll(hs)
+	}
+	allocStash := func(mb, layer int) error {
+		unitIn, err := a.Alloc(2 * u) // residual + received attention out
+		if err != nil {
+			return err
+		}
+		attn, err := a.Alloc(2 * u) // flash-attention stash
+		if err != nil {
+			return err
+		}
+		stash[mb][layer] = layerStash{unitIn: unitIn, attn: attn}
+		return nil
+	}
+
+	// Forward: the two-fold schedule processes micro batches in pairs, so
+	// micro batch b's long-lived stash is laid down while micro batch a's
+	// transient MLP buffers are still alive. When a's transients free, the
+	// resulting hole is bounded by b's stash — the pinning that fragments
+	// the pool (section 4.4.2).
+	for layer := 0; layer < cfg.LayersPerStage; layer++ {
+		for mb := 0; mb+1 < cfg.MicroBatches; mb += 2 {
+			if err := allocStash(mb, layer); err != nil {
+				return a.Stats(), err
+			}
+			transA, err := allocTransients(layer)
+			if err != nil {
+				return a.Stats(), err
+			}
+			if err := allocStash(mb+1, layer); err != nil {
+				return a.Stats(), err
+			}
+			if err := freeAll(transA); err != nil {
+				return a.Stats(), err
+			}
+			if err := runTransients(layer + 1); err != nil { // fold partner's buffers
+				return a.Stats(), err
+			}
+		}
+		if cfg.MicroBatches%2 == 1 {
+			if err := allocStash(cfg.MicroBatches-1, layer); err != nil {
+				return a.Stats(), err
+			}
+			if err := runTransients(layer); err != nil {
+				return a.Stats(), err
+			}
+		}
+	}
+
+	// Backward in FILO order: recompute intermediates (transients again),
+	// then release the stashes.
+	for layer := cfg.LayersPerStage - 1; layer >= 0; layer-- {
+		for mb := cfg.MicroBatches - 1; mb >= 0; mb-- {
+			if err := runTransients(layer); err != nil {
+				return a.Stats(), err
+			}
+			if err := a.Free(stash[mb][layer].attn); err != nil {
+				return a.Stats(), err
+			}
+			if err := a.Free(stash[mb][layer].unitIn); err != nil {
+				return a.Stats(), err
+			}
+		}
+	}
+	for _, h := range reusable {
+		if err := a.Free(h); err != nil {
+			return a.Stats(), err
+		}
+	}
+	if err := a.CheckInvariants(); err != nil {
+		return a.Stats(), err
+	}
+	return a.Stats(), nil
+}
+
+// CompareChunking runs the workload with and without chunked MLP on fresh
+// allocators and returns (unchunked, chunked) statistics — the section
+// 4.4.2 experiment.
+func CompareChunking(base Config, cfg ChunkedMLPConfig) (Stats, Stats, error) {
+	noChunk := cfg
+	noChunk.ChunkTokensFrac = 0
+	sa, err := RunChunkedMLP(New(base), noChunk)
+	if err != nil {
+		return sa, Stats{}, err
+	}
+	withChunk := cfg
+	if withChunk.ChunkTokensFrac <= 0 {
+		withChunk.ChunkTokensFrac = 0.125
+	}
+	sb, err := RunChunkedMLP(New(base), withChunk)
+	return sa, sb, err
+}

@@ -1,0 +1,129 @@
+// Package model describes GPT-style transformer models at the accounting
+// level used throughout the paper: parameter counts, per-component FLOPs and
+// activation sizes of a transformer layer (paper Table 1), and the model
+// configurations of the evaluation (paper Table 3).
+//
+// All counts are expressed per micro batch in "elements" (numbers) and FLOPs;
+// conversion to bytes and seconds is the job of internal/costmodel.
+package model
+
+import "fmt"
+
+// Config describes a GPT-3 family transformer model.
+//
+// The zero value is not useful; construct configs with the preset helpers
+// (Model1B3, Model3B, ...) or fill every field explicitly.
+type Config struct {
+	// Name is a human-readable label such as "7B".
+	Name string
+	// Layers is the number of transformer layers (L in the paper).
+	Layers int
+	// Heads is the number of attention heads.
+	Heads int
+	// Hidden is the model hidden size (h in the paper).
+	Hidden int
+	// Vocab is the vocabulary size (V in the paper, about 50k for GPT).
+	Vocab int
+	// MaxSeq is the maximum position-embedding length. It only affects the
+	// parameter count of the embedding block.
+	MaxSeq int
+}
+
+// Validate reports an error when the configuration is structurally invalid.
+func (c Config) Validate() error {
+	switch {
+	case c.Layers <= 0:
+		return fmt.Errorf("model: Layers must be positive, got %d", c.Layers)
+	case c.Hidden <= 0:
+		return fmt.Errorf("model: Hidden must be positive, got %d", c.Hidden)
+	case c.Heads <= 0:
+		return fmt.Errorf("model: Heads must be positive, got %d", c.Heads)
+	case c.Hidden%c.Heads != 0:
+		return fmt.Errorf("model: Hidden (%d) must be divisible by Heads (%d)", c.Hidden, c.Heads)
+	case c.Vocab < 0 || c.MaxSeq < 0:
+		return fmt.Errorf("model: Vocab and MaxSeq must be non-negative")
+	}
+	return nil
+}
+
+// HeadDim returns the per-head dimension h / heads.
+func (c Config) HeadDim() int { return c.Hidden / c.Heads }
+
+// LayerParams returns the number of parameter elements in one transformer
+// layer: 12h^2 + 4h (QKV 3h^2, O h^2, MLP 8h^2, two LayerNorms 2h each).
+// Bias parameters are neglected, following paper Table 1.
+func (c Config) LayerParams() int64 {
+	h := int64(c.Hidden)
+	return 12*h*h + 4*h
+}
+
+// EmbeddingParams returns the number of parameter elements in the word and
+// position embeddings: V*h + MaxSeq*h.
+func (c Config) EmbeddingParams() int64 {
+	h := int64(c.Hidden)
+	return int64(c.Vocab)*h + int64(c.MaxSeq)*h
+}
+
+// TotalParams returns the total parameter element count of the model,
+// transformer layers plus embeddings. The LM head shares the word embedding
+// (standard GPT weight tying), so it adds nothing.
+func (c Config) TotalParams() int64 {
+	return int64(c.Layers)*c.LayerParams() + c.EmbeddingParams()
+}
+
+// String implements fmt.Stringer.
+func (c Config) String() string {
+	return fmt.Sprintf("%s(L=%d heads=%d h=%d)", c.Name, c.Layers, c.Heads, c.Hidden)
+}
+
+// Paper Table 3 model configurations, plus the 13B model used by Figure 4.
+// Vocabulary follows the GPT family conventions referenced in the paper
+// (V is "around 50k for a typical GPT family model"). MaxSeq is zero for the
+// large presets: long-sequence GPT variants use parameter-free rotary
+// position encodings, so positions add no parameters; the tiny numeric-
+// runtime config uses learned position embeddings and a nonzero MaxSeq.
+
+// Model1B3 returns the 1.3B-parameter configuration of paper Table 3.
+func Model1B3() Config {
+	return Config{Name: "1.3B", Layers: 24, Heads: 16, Hidden: 2048, Vocab: 50304, MaxSeq: 0}
+}
+
+// Model3B returns the 3B-parameter configuration of paper Table 3.
+func Model3B() Config {
+	return Config{Name: "3B", Layers: 16, Heads: 32, Hidden: 4096, Vocab: 50304, MaxSeq: 0}
+}
+
+// Model7B returns the 7B-parameter configuration of paper Table 3.
+func Model7B() Config {
+	return Config{Name: "7B", Layers: 32, Heads: 32, Hidden: 4096, Vocab: 50304, MaxSeq: 0}
+}
+
+// Model13B returns the 13B-parameter configuration used by paper Figure 4
+// (GPT-3 13B: 40 layers, hidden 5120).
+func Model13B() Config {
+	return Config{Name: "13B", Layers: 40, Heads: 40, Hidden: 5120, Vocab: 50304, MaxSeq: 0}
+}
+
+// Presets returns the named model configurations of the paper, in the order
+// they appear (Table 3 plus the 13B model of Figure 4).
+func Presets() []Config {
+	return []Config{Model1B3(), Model3B(), Model7B(), Model13B()}
+}
+
+// PresetByName returns the preset configuration with the given name
+// ("1.3B", "3B", "7B", "13B") and reports whether it exists.
+func PresetByName(name string) (Config, bool) {
+	for _, c := range Presets() {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Config{}, false
+}
+
+// TinyTest returns a miniature configuration used by the numeric runtime
+// tests and examples: it exercises the same code paths as the paper models
+// at a size where pure-Go tensor math is fast.
+func TinyTest() Config {
+	return Config{Name: "tiny", Layers: 4, Heads: 2, Hidden: 32, Vocab: 64, MaxSeq: 64}
+}

@@ -1,0 +1,244 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPresetValidate(t *testing.T) {
+	for _, c := range Presets() {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+	if err := TinyTest().Validate(); err != nil {
+		t.Errorf("tiny: %v", err)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	cases := []Config{
+		{Name: "noLayers", Layers: 0, Heads: 2, Hidden: 8},
+		{Name: "noHidden", Layers: 2, Heads: 2, Hidden: 0},
+		{Name: "noHeads", Layers: 2, Heads: 0, Hidden: 8},
+		{Name: "indivisible", Layers: 2, Heads: 3, Hidden: 8},
+		{Name: "negVocab", Layers: 2, Heads: 2, Hidden: 8, Vocab: -1},
+	}
+	for _, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", c.Name)
+		}
+	}
+}
+
+// TestPresetParameterCounts checks that the Table 3 presets actually have the
+// advertised parameter counts (within the usual "model size" rounding).
+func TestPresetParameterCounts(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		want float64 // billions
+		tol  float64 // relative tolerance
+	}{
+		{Model1B3(), 1.3, 0.12},
+		{Model3B(), 3.0, 0.15},
+		{Model7B(), 7.0, 0.08},
+		{Model13B(), 13.0, 0.05},
+	}
+	for _, tc := range cases {
+		got := float64(tc.cfg.TotalParams()) / 1e9
+		if math.Abs(got-tc.want)/tc.want > tc.tol {
+			t.Errorf("%s: total params %.2fB, want about %.1fB", tc.cfg.Name, got, tc.want)
+		}
+	}
+}
+
+func TestPresetByName(t *testing.T) {
+	for _, name := range []string{"1.3B", "3B", "7B", "13B"} {
+		c, ok := PresetByName(name)
+		if !ok {
+			t.Fatalf("preset %q not found", name)
+		}
+		if c.Name != name {
+			t.Errorf("PresetByName(%q).Name = %q", name, c.Name)
+		}
+	}
+	if _, ok := PresetByName("175B"); ok {
+		t.Error("PresetByName should not invent models")
+	}
+}
+
+// TestLayerFLOPsTotals verifies the Total column of paper Table 1:
+// forward 4bsh(6h+s), backward-B 4bsh(6h+2s), backward-W 4bsh*6h.
+func TestLayerFLOPsTotals(t *testing.T) {
+	check := func(b, s, h int) bool {
+		if b <= 0 || s <= 0 || h <= 0 {
+			return true
+		}
+		cfg := Config{Name: "q", Layers: 1, Heads: 1, Hidden: h}
+		sh := Shape{B: b, S: s}
+		bf, sf, hf := float64(b), float64(s), float64(h)
+		wantF := 4 * bf * sf * hf * (6*hf + sf)
+		wantB := 4 * bf * sf * hf * (6*hf + 2*sf)
+		wantW := 4 * bf * sf * hf * 6 * hf
+		const eps = 1e-9
+		okF := math.Abs(cfg.LayerFLOPs(Forward, sh)-wantF) <= eps*wantF
+		okB := math.Abs(cfg.LayerFLOPs(BackwardB, sh)-wantB) <= eps*wantB
+		okW := math.Abs(cfg.LayerFLOPs(BackwardW, sh)-wantW) <= eps*wantW
+		return okF && okB && okW
+	}
+	cfgQ := &quick.Config{MaxCount: 200, Values: nil}
+	if err := quick.Check(func(b, s, h uint8) bool {
+		return check(int(b)%32+1, int(s)%512+1, int(h)%256+1)
+	}, cfgQ); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLayerActivationTotal verifies the 16bsh total of paper Table 1.
+func TestLayerActivationTotal(t *testing.T) {
+	if err := quick.Check(func(b, s, h uint8) bool {
+		bb, ss, hh := int(b)%32+1, int(s)%512+1, int(h)%256+1
+		cfg := Config{Name: "q", Layers: 1, Heads: 1, Hidden: hh}
+		sh := Shape{B: bb, S: ss}
+		return cfg.LayerActivationElems(sh) == 16*int64(bb)*int64(ss)*int64(hh)
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLayerParams verifies the 12h^2+4h parameter total of paper Table 1 and
+// that the per-component params sum to the layer total.
+func TestLayerParams(t *testing.T) {
+	cfg := Model7B()
+	h := int64(cfg.Hidden)
+	if got, want := cfg.LayerParams(), 12*h*h+4*h; got != want {
+		t.Errorf("LayerParams = %d, want %d", got, want)
+	}
+	var sum int64
+	for _, comp := range Components {
+		sum += cfg.ComponentParams(comp)
+	}
+	if sum != cfg.LayerParams() {
+		t.Errorf("component params sum %d != layer params %d", sum, cfg.LayerParams())
+	}
+}
+
+// TestSegmentDecomposition checks that segment-level aggregates partition the
+// layer-level aggregates with nothing dropped or double counted.
+func TestSegmentDecomposition(t *testing.T) {
+	cfg := Model3B()
+	sh := Shape{B: 1, S: 4096}
+	for _, pass := range []Pass{Forward, BackwardB, BackwardW} {
+		sum := cfg.SegmentFLOPs(SegPre, pass, sh) + cfg.SegmentFLOPs(SegAttn, pass, sh) + cfg.SegmentFLOPs(SegPost, pass, sh)
+		if math.Abs(sum-cfg.LayerFLOPs(pass, sh)) > 1 {
+			t.Errorf("pass %v: segment FLOPs sum %g != layer %g", pass, sum, cfg.LayerFLOPs(pass, sh))
+		}
+	}
+	actSum := cfg.SegmentActivationElems(SegPre, sh) + cfg.SegmentActivationElems(SegAttn, sh) + cfg.SegmentActivationElems(SegPost, sh)
+	if actSum != cfg.LayerActivationElems(sh) {
+		t.Errorf("segment activation sum %d != layer %d", actSum, cfg.LayerActivationElems(sh))
+	}
+	pSum := cfg.SegmentParams(SegPre) + cfg.SegmentParams(SegAttn) + cfg.SegmentParams(SegPost)
+	if pSum != cfg.LayerParams() {
+		t.Errorf("segment params sum %d != layer %d", pSum, cfg.LayerParams())
+	}
+}
+
+// TestAttentionSegment verifies the defining property of the attention
+// parallel partition: the attention segment holds no parameters and its
+// backward-W cost is zero (paper section 4.2).
+func TestAttentionSegment(t *testing.T) {
+	cfg := Model7B()
+	sh := Shape{B: 2, S: 8192}
+	if p := cfg.SegmentParams(SegAttn); p != 0 {
+		t.Errorf("attention segment params = %d, want 0", p)
+	}
+	if f := cfg.SegmentFLOPs(SegAttn, BackwardW, sh); f != 0 {
+		t.Errorf("attention backward-W FLOPs = %g, want 0", f)
+	}
+	// Backward-B of attention costs twice its forward (Table 1).
+	fw := cfg.SegmentFLOPs(SegAttn, Forward, sh)
+	bw := cfg.SegmentFLOPs(SegAttn, BackwardB, sh)
+	if math.Abs(bw-2*fw) > 1e-6*fw {
+		t.Errorf("attention backward-B %g != 2x forward %g", bw, fw)
+	}
+}
+
+func TestComponentSegmentAssignment(t *testing.T) {
+	want := map[Component]Segment{
+		CompLayerNorm1: SegPre,
+		CompQKV:        SegPre,
+		CompAttention:  SegAttn,
+		CompOProj:      SegPost,
+		CompLayerNorm2: SegPost,
+		CompLinear1:    SegPost,
+		CompGeLU:       SegPost,
+		CompLinear2:    SegPost,
+	}
+	for comp, seg := range want {
+		if comp.Segment() != seg {
+			t.Errorf("%v.Segment() = %v, want %v", comp, comp.Segment(), seg)
+		}
+	}
+}
+
+// TestAttentionDominance reproduces the motivation of paper Figure 3: with
+// h=4096 the attention share of forward FLOPs crosses 50% between 8k and 32k
+// and dominates (>80%) at 128k.
+func TestAttentionDominance(t *testing.T) {
+	cfg := Model7B() // h = 4096
+	share := func(s int) float64 {
+		sh := Shape{B: 1, S: s}
+		return cfg.SegmentFLOPs(SegAttn, Forward, sh) / cfg.LayerFLOPs(Forward, sh)
+	}
+	if sh4k := share(4096); sh4k > 0.5 {
+		t.Errorf("attention share at 4k = %.2f, expected below 0.5", sh4k)
+	}
+	if sh32k := share(32768); sh32k < 0.5 {
+		t.Errorf("attention share at 32k = %.2f, expected above 0.5", sh32k)
+	}
+	if sh128k := share(131072); sh128k < 0.8 {
+		t.Errorf("attention share at 128k = %.2f, expected above 0.8", sh128k)
+	}
+	// Monotone in s.
+	prev := -1.0
+	for s := 1024; s <= 131072; s *= 2 {
+		cur := share(s)
+		if cur <= prev {
+			t.Errorf("attention share not increasing at s=%d", s)
+		}
+		prev = cur
+	}
+}
+
+func TestHelixStash(t *testing.T) {
+	cfg := Model3B()
+	sh := Shape{B: 1, S: 65536}
+	full := cfg.LayerActivationElems(sh)
+	helix := cfg.HelixStashElems(sh)
+	if full != 4*helix {
+		t.Errorf("recomputation should cut activation memory 4x: full=%d helix=%d", full, helix)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if SegPre.String() != "pre" || SegAttn.String() != "attn" || SegPost.String() != "post" {
+		t.Error("segment String() mismatch")
+	}
+	if Segment(99).String() == "" || Component(99).String() == "" || Pass(99).String() == "" {
+		t.Error("out-of-range String() should still format")
+	}
+	if Forward.String() != "F" || BackwardB.String() != "B" || BackwardW.String() != "W" {
+		t.Error("pass String() mismatch")
+	}
+	for _, comp := range Components {
+		if comp.String() == "" {
+			t.Errorf("component %d has empty name", comp)
+		}
+	}
+	cfg := Model7B()
+	if cfg.String() == "" {
+		t.Error("config String() empty")
+	}
+}

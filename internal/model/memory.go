@@ -1,0 +1,73 @@
+package model
+
+// This file holds the closed-form activation-memory formulas of the paper
+// (Equations 2 and 4, Table 2). They are "theoretical" numbers — the
+// discrete-event simulator measures the same quantities dynamically and the
+// two are cross-checked in tests and in the Table 2 experiment.
+
+// FP16Bytes is the byte width used for activation accounting throughout the
+// paper's analysis ("1F1B schedule and FP16 are used", Figure 4).
+const FP16Bytes = 2
+
+// FP32Bytes is the byte width of master/optimizer state and of the word
+// embedding gradients ZB1P stashes at the final stage (paper section 5.4).
+const FP32Bytes = 4
+
+// ActivationBytes1F1B returns Equation 2 of the paper in bytes: the peak
+// activation memory of pipeline stage `stage` (0-based) under the 1F1B
+// schedule, 16*(p-stage)*b*s*h*(L/p) elements in fp16, divided across the
+// sequence-parallel group of size seqPar (the paper fixes seqPar=8, one
+// pipeline stage per 8-GPU node).
+func (c Config) ActivationBytes1F1B(sh Shape, stages, stage, seqPar int) int64 {
+	perLayer := c.LayerActivationElems(sh) * FP16Bytes
+	layersPerStage := int64(c.Layers) / int64(stages)
+	outstanding := int64(stages - stage)
+	return outstanding * perLayer * layersPerStage / int64(seqPar)
+}
+
+// ActivationBytesZB1P returns Equation 4 of the paper in bytes: the
+// worst-case peak activation memory of any stage under ZB1P, which equals
+// the first-stage peak of 1F1B: 16*b*s*h*L elements in fp16.
+func (c Config) ActivationBytesZB1P(sh Shape, stages, seqPar int) int64 {
+	return c.ActivationBytes1F1B(sh, stages, 0, seqPar)
+}
+
+// ActivationBytesHelix returns the Table 2 activation memory of HelixPipe in
+// bytes: 4*b*s*h*m*(L/p) elements in fp16 with the recomputation-without-
+// attention strategy (every stage stashes all m micro batches, but only
+// 4bsh per layer survives the forward pass).
+func (c Config) ActivationBytesHelix(sh Shape, stages, microBatches, seqPar int) int64 {
+	perLayer := c.HelixStashElems(sh) * FP16Bytes
+	layersPerStage := int64(c.Layers) / int64(stages)
+	return int64(microBatches) * perLayer * layersPerStage / int64(seqPar)
+}
+
+// ActivationBytesHelixNoRecompute returns the HelixPipe FILO activation
+// memory without the recomputation strategy: the full 16*b*s*h per layer for
+// all m micro batches (paper section 4.5, the step before recomputation).
+func (c Config) ActivationBytesHelixNoRecompute(sh Shape, stages, microBatches, seqPar int) int64 {
+	perLayer := c.LayerActivationElems(sh) * FP16Bytes
+	layersPerStage := int64(c.Layers) / int64(stages)
+	return int64(microBatches) * perLayer * layersPerStage / int64(seqPar)
+}
+
+// ModelStateBytesPerStage returns the bytes of model state (fp16 weights,
+// fp16 gradients, fp32 master weights and two fp32 Adam moments — the
+// standard mixed-precision recipe the paper inherits from Megatron-LM) held
+// by one pipeline stage, with parameters split across the tensor/sequence
+// parallel group of size seqPar.
+func (c Config) ModelStateBytesPerStage(stages, seqPar int) int64 {
+	layersPerStage := int64(c.Layers) / int64(stages)
+	params := layersPerStage * c.LayerParams()
+	// 2 (fp16 weight) + 2 (fp16 grad) + 4+4+4 (fp32 master, m, v) = 16 B/param.
+	const bytesPerParam = 16
+	return params * bytesPerParam / int64(seqPar)
+}
+
+// EmbeddingStateBytes returns the model-state bytes of the input embeddings
+// (held by the first stage) or the tied LM head (held by the last stage),
+// split across the tensor-parallel group per paper section 4.6.
+func (c Config) EmbeddingStateBytes(seqPar int) int64 {
+	const bytesPerParam = 16
+	return c.EmbeddingParams() * bytesPerParam / int64(seqPar)
+}

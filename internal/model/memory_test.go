@@ -1,0 +1,115 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestFigure4Shape reproduces the load-bearing observation of paper Figure 4:
+// for the 13B model on 8 stages with sequence parallel size 8 and fp16, the
+// first stages exceed 80 GB of activation memory at 128k sequence length
+// while the last stages have large spare capacity; at 4k nothing comes close.
+func TestFigure4Shape(t *testing.T) {
+	cfg := Model13B()
+	const stages, seqPar = 8, 8
+	const gb = 1 << 30
+
+	sh := Shape{B: 1, S: 131072}
+	first := float64(cfg.ActivationBytes1F1B(sh, stages, 0, seqPar)) / gb
+	second := float64(cfg.ActivationBytes1F1B(sh, stages, 1, seqPar)) / gb
+	last := float64(cfg.ActivationBytes1F1B(sh, stages, stages-1, seqPar)) / gb
+	if first <= 80 {
+		t.Errorf("stage 0 at 128k = %.1f GB, paper expects >80 GB", first)
+	}
+	if second <= 80 {
+		t.Errorf("stage 1 at 128k = %.1f GB, paper expects >80 GB", second)
+	}
+	if last >= 40 {
+		t.Errorf("stage 7 at 128k = %.1f GB, paper expects large spare memory", last)
+	}
+	// Stage memory decreases linearly with stage index: stage i holds p-i
+	// outstanding micro batches.
+	for i := 0; i < stages-1; i++ {
+		a := cfg.ActivationBytes1F1B(sh, stages, i, seqPar)
+		b := cfg.ActivationBytes1F1B(sh, stages, i+1, seqPar)
+		if a <= b {
+			t.Errorf("memory should strictly decrease with stage: stage %d=%d stage %d=%d", i, a, i+1, b)
+		}
+	}
+	shShort := Shape{B: 1, S: 4096}
+	if m := float64(cfg.ActivationBytes1F1B(shShort, stages, 0, seqPar)) / gb; m > 10 {
+		t.Errorf("stage 0 at 4k = %.1f GB, expected small", m)
+	}
+}
+
+// TestZB1PEqualsWorstCase1F1B verifies Equation 4: ZB1P peak memory equals
+// the stage-0 peak of 1F1B, for all stages.
+func TestZB1PEqualsWorstCase1F1B(t *testing.T) {
+	cfg := Model3B()
+	sh := Shape{B: 1, S: 32768}
+	if got, want := cfg.ActivationBytesZB1P(sh, 8, 8), cfg.ActivationBytes1F1B(sh, 8, 0, 8); got != want {
+		t.Errorf("ZB1P peak %d != 1F1B stage-0 peak %d", got, want)
+	}
+}
+
+// TestStage0IndependentOfPipelineSize verifies the paper's note under
+// Equation 2: at stage 0 the activation overhead is 16bshL, irrespective of
+// the pipeline size p.
+func TestStage0IndependentOfPipelineSize(t *testing.T) {
+	cfg := Model7B() // 32 layers: divisible by 2,4,8
+	sh := Shape{B: 1, S: 8192}
+	ref := cfg.ActivationBytes1F1B(sh, 2, 0, 8)
+	for _, p := range []int{4, 8, 16} {
+		if got := cfg.ActivationBytes1F1B(sh, p, 0, 8); got != ref {
+			t.Errorf("stage-0 memory at p=%d is %d, want %d (independent of p)", p, got, ref)
+		}
+	}
+}
+
+// TestHelixMemoryProperties checks Table 2's memory column: Helix memory is
+// balanced (same for all stages by construction), equals 4bsh*m*L/p, and the
+// no-recompute variant is exactly 4x larger.
+func TestHelixMemoryProperties(t *testing.T) {
+	if err := quick.Check(func(sRaw, pRaw, loopsRaw uint8) bool {
+		s := (int(sRaw)%64 + 1) * 1024
+		pOpts := []int{2, 4, 8}
+		p := pOpts[int(pRaw)%len(pOpts)]
+		m := 2 * p * (int(loopsRaw)%2 + 1)
+		cfg := Model7B()
+		sh := Shape{B: 1, S: s}
+		withRec := cfg.ActivationBytesHelix(sh, p, m, 8)
+		noRec := cfg.ActivationBytesHelixNoRecompute(sh, p, m, 8)
+		wantWith := 4 * int64(1) * int64(s) * int64(cfg.Hidden) * int64(m) * int64(cfg.Layers/p) * FP16Bytes / 8
+		return withRec == wantWith && noRec == 4*withRec
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHelixVsZB1PMemory verifies the regime highlighted by the paper: with
+// m=2p micro batches, Helix memory 4bsh*m*L/p = 8bshL is half of ZB1P's
+// 16bshL on every stage.
+func TestHelixVsZB1PMemory(t *testing.T) {
+	cfg := Model3B()
+	sh := Shape{B: 1, S: 131072}
+	const p, seqPar = 8, 8
+	m := 2 * p
+	helix := cfg.ActivationBytesHelix(sh, p, m, seqPar)
+	zb := cfg.ActivationBytesZB1P(sh, p, seqPar)
+	if 2*helix != zb {
+		t.Errorf("with m=2p, Helix memory (%d) should be half of ZB1P (%d)", helix, zb)
+	}
+}
+
+func TestModelStateBytes(t *testing.T) {
+	cfg := Model7B()
+	// 7B params, 16 bytes/param mixed precision, over 8 stages and 8-way SP:
+	// about 7e9*16/64 = 1.75 GB per GPU.
+	got := float64(cfg.ModelStateBytesPerStage(8, 8)) / (1 << 30)
+	if got < 1.0 || got > 2.5 {
+		t.Errorf("7B model state per GPU = %.2f GB, expected about 1.6-2 GB", got)
+	}
+	if cfg.EmbeddingStateBytes(8) <= 0 {
+		t.Error("embedding state must be positive")
+	}
+}

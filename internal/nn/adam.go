@@ -1,0 +1,81 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/tensor"
+)
+
+// NamedParams returns the model's parameter tensors keyed by the same
+// canonical names Grads.Named uses.
+func (m *Model) NamedParams() map[string]*tensor.Tensor {
+	out := map[string]*tensor.Tensor{
+		"embed.word": m.Embed.Word,
+		"embed.pos":  m.Embed.Pos,
+		"head.w":     m.Head.W,
+	}
+	for l, lp := range m.Layers {
+		out[fmt.Sprintf("layer%d.ln1_gamma", l)] = lp.LN1Gamma
+		out[fmt.Sprintf("layer%d.ln1_beta", l)] = lp.LN1Beta
+		out[fmt.Sprintf("layer%d.wqkv", l)] = lp.WQKV
+		out[fmt.Sprintf("layer%d.wo", l)] = lp.WO
+		out[fmt.Sprintf("layer%d.ln2_gamma", l)] = lp.LN2Gamma
+		out[fmt.Sprintf("layer%d.ln2_beta", l)] = lp.LN2Beta
+		out[fmt.Sprintf("layer%d.w1", l)] = lp.W1
+		out[fmt.Sprintf("layer%d.w2", l)] = lp.W2
+	}
+	return out
+}
+
+// Adam is the standard Adam optimizer with fp32 moments, matching the
+// mixed-precision training recipe the paper inherits from Megatron-LM.
+type Adam struct {
+	// LR is the learning rate.
+	LR float64
+	// Beta1, Beta2 and Eps are the usual Adam hyperparameters.
+	Beta1, Beta2, Eps float64
+
+	step int
+	m    map[string][]float64
+	v    map[string][]float64
+}
+
+// NewAdam returns an optimizer with the conventional defaults.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: map[string][]float64{}, v: map[string][]float64{}}
+}
+
+// Step applies one update of grads to the model's parameters. Parameters
+// are visited in sorted name order, keeping updates deterministic.
+func (a *Adam) Step(model *Model, grads *Grads) {
+	a.step++
+	params := model.NamedParams()
+	gs := grads.Named()
+	names := make([]string, 0, len(params))
+	for name := range params {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.step))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.step))
+	for _, name := range names {
+		p := params[name]
+		g := gs[name]
+		if a.m[name] == nil {
+			a.m[name] = make([]float64, p.Len())
+			a.v[name] = make([]float64, p.Len())
+		}
+		mBuf, vBuf := a.m[name], a.v[name]
+		for i := range p.Data {
+			gi := float64(g.Data[i])
+			mBuf[i] = a.Beta1*mBuf[i] + (1-a.Beta1)*gi
+			vBuf[i] = a.Beta2*vBuf[i] + (1-a.Beta2)*gi*gi
+			mHat := mBuf[i] / bc1
+			vHat := vBuf[i] / bc2
+			p.Data[i] -= float32(a.LR * mHat / (math.Sqrt(vHat) + a.Eps))
+		}
+	}
+}

@@ -1,0 +1,247 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// EmbedParams holds the input word and learned position embeddings (the
+// paper's section 4.6 module (1), kept on the first pipeline stage).
+type EmbedParams struct {
+	Word *tensor.Tensor // [V, h]
+	Pos  *tensor.Tensor // [maxSeq, h]
+}
+
+// HeadParams holds the LM head projection (module (2) of section 4.6). The
+// head is untied from the input embedding so that layer-wise schedules
+// (head on the last stage) and HelixPipe (head on stage 0) share identical
+// mathematical semantics without cross-stage weight synchronization.
+type HeadParams struct {
+	W *tensor.Tensor // [h, V]
+}
+
+// Model is a full GPT stack.
+type Model struct {
+	Cfg    model.Config
+	Embed  *EmbedParams
+	Layers []*LayerParams
+	Head   *HeadParams
+}
+
+// NewModel deterministically initializes a model from a seed; the same seed
+// always produces bit-identical parameters regardless of how the layers are
+// later distributed.
+func NewModel(cfg model.Config, seed uint64) *Model {
+	root := rng.New(seed)
+	h := cfg.Hidden
+	m := &Model{
+		Cfg: cfg,
+		Embed: &EmbedParams{
+			Word: tensor.New(cfg.Vocab, h),
+			Pos:  tensor.New(cfg.MaxSeq, h),
+		},
+		Head: &HeadParams{W: tensor.New(h, cfg.Vocab)},
+	}
+	const std = 0.02
+	root.Split(1).FillNormal(m.Embed.Word.Data, std)
+	root.Split(2).FillNormal(m.Embed.Pos.Data, std)
+	root.Split(3).FillNormal(m.Head.W.Data, std)
+	for l := 0; l < cfg.Layers; l++ {
+		m.Layers = append(m.Layers, NewLayerParams(cfg, l, root))
+	}
+	return m
+}
+
+// EmbedForward looks up word plus position embeddings for ids ([b][s]).
+func EmbedForward(ep *EmbedParams, ids [][]int) *tensor.Tensor {
+	b := len(ids)
+	s := len(ids[0])
+	h := ep.Word.Shape[1]
+	out := tensor.New(b, s, h)
+	for bi := 0; bi < b; bi++ {
+		flat := tensor.EmbeddingForward(ep.Word, ids[bi])
+		for i := 0; i < s; i++ {
+			dst := out.Data[(bi*s+i)*h : (bi*s+i+1)*h]
+			copy(dst, flat.Data[i*h:(i+1)*h])
+			pos := ep.Pos.Data[i*h : (i+1)*h]
+			for j := range dst {
+				dst[j] += pos[j]
+			}
+		}
+	}
+	return out
+}
+
+// EmbedGrads accumulates embedding gradients.
+type EmbedGrads struct {
+	Word *tensor.Tensor
+	Pos  *tensor.Tensor
+}
+
+// NewEmbedGrads returns zeroed gradients matching ep.
+func NewEmbedGrads(ep *EmbedParams) *EmbedGrads {
+	return &EmbedGrads{Word: tensor.New(ep.Word.Shape...), Pos: tensor.New(ep.Pos.Shape...)}
+}
+
+// EmbedBackwardW scatter-adds the input-activation gradient into the
+// embedding tables. The embedding has no backward-B (nothing below it).
+func EmbedBackwardW(ep *EmbedParams, ids [][]int, dx *tensor.Tensor, g *EmbedGrads) {
+	b, s, h := dx.Shape[0], dx.Shape[1], dx.Shape[2]
+	for bi := 0; bi < b; bi++ {
+		rows := tensor.FromSlice(dx.Data[bi*s*h:(bi+1)*s*h], s, h)
+		tensor.AddInPlace(g.Word, tensor.EmbeddingBackward(ep.Word.Shape, ids[bi], rows))
+		for i := 0; i < s; i++ {
+			prow := g.Pos.Data[i*h : (i+1)*h]
+			drow := dx.Data[(bi*s+i)*h : (bi*s+i+1)*h]
+			for j := range prow {
+				prow[j] += drow[j]
+			}
+		}
+	}
+}
+
+// HeadWCtx carries the fused head op's stash for the deferred backward-W.
+type HeadWCtx struct {
+	x       *tensor.Tensor
+	dlogits *tensor.Tensor
+}
+
+// HeadFusedBackward implements the paper's section 4.6 optimization: the
+// next-token projection, the loss, and the backward-B all run inside the
+// backward pass, so the [s, b, V] logits tensor is never stashed across the
+// iteration. lossScale (typically 1/microBatches) scales the gradient so
+// that accumulating over micro batches yields the global mean.
+func HeadFusedBackward(hp *HeadParams, x *tensor.Tensor, targets [][]int, lossScale float32) (float64, *tensor.Tensor, *HeadWCtx) {
+	b, s, h := x.Shape[0], x.Shape[1], x.Shape[2]
+	flat := tensor.Flatten2D(x)
+	logits := tensor.MatMul(flat, hp.W)
+	tgts := make([]int, 0, b*s)
+	for _, row := range targets {
+		tgts = append(tgts, row...)
+	}
+	loss, dlogits := tensor.CrossEntropy(logits, tgts)
+	dlogits.Scale(lossScale)
+	dx := tensor.MatMulT(dlogits, hp.W) // dlogits x W^T
+	return loss, tensor.Reshape(dx, b, s, h), &HeadWCtx{x: flat, dlogits: dlogits}
+}
+
+// HeadBackwardW accumulates the head weight gradient from the fused stash.
+func HeadBackwardW(hp *HeadParams, w *HeadWCtx, g *tensor.Tensor) {
+	tensor.AddInPlace(g, tensor.TMatMul(w.x, w.dlogits))
+}
+
+// Grads aggregates every parameter gradient of a model, addressable by a
+// canonical name so that distributed executions can be compared against the
+// single-device reference parameter by parameter.
+type Grads struct {
+	Embed  *EmbedGrads
+	Layers []*LayerGrads
+	Head   *tensor.Tensor
+}
+
+// NewGrads returns zeroed gradients for m.
+func NewGrads(m *Model) *Grads {
+	g := &Grads{Embed: NewEmbedGrads(m.Embed), Head: tensor.New(m.Head.W.Shape...)}
+	for _, lp := range m.Layers {
+		g.Layers = append(g.Layers, NewLayerGrads(lp))
+	}
+	return g
+}
+
+// Named returns the gradient tensors keyed by canonical parameter name.
+func (g *Grads) Named() map[string]*tensor.Tensor {
+	out := map[string]*tensor.Tensor{
+		"embed.word": g.Embed.Word,
+		"embed.pos":  g.Embed.Pos,
+		"head.w":     g.Head,
+	}
+	for l, lg := range g.Layers {
+		out[fmt.Sprintf("layer%d.ln1_gamma", l)] = lg.LN1Gamma
+		out[fmt.Sprintf("layer%d.ln1_beta", l)] = lg.LN1Beta
+		out[fmt.Sprintf("layer%d.wqkv", l)] = lg.WQKV
+		out[fmt.Sprintf("layer%d.wo", l)] = lg.WO
+		out[fmt.Sprintf("layer%d.ln2_gamma", l)] = lg.LN2Gamma
+		out[fmt.Sprintf("layer%d.ln2_beta", l)] = lg.LN2Beta
+		out[fmt.Sprintf("layer%d.w1", l)] = lg.W1
+		out[fmt.Sprintf("layer%d.w2", l)] = lg.W2
+	}
+	return out
+}
+
+// Add accumulates other into g.
+func (g *Grads) Add(other *Grads) {
+	mine, theirs := g.Named(), other.Named()
+	for name, t := range mine {
+		tensor.AddInPlace(t, theirs[name])
+	}
+}
+
+// MicroBatch is one micro batch of token ids and next-token targets.
+type MicroBatch struct {
+	// Ids is the [b][s] input token matrix.
+	Ids [][]int
+	// Targets is the [b][s] next-token target matrix.
+	Targets [][]int
+}
+
+// SyntheticBatch generates a deterministic synthetic micro batch, mirroring
+// the paper's synthesized full-length datasets ("each batch had the full
+// targeting sequence lengths to rule out the effect of padding").
+func SyntheticBatch(cfg model.Config, b, s int, seed uint64) MicroBatch {
+	stream := rng.New(seed)
+	mb := MicroBatch{Ids: make([][]int, b), Targets: make([][]int, b)}
+	for bi := 0; bi < b; bi++ {
+		mb.Ids[bi] = make([]int, s)
+		mb.Targets[bi] = make([]int, s)
+		// A learnable sequence: token t+1 = (token t * 3 + noise) mod V, so
+		// small models make real training progress on it.
+		cur := stream.Intn(cfg.Vocab)
+		for i := 0; i < s; i++ {
+			mb.Ids[bi][i] = cur
+			next := (cur*3 + stream.Intn(3)) % cfg.Vocab
+			mb.Targets[bi][i] = next
+			cur = next
+		}
+	}
+	return mb
+}
+
+// ReferenceStep runs one full training iteration on a single device:
+// forward and backward over every micro batch with per-micro-batch gradient
+// accumulation in canonical order. It is the ground truth the pipeline
+// executions are compared against.
+func ReferenceStep(m *Model, batches []MicroBatch) (float64, *Grads) {
+	grads := NewGrads(m)
+	lossScale := float32(1) / float32(len(batches))
+	var totalLoss float64
+	for _, mb := range batches {
+		x := EmbedForward(m.Embed, mb.Ids)
+		preCtxs := make([]*PreCtx, len(m.Layers))
+		attnCtxs := make([]*AttnCtx, len(m.Layers))
+		postCtxs := make([]*PostCtx, len(m.Layers))
+		for l, lp := range m.Layers {
+			qkv, pre := PreForward(lp, x)
+			attnOut, attn := AttnForward(m.Cfg, qkv)
+			y, post := PostForward(lp, x, attnOut)
+			preCtxs[l], attnCtxs[l], postCtxs[l] = pre, attn, post
+			x = y
+		}
+		loss, dx, headW := HeadFusedBackward(m.Head, x, mb.Targets, lossScale)
+		totalLoss += loss
+		HeadBackwardW(m.Head, headW, grads.Head)
+		for l := len(m.Layers) - 1; l >= 0; l-- {
+			lp := m.Layers[l]
+			dAttnOut, dResid, postW := PostBackwardB(lp, postCtxs[l], dx)
+			PostBackwardW(lp, postW, grads.Layers[l])
+			dqkv := AttnBackward(attnCtxs[l], dAttnOut)
+			var preW *PreWCtx
+			dx, preW = PreBackwardB(lp, preCtxs[l], dqkv, dResid)
+			PreBackwardW(lp, preW, grads.Layers[l])
+		}
+		EmbedBackwardW(m.Embed, mb.Ids, dx, grads.Embed)
+	}
+	return totalLoss / float64(len(batches)), grads
+}

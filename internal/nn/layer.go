@@ -1,0 +1,243 @@
+// Package nn implements GPT transformer modules partitioned exactly as
+// HelixPipe partitions them (paper Figure 1): a parameterized pre-attention
+// segment (LayerNorm 1 + fused QKV projection), the non-parameterized
+// attention core, and a parameterized post-attention segment (output
+// projection, LayerNorm 2, two-linear GeLU MLP), plus input embeddings and
+// an LM head with the fused loss-in-backward of section 4.6.
+//
+// Every segment exposes forward, backward-B (input gradients) and
+// backward-W (weight gradients) separately, mirroring the decoupling the
+// schedule IR expresses. Biases are omitted throughout, following the
+// paper's Table 1 accounting ("bias parameters are neglected").
+package nn
+
+import (
+	"repro/internal/model"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// LayerParams holds one transformer layer's weights.
+type LayerParams struct {
+	LN1Gamma, LN1Beta *tensor.Tensor // [h]
+	WQKV              *tensor.Tensor // [h, 3h]
+	WO                *tensor.Tensor // [h, h]
+	LN2Gamma, LN2Beta *tensor.Tensor // [h]
+	W1                *tensor.Tensor // [h, 4h]
+	W2                *tensor.Tensor // [4h, h]
+}
+
+// NewLayerParams initializes a layer deterministically from a counter-based
+// stream keyed by the layer index.
+func NewLayerParams(cfg model.Config, layer int, root *rng.Stream) *LayerParams {
+	h := cfg.Hidden
+	s := root.Split(uint64(layer) + 100)
+	lp := &LayerParams{
+		LN1Gamma: tensor.New(h), LN1Beta: tensor.New(h),
+		WQKV:     tensor.New(h, 3*h),
+		WO:       tensor.New(h, h),
+		LN2Gamma: tensor.New(h), LN2Beta: tensor.New(h),
+		W1: tensor.New(h, 4*h),
+		W2: tensor.New(4*h, h),
+	}
+	for i := 0; i < h; i++ {
+		lp.LN1Gamma.Data[i] = 1
+		lp.LN2Gamma.Data[i] = 1
+	}
+	const std = 0.02
+	s.Split(1).FillNormal(lp.WQKV.Data, std)
+	s.Split(2).FillNormal(lp.WO.Data, std)
+	s.Split(3).FillNormal(lp.W1.Data, std)
+	s.Split(4).FillNormal(lp.W2.Data, std)
+	return lp
+}
+
+// LayerGrads accumulates one layer's weight gradients.
+type LayerGrads struct {
+	LN1Gamma, LN1Beta *tensor.Tensor
+	WQKV              *tensor.Tensor
+	WO                *tensor.Tensor
+	LN2Gamma, LN2Beta *tensor.Tensor
+	W1                *tensor.Tensor
+	W2                *tensor.Tensor
+}
+
+// NewLayerGrads returns zeroed gradients matching lp.
+func NewLayerGrads(lp *LayerParams) *LayerGrads {
+	return &LayerGrads{
+		LN1Gamma: tensor.New(lp.LN1Gamma.Shape...), LN1Beta: tensor.New(lp.LN1Beta.Shape...),
+		WQKV:     tensor.New(lp.WQKV.Shape...),
+		WO:       tensor.New(lp.WO.Shape...),
+		LN2Gamma: tensor.New(lp.LN2Gamma.Shape...), LN2Beta: tensor.New(lp.LN2Beta.Shape...),
+		W1: tensor.New(lp.W1.Shape...),
+		W2: tensor.New(lp.W2.Shape...),
+	}
+}
+
+// PreCtx is the pre-attention forward stash: the LayerNorm context (which
+// keeps the segment input) and the normalized output feeding the QKV GEMM.
+type PreCtx struct {
+	ln  *tensor.LayerNormCtx
+	ln1 *tensor.Tensor
+}
+
+// PreForward runs LayerNorm 1 and the QKV projection on x ([b, s, h]) and
+// returns the packed QKV tensor ([b, s, 3h]).
+func PreForward(lp *LayerParams, x *tensor.Tensor) (*tensor.Tensor, *PreCtx) {
+	ln1, lnCtx := tensor.LayerNormForward(tensor.Flatten2D(x), lp.LN1Gamma, lp.LN1Beta)
+	qkv := tensor.MatMul(ln1, lp.WQKV)
+	b, s, h := x.Shape[0], x.Shape[1], x.Shape[2]
+	return tensor.Reshape(qkv, b, s, 3*h), &PreCtx{ln: lnCtx, ln1: ln1}
+}
+
+// RecomputePre regenerates the pre-attention stash from the segment input
+// (recomputation without attention, section 4.4.1). Only the LayerNorm and
+// its normalized output are needed locally — the QKV output already crossed
+// to the attention stage, so it is not re-materialized.
+func RecomputePre(lp *LayerParams, x *tensor.Tensor) *PreCtx {
+	ln1, lnCtx := tensor.LayerNormForward(tensor.Flatten2D(x), lp.LN1Gamma, lp.LN1Beta)
+	return &PreCtx{ln: lnCtx, ln1: ln1}
+}
+
+// PreWCtx carries what pre-attention backward-W needs: the GEMM input and
+// the output gradient.
+type PreWCtx struct {
+	ln1     *tensor.Tensor
+	dqkv    *tensor.Tensor
+	lnCtx   *tensor.LayerNormCtx
+	dln1Out *tensor.Tensor // upstream gradient at the LayerNorm output
+}
+
+// PreBackwardB propagates dqkv ([b, s, 3h]) and the residual gradient
+// dresid ([b, s, h], may be nil) to the segment input gradient dx.
+func PreBackwardB(lp *LayerParams, ctx *PreCtx, dqkv, dresid *tensor.Tensor) (*tensor.Tensor, *PreWCtx) {
+	flatDqkv := tensor.Flatten2D(dqkv)
+	dln1 := tensor.MatMulT(flatDqkv, lp.WQKV) // dqkv x WQKV^T
+	dx, _, _ := tensor.LayerNormBackward(ctx.ln, dln1)
+	shape := ctx.ln.X.Shape
+	out := tensor.Reshape(dx, shape[0], shape[1])
+	if dresid != nil {
+		tensor.AddInPlace(out, tensor.Flatten2D(dresid))
+	}
+	b := dqkv.Shape[0]
+	s := dqkv.Shape[1]
+	h := lp.WO.Shape[0]
+	return tensor.Reshape(out, b, s, h), &PreWCtx{ln1: ctx.ln1, dqkv: flatDqkv, lnCtx: ctx.ln, dln1Out: dln1}
+}
+
+// PreBackwardW accumulates the pre-attention weight gradients.
+func PreBackwardW(lp *LayerParams, w *PreWCtx, g *LayerGrads) {
+	tensor.AddInPlace(g.WQKV, tensor.TMatMul(w.ln1, w.dqkv))
+	_, dgamma, dbeta := tensor.LayerNormBackward(w.lnCtx, w.dln1Out)
+	tensor.AddInPlace(g.LN1Gamma, dgamma)
+	tensor.AddInPlace(g.LN1Beta, dbeta)
+}
+
+// AttnCtx is the attention stash: the flash-attention style context.
+type AttnCtx struct {
+	inner *tensor.AttnCtx
+}
+
+// AttnForward splits the packed QKV ([b, s, 3h]) and runs causal multi-head
+// attention, returning the attention output ([b, s, h]).
+func AttnForward(cfg model.Config, qkv *tensor.Tensor) (*tensor.Tensor, *AttnCtx) {
+	b, s := qkv.Shape[0], qkv.Shape[1]
+	h := qkv.Shape[2] / 3
+	q := tensor.New(b, s, h)
+	k := tensor.New(b, s, h)
+	v := tensor.New(b, s, h)
+	for i := 0; i < b*s; i++ {
+		row := qkv.Data[i*3*h : (i+1)*3*h]
+		copy(q.Data[i*h:(i+1)*h], row[:h])
+		copy(k.Data[i*h:(i+1)*h], row[h:2*h])
+		copy(v.Data[i*h:(i+1)*h], row[2*h:])
+	}
+	out, ctx := tensor.CausalAttentionForward(q, k, v, cfg.Heads)
+	return out, &AttnCtx{inner: ctx}
+}
+
+// AttnBackward propagates dout to the packed QKV gradient. Attention has no
+// parameters, so there is no backward-W (paper section 4.2).
+func AttnBackward(ctx *AttnCtx, dout *tensor.Tensor) *tensor.Tensor {
+	dq, dk, dv := tensor.CausalAttentionBackward(ctx.inner, dout)
+	b, s, h := dout.Shape[0], dout.Shape[1], dout.Shape[2]
+	dqkv := tensor.New(b, s, 3*h)
+	for i := 0; i < b*s; i++ {
+		row := dqkv.Data[i*3*h : (i+1)*3*h]
+		copy(row[:h], dq.Data[i*h:(i+1)*h])
+		copy(row[h:2*h], dk.Data[i*h:(i+1)*h])
+		copy(row[2*h:], dv.Data[i*h:(i+1)*h])
+	}
+	return dqkv
+}
+
+// PostCtx is the post-attention forward stash.
+type PostCtx struct {
+	attnOut *tensor.Tensor
+	r1      *tensor.Tensor
+	lnCtx   *tensor.LayerNormCtx
+	ln2     *tensor.Tensor
+	h1      *tensor.Tensor
+	g       *tensor.Tensor
+}
+
+// PostForward consumes the residual input x and the attention output
+// (both [b, s, h]) and produces the layer output.
+func PostForward(lp *LayerParams, x, attnOut *tensor.Tensor) (*tensor.Tensor, *PostCtx) {
+	b, s, h := x.Shape[0], x.Shape[1], x.Shape[2]
+	o := tensor.MatMul(tensor.Flatten2D(attnOut), lp.WO)
+	r1 := tensor.Add(tensor.Flatten2D(x), o)
+	ln2, lnCtx := tensor.LayerNormForward(r1, lp.LN2Gamma, lp.LN2Beta)
+	h1 := tensor.MatMul(ln2, lp.W1)
+	g := tensor.GeLUForward(h1)
+	h2 := tensor.MatMul(g, lp.W2)
+	y := tensor.Add(r1, h2)
+	return tensor.Reshape(y, b, s, h), &PostCtx{attnOut: attnOut, r1: r1, lnCtx: lnCtx, ln2: ln2, h1: h1, g: g}
+}
+
+// RecomputePost regenerates the post-attention stash from its two stashed
+// inputs (the residual and the received attention output).
+func RecomputePost(lp *LayerParams, x, attnOut *tensor.Tensor) *PostCtx {
+	_, ctx := PostForward(lp, x, attnOut)
+	return ctx
+}
+
+// PostWCtx carries what post-attention backward-W needs.
+type PostWCtx struct {
+	attnOut *tensor.Tensor
+	do      *tensor.Tensor
+	lnCtx   *tensor.LayerNormCtx
+	dln2Out *tensor.Tensor
+	ln2     *tensor.Tensor
+	dh1     *tensor.Tensor
+	g       *tensor.Tensor
+	dh2     *tensor.Tensor
+}
+
+// PostBackwardB propagates dy ([b, s, h]) to the attention-output gradient
+// and the residual gradient (both [b, s, h]).
+func PostBackwardB(lp *LayerParams, ctx *PostCtx, dy *tensor.Tensor) (*tensor.Tensor, *tensor.Tensor, *PostWCtx) {
+	b, s, h := dy.Shape[0], dy.Shape[1], dy.Shape[2]
+	flatDy := tensor.Flatten2D(dy)
+	// y = r1 + h2.
+	dh2 := flatDy
+	dg := tensor.MatMulT(dh2, lp.W2) // dh2 x W2^T
+	dh1 := tensor.GeLUBackward(ctx.h1, dg)
+	dln2 := tensor.MatMulT(dh1, lp.W1) // dh1 x W1^T
+	dr1FromLN, _, _ := tensor.LayerNormBackward(ctx.lnCtx, dln2)
+	dr1 := tensor.Add(flatDy, dr1FromLN)
+	do := dr1
+	dAttnOut := tensor.MatMulT(do, lp.WO) // do x WO^T
+	w := &PostWCtx{attnOut: ctx.attnOut, do: do, lnCtx: ctx.lnCtx, dln2Out: dln2, ln2: ctx.ln2, dh1: dh1, g: ctx.g, dh2: dh2}
+	return tensor.Reshape(dAttnOut, b, s, h), tensor.Reshape(dr1.Clone(), b, s, h), w
+}
+
+// PostBackwardW accumulates the post-attention weight gradients.
+func PostBackwardW(lp *LayerParams, w *PostWCtx, g *LayerGrads) {
+	tensor.AddInPlace(g.WO, tensor.TMatMul(tensor.Flatten2D(w.attnOut), w.do))
+	_, dgamma, dbeta := tensor.LayerNormBackward(w.lnCtx, w.dln2Out)
+	tensor.AddInPlace(g.LN2Gamma, dgamma)
+	tensor.AddInPlace(g.LN2Beta, dbeta)
+	tensor.AddInPlace(g.W1, tensor.TMatMul(w.ln2, w.dh1))
+	tensor.AddInPlace(g.W2, tensor.TMatMul(w.g, w.dh2))
+}

@@ -1,0 +1,82 @@
+// Package rng provides a counter-based pseudo-random number generator in the
+// spirit of Philox ("Parallel random numbers: as easy as 1, 2, 3", the
+// paper's reference [33] for low-memory dropout): every value is a pure
+// function of (key, counter), so independent streams can be drawn in any
+// order on any worker and still agree bit for bit. The numeric pipeline
+// runtime uses it so that distributed parameter initialization and synthetic
+// data generation reproduce the single-device reference exactly.
+package rng
+
+import "math"
+
+// Stream is a keyed counter-based random stream. The zero value is a valid
+// stream with key 0; distinct keys give statistically independent streams.
+type Stream struct {
+	key     uint64
+	counter uint64
+}
+
+// New returns a stream for the given key.
+func New(key uint64) *Stream { return &Stream{key: key} }
+
+// Split returns an independent stream derived from this stream's key and
+// the given lane — use it to give each parameter tensor or worker its own
+// stream without coordination.
+func (s *Stream) Split(lane uint64) *Stream {
+	return &Stream{key: mix(s.key ^ mix(lane+0x9e3779b97f4a7c15))}
+}
+
+// mix is the SplitMix64 finalizer: a bijective avalanche over 64 bits.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// block computes the random 64-bit block for (key, counter).
+func block(key, counter uint64) uint64 {
+	return mix(counter ^ mix(key))
+}
+
+// Uint64 returns the next 64-bit value and advances the counter.
+func (s *Stream) Uint64() uint64 {
+	v := block(s.key, s.counter)
+	s.counter++
+	return v
+}
+
+// At returns the value at an absolute counter position without disturbing
+// the stream state — the "random access" property of counter-based RNGs.
+func (s *Stream) At(counter uint64) uint64 { return block(s.key, counter) }
+
+// Float64 returns a uniform value in [0, 1).
+func (s *Stream) Float64() float64 {
+	return float64(s.Uint64()>>11) / float64(1<<53)
+}
+
+// Intn returns a uniform value in [0, n).
+func (s *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn needs positive n")
+	}
+	return int(s.Uint64() % uint64(n))
+}
+
+// NormFloat64 returns a standard normal value via Box-Muller. Each call
+// consumes exactly two counter positions, keeping streams alignable.
+func (s *Stream) NormFloat64() float64 {
+	u1 := s.Float64()
+	u2 := s.Float64()
+	if u1 < 1e-300 {
+		u1 = 1e-300
+	}
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// FillNormal fills dst with normal values of the given standard deviation.
+func (s *Stream) FillNormal(dst []float32, std float64) {
+	for i := range dst {
+		dst[i] = float32(s.NormFloat64() * std)
+	}
+}

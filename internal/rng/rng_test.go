@@ -1,0 +1,129 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestCounterBased verifies the defining counter-RNG property: At(i) is a
+// pure function of (key, i), independent of draw order.
+func TestCounterBased(t *testing.T) {
+	s := New(42)
+	want := []uint64{s.At(0), s.At(1), s.At(2)}
+	got := []uint64{s.Uint64(), s.Uint64(), s.Uint64()}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("position %d: At=%d sequential=%d", i, want[i], got[i])
+		}
+	}
+	// Random access after sequential draws still agrees.
+	if s.At(1) != want[1] {
+		t.Error("At must not depend on stream position")
+	}
+}
+
+// TestStreamsIndependent checks that different keys and different lanes give
+// different sequences, while identical construction reproduces exactly.
+func TestStreamsIndependent(t *testing.T) {
+	if New(1).Uint64() == New(2).Uint64() {
+		t.Error("different keys should give different values")
+	}
+	a := New(7).Split(1)
+	b := New(7).Split(2)
+	if a.Uint64() == b.Uint64() {
+		t.Error("different lanes should give different values")
+	}
+	x := New(9).Split(3)
+	y := New(9).Split(3)
+	for i := 0; i < 16; i++ {
+		if x.Uint64() != y.Uint64() {
+			t.Fatal("identical construction must reproduce the stream")
+		}
+	}
+}
+
+// TestFloat64Range is a property test: uniforms stay in [0, 1).
+func TestFloat64Range(t *testing.T) {
+	if err := quick.Check(func(key uint64) bool {
+		s := New(key)
+		for i := 0; i < 64; i++ {
+			v := s.Float64()
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestUniformMoments sanity-checks the first two moments of the uniform.
+func TestUniformMoments(t *testing.T) {
+	s := New(123)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := s.Float64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("uniform mean %g, want 0.5", mean)
+	}
+	if math.Abs(variance-1.0/12) > 0.01 {
+		t.Errorf("uniform variance %g, want %g", variance, 1.0/12)
+	}
+}
+
+// TestNormalMoments sanity-checks the Box-Muller normal.
+func TestNormalMoments(t *testing.T) {
+	s := New(321)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := s.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean %g, want 0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("normal variance %g, want 1", variance)
+	}
+}
+
+func TestFillNormalAndIntn(t *testing.T) {
+	dst := make([]float32, 100)
+	New(5).FillNormal(dst, 0.02)
+	var nonzero int
+	for _, v := range dst {
+		if v != 0 {
+			nonzero++
+		}
+		if math.Abs(float64(v)) > 0.2 {
+			t.Errorf("value %g implausible for std 0.02", v)
+		}
+	}
+	if nonzero < 90 {
+		t.Error("FillNormal left too many zeros")
+	}
+	s := New(6)
+	for i := 0; i < 100; i++ {
+		if v := s.Intn(10); v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) must panic")
+		}
+	}()
+	s.Intn(0)
+}

@@ -1,0 +1,173 @@
+package sched
+
+import (
+	"repro/internal/costmodel"
+	"repro/internal/model"
+)
+
+// Costs is the cost book a generator annotates a plan with: compute
+// durations, stash byte deltas, and communication volumes/link parameters.
+// All durations are seconds, all sizes node- or GPU-local bytes as noted.
+type Costs struct {
+	// Seg holds the per-segment compute durations indexed [segment][pass].
+	Seg [3][3]float64
+	// SegRecompute is the duration of re-running a segment forward.
+	SegRecompute [3]float64
+	// EmbedF and EmbedW are the input-embedding forward and weight-gradient
+	// durations; the embedding has no backward-B (nothing below it).
+	EmbedF, EmbedW float64
+	// HeadFB is the fused LM-head forward + loss + backward-B duration: the
+	// paper's section 4.6 defers the head forward into the backward pass,
+	// so plans execute it as one backward-time unit.
+	HeadFB float64
+	// HeadW is the LM-head weight-gradient duration.
+	HeadW float64
+
+	// SegStash is the full per-GPU activation stash of each segment.
+	SegStash [3]int64
+	// SegStashBFree and SegStashWFree split SegStash into the portions
+	// released by backward-B (non-parameterized components) and backward-W
+	// (parameterized components). They sum to SegStash per segment.
+	SegStashBFree, SegStashWFree [3]int64
+	// HelixSegStash is the reduced per-GPU stash under recomputation
+	// without attention (2bsh for attention, 1bsh for pre and post).
+	HelixSegStash [3]int64
+	// InputStash is the per-GPU size of one boundary activation, the only
+	// stash a fully recomputed layer keeps.
+	InputStash int64
+	// EmbedGradStash is the per-GPU fp32 stash ZB1P holds at the last stage
+	// between the head's backward-B and its deferred backward-W.
+	EmbedGradStash int64
+
+	// BoundBytes holds the node-aggregate message volume per boundary kind,
+	// indexed by Boundary.
+	BoundBytes [3]int64
+	// P2PLatency and P2PBytesPerSec parameterize inter-stage links.
+	P2PLatency     float64
+	P2PBytesPerSec float64
+}
+
+// NewCosts builds the cost book for a workload.
+func NewCosts(w costmodel.Workload) Costs {
+	var c Costs
+	for _, seg := range model.Segments {
+		i := int(seg)
+		c.Seg[i][model.Forward] = w.SegmentTime(seg, model.Forward)
+		c.Seg[i][model.BackwardB] = w.SegmentTime(seg, model.BackwardB)
+		c.Seg[i][model.BackwardW] = w.SegmentTime(seg, model.BackwardW)
+		c.SegRecompute[i] = w.SegmentTime(seg, model.Forward)
+		c.SegStash[i] = w.SegmentStashBytes(seg)
+		sp := seqParOf(w)
+		c.SegStashBFree[i] = w.Model.SegmentStashFreedBy(seg, model.BackwardB, w.Shape) * model.FP16Bytes / sp
+		c.SegStashWFree[i] = w.Model.SegmentStashFreedBy(seg, model.BackwardW, w.Shape) * model.FP16Bytes / sp
+		c.HelixSegStash[i] = w.HelixSegmentStashBytes(seg)
+	}
+	c.EmbedF = w.EmbeddingTime(model.Forward)
+	c.EmbedW = w.EmbeddingTime(model.BackwardW)
+	c.HeadFB = w.HeadTime(model.Forward) + w.HeadTime(model.BackwardB)
+	c.HeadW = w.HeadTime(model.BackwardW)
+	c.InputStash = w.InputStashBytes()
+	c.EmbedGradStash = w.EmbeddingGradStashBytes()
+	c.BoundBytes[BoundAct] = w.ActivationP2PBytes()
+	c.BoundBytes[BoundPreAttn] = w.HelixPreAttnBytes()
+	c.BoundBytes[BoundAttnPost] = w.HelixAttnPostBytes()
+	c.P2PLatency = w.Cluster.InterNodeLatency
+	c.P2PBytesPerSec = w.Cluster.InterNodeGBps * 1e9
+	return c
+}
+
+func seqParOf(w costmodel.Workload) int64 {
+	if w.SeqPar <= 0 {
+		return int64(w.Cluster.GPUsPerNode)
+	}
+	return int64(w.SeqPar)
+}
+
+// SegDur returns the compute duration of a segment op of the given kind.
+func (c Costs) SegDur(seg model.Segment, kind OpKind) float64 {
+	switch kind {
+	case KForward:
+		return c.Seg[seg][model.Forward]
+	case KBackwardB:
+		return c.Seg[seg][model.BackwardB]
+	case KBackwardW:
+		return c.Seg[seg][model.BackwardW]
+	case KRecompute:
+		return c.SegRecompute[seg]
+	default:
+		return 0
+	}
+}
+
+// LayerDur returns the whole-layer duration for a compute kind.
+func (c Costs) LayerDur(kind OpKind) float64 {
+	var d float64
+	for _, seg := range model.Segments {
+		d += c.SegDur(seg, kind)
+	}
+	return d
+}
+
+// P2PTime returns the wall time of one inter-stage transfer of the given
+// node-aggregate volume.
+func (c Costs) P2PTime(bytes int64) float64 {
+	if c.P2PBytesPerSec <= 0 {
+		return c.P2PLatency
+	}
+	return c.P2PLatency + float64(bytes)/c.P2PBytesPerSec
+}
+
+// ZeroCommCosts returns a copy of the cost book with free communication
+// (zero latency and infinite bandwidth is approximated by pricing every
+// transfer at the latency floor of zero). Used by experiments isolating
+// pure schedule shape, like the Table 2 bubble validation.
+func (c Costs) ZeroCommCosts() Costs {
+	out := c
+	out.P2PLatency = 0
+	out.P2PBytesPerSec = 0
+	for i := range out.BoundBytes {
+		out.BoundBytes[i] = 0
+	}
+	return out
+}
+
+// UnitCosts returns a synthetic cost book with the paper's didactic
+// execution-time ratio t_pre : t_attn : t_post = 1 : 3 : 2 (Figures 2, 5, 6,
+// 7), backward-B = forward and backward-W = forward per segment, unit
+// stashes, and the given per-message communication time. Used by the
+// figure-reproduction experiments and schedule unit tests.
+func UnitCosts(commTime float64) Costs {
+	var c Costs
+	ratio := [3]float64{1, 3, 2}
+	for i := 0; i < 3; i++ {
+		c.Seg[i][model.Forward] = ratio[i]
+		// The figures draw backward time equal to forward "for brevity";
+		// splitting it as B=2/3 and W=1/3 of the segment keeps F+B+W = 2F
+		// per segment while exercising the B/W decoupling. Attention has no
+		// W, so its backward-B carries the full backward time.
+		if model.Segment(i) == model.SegAttn {
+			c.Seg[i][model.BackwardB] = ratio[i]
+			c.Seg[i][model.BackwardW] = 0
+		} else {
+			c.Seg[i][model.BackwardB] = ratio[i] * 2 / 3
+			c.Seg[i][model.BackwardW] = ratio[i] / 3
+		}
+		c.SegRecompute[i] = ratio[i]
+		c.SegStash[i] = 16
+		c.SegStashBFree[i] = 8
+		c.SegStashWFree[i] = 8
+		c.HelixSegStash[i] = 4
+	}
+	// Attention stash is entirely released by backward-B (no parameters).
+	c.SegStashBFree[model.SegAttn] = 16
+	c.SegStashWFree[model.SegAttn] = 0
+	c.InputStash = 2
+	c.EmbedGradStash = 8
+	c.BoundBytes = [3]int64{1, 2, 2}
+	if commTime > 0 {
+		c.P2PLatency = 0
+		c.P2PBytesPerSec = 1 / commTime // 1 byte message units
+		c.BoundBytes = [3]int64{1, 1, 1}
+	}
+	return c
+}

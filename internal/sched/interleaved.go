@@ -1,0 +1,222 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/model"
+)
+
+// Local aliases keeping the emit code compact.
+const (
+	segPre  = model.SegPre
+	segAttn = model.SegAttn
+	segPost = model.SegPost
+)
+
+var segsFwd = []model.Segment{segPre, segAttn, segPost}
+
+// Interleaved builds the interleaved-1F1B schedule of Megatron-LM (paper
+// section 6.2): instead of one contiguous chunk, every stage owns `chunks`
+// smaller model chunks spread across the depth, shrinking the pipeline fill
+// bubble by the chunk factor at the price of chunks-times more p2p traffic
+// and a demand for many micro batches. The paper excludes it from its main
+// experiments for exactly that reason ("it requires extensive micro batches
+// to saturate the pipeline"); we implement it as an ablation baseline.
+//
+// The generator treats the p*chunks model chunks as virtual pipeline stages
+// and list-schedules them onto the physical stages with the same
+// deterministic earliest-start policy as ZB1P, with fused backward (B+W)
+// like 1F1B and a 1F1B-style in-flight cap per virtual stage.
+func Interleaved(cfg Config, costs Costs, chunks int) (*Plan, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if chunks < 1 {
+		return nil, fmt.Errorf("sched: interleaved chunks must be >= 1, got %d", chunks)
+	}
+	p, m := cfg.Stages, cfg.MicroBatches
+	v := p * chunks // virtual pipeline depth
+	if cfg.Layers%v != 0 {
+		return nil, fmt.Errorf("sched: layers (%d) must divide into %d virtual stages", cfg.Layers, v)
+	}
+	layersPer := cfg.Layers / v
+
+	// Virtual stage vs runs on physical stage vs%%p and owns layers
+	// [vs*layersPer, (vs+1)*layersPer).
+	physOf := func(vs int) int { return vs % p }
+	firstLayer := func(vs int) int { return vs * layersPer }
+
+	lw := newLayerwise(cfg, costs, evenChunks(cfg.Layers, p)) // chunk table unused; ops emitted manually
+
+	emitVF := func(vs, mb int) {
+		phys := physOf(vs)
+		if vs == 0 {
+			lw.emit(phys, Op{Kind: KForward, MB: mb, Layer: LayerEmbed, Dur: costs.EmbedF})
+		} else {
+			lw.emit(phys, Op{Kind: KRecv, MB: mb, Peer: physOf(vs - 1),
+				Tag: Tag{MB: mb, Layer: firstLayer(vs), Bound: BoundAct, Chunk: vs}})
+		}
+		for i := 0; i < layersPer; i++ {
+			layer := firstLayer(vs) + i
+			for _, seg := range segsFwd {
+				lw.emit(phys, Op{Kind: KForward, MB: mb, Layer: layer, Seg: seg,
+					Dur: costs.SegDur(seg, KForward), Alloc: costs.SegStash[seg]})
+			}
+		}
+		if vs < v-1 {
+			lw.emit(phys, Op{Kind: KSend, MB: mb, Peer: physOf(vs + 1),
+				Tag:   Tag{MB: mb, Layer: firstLayer(vs + 1), Bound: BoundAct, Chunk: vs + 1},
+				Bytes: costs.BoundBytes[BoundAct]})
+		}
+	}
+	emitVB := func(vs, mb int) {
+		phys := physOf(vs)
+		if vs == v-1 {
+			lw.emit(phys, Op{Kind: KBackwardB, MB: mb, Layer: LayerHead, Dur: costs.HeadFB, Alloc: costs.EmbedGradStash})
+			lw.emit(phys, Op{Kind: KBackwardW, MB: mb, Layer: LayerHead, Dur: costs.HeadW, Free: costs.EmbedGradStash})
+		} else {
+			lw.emit(phys, Op{Kind: KRecv, MB: mb, Peer: physOf(vs + 1),
+				Tag: Tag{MB: mb, Layer: firstLayer(vs + 1), Bound: BoundAct, Back: true, Chunk: vs + 1}})
+		}
+		for i := layersPer - 1; i >= 0; i-- {
+			layer := firstLayer(vs) + i
+			for s := len(segsFwd) - 1; s >= 0; s-- {
+				seg := segsFwd[s]
+				lw.emit(phys, Op{Kind: KBackwardB, MB: mb, Layer: layer, Seg: seg,
+					Dur: costs.SegDur(seg, KBackwardB), Free: costs.SegStashBFree[seg]})
+				if seg != segAttn {
+					lw.emit(phys, Op{Kind: KBackwardW, MB: mb, Layer: layer, Seg: seg,
+						Dur: costs.SegDur(seg, KBackwardW), Free: costs.SegStashWFree[seg]})
+				}
+			}
+		}
+		if vs == 0 {
+			lw.emit(phys, Op{Kind: KBackwardW, MB: mb, Layer: LayerEmbed, Dur: costs.EmbedW})
+		} else {
+			lw.emit(phys, Op{Kind: KSend, MB: mb, Peer: physOf(vs - 1),
+				Tag:   Tag{MB: mb, Layer: firstLayer(vs), Bound: BoundAct, Back: true, Chunk: vs},
+				Bytes: costs.BoundBytes[BoundAct]})
+		}
+	}
+
+	vfDur := func(vs int) float64 {
+		d := float64(layersPer) * costs.LayerDur(KForward)
+		if vs == 0 {
+			d += costs.EmbedF
+		}
+		return d
+	}
+	vbDur := func(vs int) float64 {
+		d := float64(layersPer) * (costs.LayerDur(KBackwardB) + costs.SegDur(segPre, KBackwardW) + costs.SegDur(segPost, KBackwardW))
+		if vs == v-1 {
+			d += costs.HeadFB + costs.HeadW
+		}
+		if vs == 0 {
+			d += costs.EmbedW
+		}
+		return d
+	}
+
+	// Deterministic earliest-start list scheduling over virtual stages.
+	const inf = math.MaxFloat64
+	fArr := make([][]float64, v)
+	bArr := make([][]float64, v)
+	fDone := make([][]float64, v)
+	for vs := 0; vs < v; vs++ {
+		fArr[vs] = make([]float64, m)
+		bArr[vs] = make([]float64, m)
+		fDone[vs] = make([]float64, m)
+		for j := 0; j < m; j++ {
+			if vs != 0 {
+				fArr[vs][j] = inf
+			}
+			bArr[vs][j] = inf
+			fDone[vs][j] = inf
+		}
+	}
+	clock := make([]float64, p)
+	fNext := make([]int, v)
+	bNext := make([]int, v)
+
+	// cap limits in-flight micro batches per virtual stage, mirroring
+	// Megatron's interleaved warmup depth.
+	inflightCap := func(vs int) int {
+		c := v - vs
+		if c < 1 {
+			c = 1
+		}
+		return c
+	}
+
+	type cand struct {
+		vs    int
+		back  bool
+		start float64
+	}
+	pick := func(phys int) (cand, bool) {
+		best := cand{start: inf}
+		found := false
+		for vs := phys; vs < v; vs += p {
+			if j := bNext[vs]; j < m {
+				ready := bArr[vs][j]
+				if vs == v-1 {
+					ready = fDone[vs][j]
+				}
+				if ready < inf {
+					if t := math.Max(clock[phys], ready); t < best.start {
+						best, found = cand{vs: vs, back: true, start: t}, true
+					}
+				}
+			}
+			if j := fNext[vs]; j < m && fNext[vs]-bNext[vs] < inflightCap(vs) {
+				if ready := fArr[vs][j]; ready < inf {
+					if t := math.Max(clock[phys], ready); t < best.start {
+						best, found = cand{vs: vs, back: false, start: t}, true
+					}
+				}
+			}
+		}
+		return best, found
+	}
+
+	for {
+		bestPhys, best := -1, cand{start: inf}
+		for phys := 0; phys < p; phys++ {
+			if c, ok := pick(phys); ok && c.start < best.start {
+				bestPhys, best = phys, c
+			}
+		}
+		if bestPhys < 0 {
+			break
+		}
+		vs := best.vs
+		if best.back {
+			j := bNext[vs]
+			end := best.start + vbDur(vs)
+			emitVB(vs, j)
+			if vs > 0 {
+				bArr[vs-1][j] = end + costs.P2PTime(costs.BoundBytes[BoundAct])
+			}
+			bNext[vs]++
+			clock[bestPhys] = end
+		} else {
+			j := fNext[vs]
+			end := best.start + vfDur(vs)
+			emitVF(vs, j)
+			fDone[vs][j] = end
+			if vs < v-1 {
+				fArr[vs+1][j] = end + costs.P2PTime(costs.BoundBytes[BoundAct])
+			}
+			fNext[vs]++
+			clock[bestPhys] = end
+		}
+	}
+	for vs := 0; vs < v; vs++ {
+		if fNext[vs] != m || bNext[vs] != m {
+			return nil, fmt.Errorf("sched: interleaved scheduling deadlocked at virtual stage %d", vs)
+		}
+	}
+	plan := lw.plan(MethodInterleaved)
+	return plan, nil
+}

@@ -1,0 +1,94 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+)
+
+// TestZB2PValidAndDeeper verifies the ZB2P extension: plans validate, the
+// doubled in-flight window lets stages run further ahead than ZB1P, and the
+// peak stash grows accordingly (the paper's footnote: ZB2P "costs more
+// memory").
+func TestZB2PValidAndDeeper(t *testing.T) {
+	costs := realCosts(t)
+	cfg := testCfg(4, 16, 16)
+	zb1, err := ZB1P(cfg, costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zb2, err := ZB2P(cfg, costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(zb2); err != nil {
+		t.Fatal(err)
+	}
+	if zb2.Method != MethodZB2P {
+		t.Errorf("method = %s", zb2.Method)
+	}
+	peak := func(p *Plan, stage int) int64 {
+		var bal, pk int64
+		for _, op := range p.Ops[stage] {
+			bal += op.Alloc - op.Free
+			if bal > pk {
+				pk = bal
+			}
+		}
+		return pk
+	}
+	// Stage 0 may now hold up to 2p in-flight forwards.
+	if peak(zb2, 0) <= peak(zb1, 0) {
+		t.Errorf("ZB2P stage-0 stash (%d) should exceed ZB1P (%d)", peak(zb2, 0), peak(zb1, 0))
+	}
+	// Identical total work.
+	if d := zb2.ComputeSeconds() - zb1.ComputeSeconds(); d > 1e-9 || d < -1e-9 {
+		t.Errorf("ZB2P compute total differs from ZB1P by %g", d)
+	}
+}
+
+// TestGeneratorPropertyRandomShapes is a property test over random pipeline
+// shapes: every layer-wise generator must produce a validating plan for any
+// (p, m, L) with p | L and m >= 1.
+func TestGeneratorPropertyRandomShapes(t *testing.T) {
+	costs := UnitCosts(0)
+	check := func(pRaw, mRaw, lRaw uint8) bool {
+		p := int(pRaw)%7 + 2         // 2..8
+		m := int(mRaw)%12 + 1        // 1..12
+		layersPer := int(lRaw)%4 + 1 // 1..4
+		cfg := Config{Stages: p, MicroBatches: m, Layers: p * layersPer}
+		for _, build := range []func(Config, Costs) (*Plan, error){GPipe, OneFOneB, ZB1P, ZB2P} {
+			plan, err := build(cfg, costs)
+			if err != nil {
+				return false
+			}
+			if Validate(plan) != nil {
+				return false
+			}
+		}
+		plan, err := AdaPipe(cfg, costs, 0)
+		if err != nil || Validate(plan) != nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStashSplitsSumToFull is a property of the cost book: per segment, the
+// backward-B and backward-W stash releases always sum to the full stash.
+func TestStashSplitsSumToFull(t *testing.T) {
+	costs := realCosts(t)
+	for _, seg := range model.Segments {
+		if costs.SegStashBFree[seg]+costs.SegStashWFree[seg] != costs.SegStash[seg] {
+			t.Errorf("segment %v: BFree %d + WFree %d != full %d", seg,
+				costs.SegStashBFree[seg], costs.SegStashWFree[seg], costs.SegStash[seg])
+		}
+	}
+	if costs.SegStashWFree[model.SegAttn] != 0 {
+		t.Error("attention must release everything at backward-B")
+	}
+}

@@ -1,0 +1,331 @@
+// Package sim is a deterministic discrete-event simulator for pipeline
+// schedules. It executes a sched.Plan on a simulated cluster: one compute
+// stream per stage, one full-duplex NIC per stage (node), and alpha-beta
+// point-to-point links. It reports iteration time, per-stage busy/idle/wait
+// breakdowns, communication statistics, peak stash memory, and an optional
+// task timeline for rendering.
+//
+// The engine replaces the paper's 64-GPU testbeds: pipeline bubbles,
+// comm/compute overlap and the FILO memory behaviour are all scheduling
+// phenomena that the simulated task system reproduces exactly.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/sched"
+)
+
+// Span records one executed operation for timeline rendering.
+type Span struct {
+	// Stage is the pipeline stage the op ran on.
+	Stage int
+	// Op is the executed operation.
+	Op sched.Op
+	// Start and End are the op's simulated time bounds in seconds. For
+	// recvs, Start is when the stage began waiting and End when the message
+	// arrived (End==Start for messages that were already there).
+	Start, End float64
+}
+
+// Result summarises one simulated training iteration.
+type Result struct {
+	// Method is the simulated schedule.
+	Method sched.Method
+	// Stages is the pipeline size.
+	Stages int
+	// IterationSeconds is the makespan of one training iteration.
+	IterationSeconds float64
+	// BusySeconds is the per-stage compute-busy time (forward, backward,
+	// recompute).
+	BusySeconds []float64
+	// CommStallSeconds is the per-stage time the compute stream spent
+	// inside blocking sends (the naive FILO behaviour of Figure 6a).
+	CommStallSeconds []float64
+	// WaitSeconds is the per-stage time spent blocked in recvs waiting for
+	// messages that had not arrived yet.
+	WaitSeconds []float64
+	// IdleSeconds is IterationSeconds minus busy and comm-stall time: the
+	// pipeline bubble plus recv waiting.
+	IdleSeconds []float64
+	// LinkBusySeconds is the per-stage NIC busy time (max of the send and
+	// receive directions).
+	LinkBusySeconds []float64
+	// PeakStashBytes is the per-stage peak activation stash.
+	PeakStashBytes []int64
+	// BytesSent is the per-stage outbound traffic.
+	BytesSent []int64
+	// Spans is the executed-op timeline (only when Options.Trace is set).
+	Spans []Span
+}
+
+// BubbleSeconds returns the mean per-stage idle time — the quantity the
+// paper's Table 2 bubble formulas describe.
+func (r *Result) BubbleSeconds() float64 {
+	var sum float64
+	for _, v := range r.IdleSeconds {
+		sum += v
+	}
+	return sum / float64(len(r.IdleSeconds))
+}
+
+// MaxPeakStashBytes returns the largest per-stage stash peak.
+func (r *Result) MaxPeakStashBytes() int64 {
+	var peak int64
+	for _, v := range r.PeakStashBytes {
+		if v > peak {
+			peak = v
+		}
+	}
+	return peak
+}
+
+// Throughput returns tokens-per-second given the tokens processed per
+// iteration (batch size x sequence length x micro batches).
+func (r *Result) Throughput(tokensPerIteration int64) float64 {
+	if r.IterationSeconds <= 0 {
+		return 0
+	}
+	return float64(tokensPerIteration) / r.IterationSeconds
+}
+
+// Options tunes a simulation run.
+type Options struct {
+	// Trace records a Span per executed op.
+	Trace bool
+	// SMPenalty is the fraction of compute throughput lost while NIC
+	// transfers overlap a compute op (NCCL steals SMs; paper section 5.3
+	// observes the effect is marginal). Compute ops are stretched by
+	// SMPenalty times their overlap with NIC busy intervals.
+	SMPenalty float64
+	// SendLaunchSeconds is the compute-stream cost of initiating an async
+	// send (kernel launch + NCCL bookkeeping).
+	SendLaunchSeconds float64
+}
+
+// Run simulates one training iteration of the plan and returns the result.
+func Run(plan *sched.Plan, opt Options) (*Result, error) {
+	if err := sched.Validate(plan); err != nil {
+		return nil, fmt.Errorf("sim: invalid plan: %w", err)
+	}
+	e := newEngine(plan, opt)
+	if err := e.run(); err != nil {
+		return nil, err
+	}
+	return e.result(), nil
+}
+
+// message tracks one in-flight transfer.
+type message struct {
+	arrival float64
+}
+
+type interval struct{ start, end float64 }
+
+type engine struct {
+	plan *sched.Plan
+	opt  Options
+
+	pc    []int
+	clock []float64
+
+	sendFree []float64 // NIC send-direction availability per stage
+	recvFree []float64 // NIC recv-direction availability per stage
+	nicBusy  [][]interval
+
+	inflight map[msgKey]message
+
+	busy      []float64
+	commStall []float64
+	wait      []float64
+	linkBusy  []float64
+	sent      []int64
+	stash     []int64
+	peak      []int64
+
+	spans []Span
+}
+
+type msgKey struct {
+	tag      sched.Tag
+	from, to int
+}
+
+func newEngine(plan *sched.Plan, opt Options) *engine {
+	p := plan.Stages
+	e := &engine{
+		plan:      plan,
+		opt:       opt,
+		pc:        make([]int, p),
+		clock:     make([]float64, p),
+		sendFree:  make([]float64, p),
+		recvFree:  make([]float64, p),
+		nicBusy:   make([][]interval, p),
+		inflight:  map[msgKey]message{},
+		busy:      make([]float64, p),
+		commStall: make([]float64, p),
+		wait:      make([]float64, p),
+		linkBusy:  make([]float64, p),
+		sent:      make([]int64, p),
+		stash:     make([]int64, p),
+		peak:      make([]int64, p),
+	}
+	return e
+}
+
+// run advances stages in global time order until every program completes.
+func (e *engine) run() error {
+	p := e.plan.Stages
+	for {
+		// Pick the unblocked stage with the smallest clock so that NIC
+		// reservations happen in non-decreasing global time.
+		best, bestClock := -1, math.MaxFloat64
+		blockedAll := true
+		for s := 0; s < p; s++ {
+			if e.pc[s] >= len(e.plan.Ops[s]) {
+				continue
+			}
+			blockedAll = false
+			op := e.plan.Ops[s][e.pc[s]]
+			if op.Kind == sched.KRecv {
+				if _, ok := e.inflight[msgKey{tag: op.Tag, from: op.Peer, to: s}]; !ok {
+					continue // sender has not initiated yet
+				}
+			}
+			if e.clock[s] < bestClock {
+				best, bestClock = s, e.clock[s]
+			}
+		}
+		if best < 0 {
+			if blockedAll {
+				return nil // all programs complete
+			}
+			return fmt.Errorf("sim: deadlock — every remaining stage waits on an uninitiated message")
+		}
+		e.step(best)
+	}
+}
+
+// step executes exactly one op on the given stage.
+func (e *engine) step(s int) {
+	op := e.plan.Ops[s][e.pc[s]]
+	start := e.clock[s]
+	switch op.Kind {
+	case sched.KSend:
+		e.execSend(s, op, start)
+	case sched.KRecv:
+		key := msgKey{tag: op.Tag, from: op.Peer, to: s}
+		msg := e.inflight[key]
+		delete(e.inflight, key)
+		end := math.Max(start, msg.arrival)
+		e.wait[s] += end - start
+		e.clock[s] = end
+		e.record(s, op, start, end)
+	default: // compute
+		dur := op.Dur
+		if e.opt.SMPenalty > 0 {
+			overlap := e.nicOverlap(s, start, start+dur)
+			dur += overlap * e.opt.SMPenalty
+		}
+		end := start + dur
+		e.stash[s] += op.Alloc
+		if e.stash[s] > e.peak[s] {
+			e.peak[s] = e.stash[s]
+		}
+		e.stash[s] -= op.Free
+		e.busy[s] += dur
+		e.clock[s] = end
+		e.record(s, op, start, end)
+	}
+	e.pc[s]++
+}
+
+// execSend reserves the NIC pair and computes the arrival time. Blocking
+// sends additionally hold the compute stream until the message lands.
+func (e *engine) execSend(s int, op sched.Op, start float64) {
+	c := e.plan.Costs
+	launch := e.opt.SendLaunchSeconds
+	initiate := start + launch
+	xferStart := math.Max(initiate, math.Max(e.sendFree[s], e.recvFree[op.Peer]))
+	var wireDur float64
+	if c.P2PBytesPerSec > 0 {
+		wireDur = float64(op.Bytes) / c.P2PBytesPerSec
+	}
+	xferEnd := xferStart + wireDur
+	arrival := xferEnd + c.P2PLatency
+	e.sendFree[s] = xferEnd
+	e.recvFree[op.Peer] = xferEnd
+	e.nicBusy[s] = append(e.nicBusy[s], interval{xferStart, xferEnd})
+	e.nicBusy[op.Peer] = append(e.nicBusy[op.Peer], interval{xferStart, xferEnd})
+	e.linkBusy[s] += wireDur
+	e.sent[s] += op.Bytes
+	e.inflight[msgKey{tag: op.Tag, from: s, to: op.Peer}] = message{arrival: arrival}
+	if op.Blocking {
+		e.commStall[s] += arrival - start
+		e.clock[s] = arrival
+		e.record(s, op, start, arrival)
+		return
+	}
+	e.clock[s] = start + launch
+	e.record(s, op, start, start+launch)
+}
+
+// nicOverlap returns the total overlap of [start, end] with this stage's
+// recorded NIC transfer intervals.
+func (e *engine) nicOverlap(s int, start, end float64) float64 {
+	var total float64
+	for _, iv := range e.nicBusy[s] {
+		lo := math.Max(start, iv.start)
+		hi := math.Min(end, iv.end)
+		if hi > lo {
+			total += hi - lo
+		}
+	}
+	return total
+}
+
+func (e *engine) record(s int, op sched.Op, start, end float64) {
+	if e.opt.Trace {
+		e.spans = append(e.spans, Span{Stage: s, Op: op, Start: start, End: end})
+	}
+}
+
+func (e *engine) result() *Result {
+	p := e.plan.Stages
+	var iter float64
+	for s := 0; s < p; s++ {
+		if e.clock[s] > iter {
+			iter = e.clock[s]
+		}
+	}
+	idle := make([]float64, p)
+	for s := 0; s < p; s++ {
+		idle[s] = iter - e.busy[s] - e.commStall[s]
+		if idle[s] < 0 {
+			idle[s] = 0
+		}
+	}
+	if e.opt.Trace {
+		sort.SliceStable(e.spans, func(i, j int) bool {
+			if e.spans[i].Start != e.spans[j].Start {
+				return e.spans[i].Start < e.spans[j].Start
+			}
+			return e.spans[i].Stage < e.spans[j].Stage
+		})
+	}
+	return &Result{
+		Method:           e.plan.Method,
+		Stages:           p,
+		IterationSeconds: iter,
+		BusySeconds:      e.busy,
+		CommStallSeconds: e.commStall,
+		WaitSeconds:      e.wait,
+		IdleSeconds:      idle,
+		LinkBusySeconds:  e.linkBusy,
+		PeakStashBytes:   e.peak,
+		BytesSent:        e.sent,
+		Spans:            e.spans,
+	}
+}

@@ -1,0 +1,317 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Flatten2D views a [d0, d1, ..., h] tensor as [d0*d1*..., h] sharing the
+// same backing storage.
+func Flatten2D(t *Tensor) *Tensor {
+	h := t.Shape[len(t.Shape)-1]
+	return &Tensor{Shape: []int{t.Len() / h, h}, Data: t.Data}
+}
+
+// Reshape returns a view of t with the new shape (same element count).
+func Reshape(t *Tensor, shape ...int) *Tensor {
+	v := &Tensor{Shape: append([]int(nil), shape...), Data: t.Data}
+	if v.Len() != t.Len() {
+		panic(fmt.Sprintf("tensor: Reshape %v -> %v changes size", t.Shape, shape))
+	}
+	return v
+}
+
+// LayerNormCtx carries the forward statistics LayerNorm backward needs.
+type LayerNormCtx struct {
+	X     *Tensor
+	Gamma *Tensor
+	Mean  []float32
+	Rstd  []float32
+}
+
+// LayerNormForward normalizes each row of x ([n, h]) and applies the affine
+// transform gamma/beta ([h]).
+func LayerNormForward(x, gamma, beta *Tensor) (*Tensor, *LayerNormCtx) {
+	n, h := x.Shape[0], x.Shape[1]
+	out := New(n, h)
+	ctx := &LayerNormCtx{X: x, Gamma: gamma, Mean: make([]float32, n), Rstd: make([]float32, n)}
+	const eps = 1e-5
+	parallelFor(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := x.Data[i*h : (i+1)*h]
+			var mean float64
+			for _, v := range row {
+				mean += float64(v)
+			}
+			mean /= float64(h)
+			var varsum float64
+			for _, v := range row {
+				d := float64(v) - mean
+				varsum += d * d
+			}
+			rstd := 1 / math.Sqrt(varsum/float64(h)+eps)
+			ctx.Mean[i] = float32(mean)
+			ctx.Rstd[i] = float32(rstd)
+			orow := out.Data[i*h : (i+1)*h]
+			for j, v := range row {
+				xhat := (float64(v) - mean) * rstd
+				orow[j] = float32(xhat)*gamma.Data[j] + beta.Data[j]
+			}
+		}
+	})
+	return out, ctx
+}
+
+// LayerNormBackward returns (dx, dgamma, dbeta) for dy ([n, h]).
+func LayerNormBackward(ctx *LayerNormCtx, dy *Tensor) (*Tensor, *Tensor, *Tensor) {
+	n, h := ctx.X.Shape[0], ctx.X.Shape[1]
+	dx := New(n, h)
+	dgamma := New(h)
+	dbeta := New(h)
+	// dgamma/dbeta reductions run serially over rows for determinism.
+	for i := 0; i < n; i++ {
+		mean, rstd := float64(ctx.Mean[i]), float64(ctx.Rstd[i])
+		xrow := ctx.X.Data[i*h : (i+1)*h]
+		dyrow := dy.Data[i*h : (i+1)*h]
+		for j := 0; j < h; j++ {
+			xhat := (float64(xrow[j]) - mean) * rstd
+			dgamma.Data[j] += dyrow[j] * float32(xhat)
+			dbeta.Data[j] += dyrow[j]
+		}
+	}
+	parallelFor(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			mean, rstd := float64(ctx.Mean[i]), float64(ctx.Rstd[i])
+			xrow := ctx.X.Data[i*h : (i+1)*h]
+			dyrow := dy.Data[i*h : (i+1)*h]
+			var sumDy, sumDyXhat float64
+			for j := 0; j < h; j++ {
+				g := float64(dyrow[j]) * float64(ctx.Gamma.Data[j])
+				xhat := (float64(xrow[j]) - mean) * rstd
+				sumDy += g
+				sumDyXhat += g * xhat
+			}
+			inv := 1 / float64(h)
+			for j := 0; j < h; j++ {
+				g := float64(dyrow[j]) * float64(ctx.Gamma.Data[j])
+				xhat := (float64(xrow[j]) - mean) * rstd
+				dx.Data[i*h+j] = float32((g - sumDy*inv - xhat*sumDyXhat*inv) * rstd)
+			}
+		}
+	})
+	return dx, dgamma, dbeta
+}
+
+// geluCoeff is sqrt(2/pi) for the tanh GeLU approximation.
+const geluCoeff = 0.7978845608028654
+
+// GeLUForward applies the tanh-approximated GeLU elementwise.
+func GeLUForward(x *Tensor) *Tensor {
+	out := New(x.Shape...)
+	parallelFor(len(x.Data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v := float64(x.Data[i])
+			out.Data[i] = float32(0.5 * v * (1 + math.Tanh(geluCoeff*(v+0.044715*v*v*v))))
+		}
+	})
+	return out
+}
+
+// GeLUBackward returns dx given the forward input x and upstream dy.
+func GeLUBackward(x, dy *Tensor) *Tensor {
+	dx := New(x.Shape...)
+	parallelFor(len(x.Data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v := float64(x.Data[i])
+			u := geluCoeff * (v + 0.044715*v*v*v)
+			t := math.Tanh(u)
+			du := geluCoeff * (1 + 3*0.044715*v*v)
+			grad := 0.5*(1+t) + 0.5*v*(1-t*t)*du
+			dx.Data[i] = float32(grad * float64(dy.Data[i]))
+		}
+	})
+	return dx
+}
+
+// AttnCtx carries the flash-attention style stash: the inputs and the
+// per-head softmax probabilities needed by the backward pass.
+type AttnCtx struct {
+	Q, K, V *Tensor
+	Heads   int
+	Probs   []*Tensor // one [s, s] tensor per (batch, head)
+}
+
+// CausalAttentionForward computes multi-head causal attention. q, k, v are
+// [b, s, h] with h split into heads; the output has the same shape. The
+// score matrix is lower-triangular (token i attends to tokens <= i).
+func CausalAttentionForward(q, k, v *Tensor, heads int) (*Tensor, *AttnCtx) {
+	b, s, h := q.Shape[0], q.Shape[1], q.Shape[2]
+	hd := h / heads
+	if hd*heads != h {
+		panic(fmt.Sprintf("tensor: hidden %d not divisible by heads %d", h, heads))
+	}
+	out := New(b, s, h)
+	ctx := &AttnCtx{Q: q, K: k, V: v, Heads: heads, Probs: make([]*Tensor, b*heads)}
+	scale := 1 / math.Sqrt(float64(hd))
+	parallelFor(b*heads, func(lo, hi int) {
+		for bh := lo; bh < hi; bh++ {
+			bi, hh := bh/heads, bh%heads
+			probs := New(s, s)
+			for i := 0; i < s; i++ {
+				qrow := q.Data[(bi*s+i)*h+hh*hd : (bi*s+i)*h+(hh+1)*hd]
+				// Scores for keys 0..i, softmax over the causal prefix.
+				maxv := math.Inf(-1)
+				scores := make([]float64, i+1)
+				for j := 0; j <= i; j++ {
+					krow := k.Data[(bi*s+j)*h+hh*hd : (bi*s+j)*h+(hh+1)*hd]
+					var dot float64
+					for d := 0; d < hd; d++ {
+						dot += float64(qrow[d]) * float64(krow[d])
+					}
+					scores[j] = dot * scale
+					if scores[j] > maxv {
+						maxv = scores[j]
+					}
+				}
+				var denom float64
+				for j := 0; j <= i; j++ {
+					scores[j] = math.Exp(scores[j] - maxv)
+					denom += scores[j]
+				}
+				orow := out.Data[(bi*s+i)*h+hh*hd : (bi*s+i)*h+(hh+1)*hd]
+				for j := 0; j <= i; j++ {
+					p := float32(scores[j] / denom)
+					probs.Data[i*s+j] = p
+					vrow := v.Data[(bi*s+j)*h+hh*hd : (bi*s+j)*h+(hh+1)*hd]
+					for d := 0; d < hd; d++ {
+						orow[d] += p * vrow[d]
+					}
+				}
+			}
+			ctx.Probs[bh] = probs
+		}
+	})
+	return out, ctx
+}
+
+// CausalAttentionBackward returns (dq, dk, dv) for upstream dy ([b, s, h]).
+func CausalAttentionBackward(ctx *AttnCtx, dy *Tensor) (*Tensor, *Tensor, *Tensor) {
+	q, k, v, heads := ctx.Q, ctx.K, ctx.V, ctx.Heads
+	b, s, h := q.Shape[0], q.Shape[1], q.Shape[2]
+	hd := h / heads
+	dq := New(b, s, h)
+	dk := New(b, s, h)
+	dv := New(b, s, h)
+	scale := 1 / math.Sqrt(float64(hd))
+	parallelFor(b*heads, func(lo, hi int) {
+		for bh := lo; bh < hi; bh++ {
+			bi, hh := bh/heads, bh%heads
+			probs := ctx.Probs[bh]
+			off := func(t *Tensor, i int) []float32 {
+				return t.Data[(bi*s+i)*h+hh*hd : (bi*s+i)*h+(hh+1)*hd]
+			}
+			for i := 0; i < s; i++ {
+				dyrow := off(dy, i)
+				// dV and dP.
+				dp := make([]float64, i+1)
+				for j := 0; j <= i; j++ {
+					p := float64(probs.Data[i*s+j])
+					vrow := off(v, j)
+					dvrow := off(dv, j)
+					var dot float64
+					for d := 0; d < hd; d++ {
+						dot += float64(dyrow[d]) * float64(vrow[d])
+						dvrow[d] += float32(p) * dyrow[d]
+					}
+					dp[j] = dot
+				}
+				// Softmax backward: ds_j = p_j * (dp_j - sum_k p_k dp_k).
+				var dot float64
+				for j := 0; j <= i; j++ {
+					dot += float64(probs.Data[i*s+j]) * dp[j]
+				}
+				qrow := off(q, i)
+				dqrow := off(dq, i)
+				for j := 0; j <= i; j++ {
+					ds := float64(probs.Data[i*s+j]) * (dp[j] - dot) * scale
+					krow := off(k, j)
+					dkrow := off(dk, j)
+					for d := 0; d < hd; d++ {
+						dqrow[d] += float32(ds * float64(krow[d]))
+						dkrow[d] += float32(ds * float64(qrow[d]))
+					}
+				}
+			}
+		}
+	})
+	return dq, dk, dv
+}
+
+// EmbeddingForward gathers rows of table ([v, h]) for ids ([n]) into [n, h].
+func EmbeddingForward(table *Tensor, ids []int) *Tensor {
+	h := table.Shape[1]
+	out := New(len(ids), h)
+	for i, id := range ids {
+		if id < 0 || id >= table.Shape[0] {
+			panic(fmt.Sprintf("tensor: embedding id %d out of range [0,%d)", id, table.Shape[0]))
+		}
+		copy(out.Data[i*h:(i+1)*h], table.Data[id*h:(id+1)*h])
+	}
+	return out
+}
+
+// EmbeddingBackward scatter-adds dy ([n, h]) into a gradient of the table.
+func EmbeddingBackward(tableShape []int, ids []int, dy *Tensor) *Tensor {
+	grad := New(tableShape...)
+	h := tableShape[1]
+	for i, id := range ids {
+		grow := grad.Data[id*h : (id+1)*h]
+		dyrow := dy.Data[i*h : (i+1)*h]
+		for j := range grow {
+			grow[j] += dyrow[j]
+		}
+	}
+	return grad
+}
+
+// CrossEntropy computes the mean negative log-likelihood of targets under
+// softmax(logits) ([n, v]) and the logits gradient in one pass — the fused
+// "loss inside backward" shape the paper's section 4.6 moves the LM head to.
+func CrossEntropy(logits *Tensor, targets []int) (float64, *Tensor) {
+	n, v := logits.Shape[0], logits.Shape[1]
+	if len(targets) != n {
+		panic(fmt.Sprintf("tensor: %d targets for %d rows", len(targets), n))
+	}
+	grad := New(n, v)
+	losses := make([]float64, n)
+	parallelFor(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := logits.Data[i*v : (i+1)*v]
+			maxv := math.Inf(-1)
+			for _, x := range row {
+				if float64(x) > maxv {
+					maxv = float64(x)
+				}
+			}
+			var denom float64
+			for _, x := range row {
+				denom += math.Exp(float64(x) - maxv)
+			}
+			logDenom := math.Log(denom)
+			tgt := targets[i]
+			losses[i] = -(float64(row[tgt]) - maxv - logDenom)
+			inv := 1 / float64(n)
+			grow := grad.Data[i*v : (i+1)*v]
+			for j, x := range row {
+				p := math.Exp(float64(x)-maxv) / denom
+				grow[j] = float32(p * inv)
+			}
+			grow[tgt] -= float32(inv)
+		}
+	})
+	var loss float64
+	for _, l := range losses {
+		loss += l
+	}
+	return loss / float64(n), grad
+}

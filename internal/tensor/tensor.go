@@ -1,0 +1,244 @@
+// Package tensor is a small dense float32 tensor library with the forward
+// and backward kernels a GPT-style transformer needs: blocked parallel
+// matrix multiplication, LayerNorm, GeLU, causal softmax attention,
+// embedding lookup and cross-entropy. It backs the numeric pipeline runtime
+// (internal/exec) that validates HelixPipe's semantics-preservation claim
+// with real gradients.
+//
+// Kernels are deterministic: parallel reductions are always performed in a
+// fixed order, so distributed executions reproduce single-device results
+// bit for bit.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Tensor is a dense row-major float32 tensor.
+type Tensor struct {
+	// Shape holds the dimension sizes, outermost first.
+	Shape []int
+	// Data is the row-major backing storage, length = product of Shape.
+	Data []float32
+}
+
+// New allocates a zero tensor of the given shape.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dimension %d in %v", d, shape))
+		}
+		n *= d
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float32, n)}
+}
+
+// FromSlice wraps data in a tensor of the given shape, validating length.
+func FromSlice(data []float32, shape ...int) *Tensor {
+	t := &Tensor{Shape: append([]int(nil), shape...), Data: data}
+	if len(data) != t.Len() {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v", len(data), shape))
+	}
+	return t
+}
+
+// Len returns the element count.
+func (t *Tensor) Len() int {
+	n := 1
+	for _, d := range t.Shape {
+		n *= d
+	}
+	return n
+}
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.Shape[i] }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.Shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Zero clears the tensor in place.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// SameShape reports whether two tensors have identical shapes.
+func SameShape(a, b *Tensor) bool {
+	if len(a.Shape) != len(b.Shape) {
+		return false
+	}
+	for i := range a.Shape {
+		if a.Shape[i] != b.Shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Add returns a + b elementwise.
+func Add(a, b *Tensor) *Tensor {
+	mustSameShape("Add", a, b)
+	out := New(a.Shape...)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+	return out
+}
+
+// AddInPlace accumulates src into dst.
+func AddInPlace(dst, src *Tensor) {
+	mustSameShape("AddInPlace", dst, src)
+	for i := range dst.Data {
+		dst.Data[i] += src.Data[i]
+	}
+}
+
+// Scale multiplies the tensor by s in place and returns it.
+func (t *Tensor) Scale(s float32) *Tensor {
+	for i := range t.Data {
+		t.Data[i] *= s
+	}
+	return t
+}
+
+// MaxAbsDiff returns the largest absolute element difference between two
+// same-shaped tensors — the metric the gradient-equivalence tests use.
+func MaxAbsDiff(a, b *Tensor) float64 {
+	mustSameShape("MaxAbsDiff", a, b)
+	var worst float64
+	for i := range a.Data {
+		d := math.Abs(float64(a.Data[i] - b.Data[i]))
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func mustSameShape(op string, a, b *Tensor) {
+	if !SameShape(a, b) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, a.Shape, b.Shape))
+	}
+}
+
+// parallelFor runs fn over [0,n) split into contiguous chunks across
+// GOMAXPROCS workers. Chunk boundaries are deterministic, and each index is
+// processed by exactly one worker, so writes never race and reductions
+// inside a chunk stay ordered.
+func parallelFor(n int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < 64 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// MatMul returns a [m,k] x [k,n] -> [m,n] product. Rows are computed in
+// parallel; the inner accumulation is float64 for reproducible, well-
+// conditioned sums.
+func MatMul(a, b *Tensor) *Tensor {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[1] != b.Shape[0] {
+		panic(fmt.Sprintf("tensor: MatMul shapes %v x %v", a.Shape, b.Shape))
+	}
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	out := New(m, n)
+	parallelFor(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			orow := out.Data[i*n : (i+1)*n]
+			for kk := 0; kk < k; kk++ {
+				av := arow[kk]
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[kk*n : (kk+1)*n]
+				for j := range orow {
+					orow[j] += av * brow[j]
+				}
+			}
+		}
+	})
+	return out
+}
+
+// MatMulT returns a [m,k] x [n,k]^T -> [m,n] product (B transposed), the
+// layout backward passes need for dX = dY * W^T.
+func MatMulT(a, bT *Tensor) *Tensor {
+	if len(a.Shape) != 2 || len(bT.Shape) != 2 || a.Shape[1] != bT.Shape[1] {
+		panic(fmt.Sprintf("tensor: MatMulT shapes %v x %v^T", a.Shape, bT.Shape))
+	}
+	m, k, n := a.Shape[0], a.Shape[1], bT.Shape[0]
+	out := New(m, n)
+	parallelFor(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			orow := out.Data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				brow := bT.Data[j*k : (j+1)*k]
+				var sum float64
+				for kk := 0; kk < k; kk++ {
+					sum += float64(arow[kk]) * float64(brow[kk])
+				}
+				orow[j] = float32(sum)
+			}
+		}
+	})
+	return out
+}
+
+// TMatMul returns a [k,m]^T x [k,n] -> [m,n] product (A transposed), the
+// layout weight gradients need for dW = X^T * dY.
+func TMatMul(aT, b *Tensor) *Tensor {
+	if len(aT.Shape) != 2 || len(b.Shape) != 2 || aT.Shape[0] != b.Shape[0] {
+		panic(fmt.Sprintf("tensor: TMatMul shapes %v^T x %v", aT.Shape, b.Shape))
+	}
+	k, m, n := aT.Shape[0], aT.Shape[1], b.Shape[1]
+	out := New(m, n)
+	parallelFor(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			orow := out.Data[i*n : (i+1)*n]
+			for kk := 0; kk < k; kk++ {
+				av := aT.Data[kk*m+i]
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[kk*n : (kk+1)*n]
+				for j := range orow {
+					orow[j] += av * brow[j]
+				}
+			}
+		}
+	})
+	return out
+}

@@ -1,0 +1,341 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func randTensor(t *testing.T, key uint64, shape ...int) *Tensor {
+	t.Helper()
+	out := New(shape...)
+	rng.New(key).FillNormal(out.Data, 1)
+	return out
+}
+
+func TestNewAndAccessors(t *testing.T) {
+	x := New(2, 3, 4)
+	if x.Len() != 24 || x.Dim(0) != 2 || x.Dim(2) != 4 {
+		t.Fatal("shape accessors broken")
+	}
+	y := x.Clone()
+	y.Data[0] = 5
+	if x.Data[0] == 5 {
+		t.Error("Clone must deep copy")
+	}
+	f := FromSlice(make([]float32, 6), 2, 3)
+	if f.Len() != 6 {
+		t.Error("FromSlice length")
+	}
+	v := Reshape(x, 6, 4)
+	if v.Dim(0) != 6 || &v.Data[0] != &x.Data[0] {
+		t.Error("Reshape must share storage")
+	}
+	fl := Flatten2D(x)
+	if fl.Dim(0) != 6 || fl.Dim(1) != 4 {
+		t.Error("Flatten2D shape")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("negative dim", func() { New(-1) })
+	mustPanic("FromSlice mismatch", func() { FromSlice(make([]float32, 5), 2, 3) })
+	mustPanic("MatMul shapes", func() { MatMul(New(2, 3), New(4, 5)) })
+	mustPanic("Add shapes", func() { Add(New(2), New(3)) })
+	mustPanic("Reshape size", func() { Reshape(New(4), 3) })
+	mustPanic("embedding range", func() { EmbeddingForward(New(4, 2), []int{7}) })
+}
+
+// TestMatMulIdentity: multiplying by the identity is a no-op (property).
+func TestMatMulIdentity(t *testing.T) {
+	check := func(seed uint8) bool {
+		n := int(seed)%6 + 2
+		a := randTensor(t, uint64(seed)+1, n, n)
+		id := New(n, n)
+		for i := 0; i < n; i++ {
+			id.Data[i*n+i] = 1
+		}
+		return MaxAbsDiff(MatMul(a, id), a) < 1e-5 && MaxAbsDiff(MatMul(id, a), a) < 1e-5
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMatMulAgainstNaive cross-checks the parallel kernel with a serial
+// reference on random shapes.
+func TestMatMulAgainstNaive(t *testing.T) {
+	check := func(ms, ks, ns, seed uint8) bool {
+		m, k, n := int(ms)%7+1, int(ks)%7+1, int(ns)%7+1
+		a := randTensor(t, uint64(seed)+11, m, k)
+		b := randTensor(t, uint64(seed)+29, k, n)
+		want := New(m, n)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				var sum float64
+				for kk := 0; kk < k; kk++ {
+					sum += float64(a.Data[i*k+kk]) * float64(b.Data[kk*n+j])
+				}
+				want.Data[i*n+j] = float32(sum)
+			}
+		}
+		return MaxAbsDiff(MatMul(a, b), want) < 1e-4
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTransposedVariants checks MatMulT and TMatMul against MatMul with
+// explicitly transposed operands.
+func TestTransposedVariants(t *testing.T) {
+	transpose := func(x *Tensor) *Tensor {
+		m, n := x.Shape[0], x.Shape[1]
+		out := New(n, m)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				out.Data[j*m+i] = x.Data[i*n+j]
+			}
+		}
+		return out
+	}
+	a := randTensor(t, 3, 5, 7)
+	b := randTensor(t, 4, 7, 6)
+	want := MatMul(a, b)
+	if d := MaxAbsDiff(MatMulT(a, transpose(b)), want); d > 1e-4 {
+		t.Errorf("MatMulT differs by %g", d)
+	}
+	if d := MaxAbsDiff(TMatMul(transpose(a), b), want); d > 1e-4 {
+		t.Errorf("TMatMul differs by %g", d)
+	}
+}
+
+// numGrad computes a central finite-difference gradient of f w.r.t. x.
+func numGrad(x *Tensor, f func() float64) *Tensor {
+	grad := New(x.Shape...)
+	const eps = 1e-3
+	for i := range x.Data {
+		orig := x.Data[i]
+		x.Data[i] = orig + eps
+		up := f()
+		x.Data[i] = orig - eps
+		down := f()
+		x.Data[i] = orig
+		grad.Data[i] = float32((up - down) / (2 * eps))
+	}
+	return grad
+}
+
+// sumLoss reduces a tensor with fixed weights so gradients are nontrivial.
+func sumLoss(y *Tensor) float64 {
+	var s float64
+	for i, v := range y.Data {
+		s += float64(v) * math.Sin(float64(i)+1)
+	}
+	return s
+}
+
+// lossGrad returns dL/dy for sumLoss.
+func lossGrad(y *Tensor) *Tensor {
+	g := New(y.Shape...)
+	for i := range g.Data {
+		g.Data[i] = float32(math.Sin(float64(i) + 1))
+	}
+	return g
+}
+
+// TestLayerNormGradient checks analytic LayerNorm gradients against finite
+// differences for input, gamma and beta.
+func TestLayerNormGradient(t *testing.T) {
+	x := randTensor(t, 7, 4, 6)
+	gamma := randTensor(t, 8, 6)
+	beta := randTensor(t, 9, 6)
+	forward := func() float64 {
+		y, _ := LayerNormForward(x, gamma, beta)
+		return sumLoss(y)
+	}
+	y, ctx := LayerNormForward(x, gamma, beta)
+	dx, dgamma, dbeta := LayerNormBackward(ctx, lossGrad(y))
+	if d := MaxAbsDiff(dx, numGrad(x, forward)); d > 2e-2 {
+		t.Errorf("LayerNorm dx off by %g", d)
+	}
+	if d := MaxAbsDiff(dgamma, numGrad(gamma, forward)); d > 2e-2 {
+		t.Errorf("LayerNorm dgamma off by %g", d)
+	}
+	if d := MaxAbsDiff(dbeta, numGrad(beta, forward)); d > 2e-2 {
+		t.Errorf("LayerNorm dbeta off by %g", d)
+	}
+}
+
+// TestGeLUGradient checks the GeLU derivative against finite differences.
+func TestGeLUGradient(t *testing.T) {
+	x := randTensor(t, 11, 5, 3)
+	forward := func() float64 { return sumLoss(GeLUForward(x)) }
+	dx := GeLUBackward(x, lossGrad(GeLUForward(x)))
+	if d := MaxAbsDiff(dx, numGrad(x, forward)); d > 2e-2 {
+		t.Errorf("GeLU dx off by %g", d)
+	}
+}
+
+// TestAttentionGradient checks causal attention gradients for q, k and v.
+func TestAttentionGradient(t *testing.T) {
+	const b, s, h, heads = 2, 5, 8, 2
+	q := randTensor(t, 21, b, s, h)
+	k := randTensor(t, 22, b, s, h)
+	v := randTensor(t, 23, b, s, h)
+	forward := func() float64 {
+		y, _ := CausalAttentionForward(q, k, v, heads)
+		return sumLoss(y)
+	}
+	y, ctx := CausalAttentionForward(q, k, v, heads)
+	dq, dk, dv := CausalAttentionBackward(ctx, lossGrad(y))
+	if d := MaxAbsDiff(dq, numGrad(q, forward)); d > 3e-2 {
+		t.Errorf("attention dq off by %g", d)
+	}
+	if d := MaxAbsDiff(dk, numGrad(k, forward)); d > 3e-2 {
+		t.Errorf("attention dk off by %g", d)
+	}
+	if d := MaxAbsDiff(dv, numGrad(v, forward)); d > 3e-2 {
+		t.Errorf("attention dv off by %g", d)
+	}
+}
+
+// TestAttentionIsCausal verifies that the output at position i does not
+// depend on later positions.
+func TestAttentionIsCausal(t *testing.T) {
+	const b, s, h, heads = 1, 6, 4, 2
+	q := randTensor(t, 31, b, s, h)
+	k := randTensor(t, 32, b, s, h)
+	v := randTensor(t, 33, b, s, h)
+	y1, _ := CausalAttentionForward(q, k, v, heads)
+	// Perturb the last position of k and v: outputs before it must not move.
+	k2, v2 := k.Clone(), v.Clone()
+	for d := 0; d < h; d++ {
+		k2.Data[(s-1)*h+d] += 10
+		v2.Data[(s-1)*h+d] -= 3
+	}
+	y2, _ := CausalAttentionForward(q, k2, v2, heads)
+	for i := 0; i < (s-1)*h; i++ {
+		if y1.Data[i] != y2.Data[i] {
+			t.Fatalf("causality violated at element %d", i)
+		}
+	}
+	// The final position must change.
+	var moved bool
+	for i := (s - 1) * h; i < s*h; i++ {
+		if y1.Data[i] != y2.Data[i] {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Error("perturbation had no effect at the final position")
+	}
+}
+
+// TestEmbeddingRoundTrip checks lookup and scatter-add gradients.
+func TestEmbeddingRoundTrip(t *testing.T) {
+	table := randTensor(t, 41, 10, 4)
+	ids := []int{3, 7, 3, 0}
+	y := EmbeddingForward(table, ids)
+	for i, id := range ids {
+		for j := 0; j < 4; j++ {
+			if y.Data[i*4+j] != table.Data[id*4+j] {
+				t.Fatal("embedding lookup mismatch")
+			}
+		}
+	}
+	dy := randTensor(t, 42, 4, 4)
+	grad := EmbeddingBackward([]int{10, 4}, ids, dy)
+	// Row 3 receives the sum of rows 0 and 2 of dy (duplicate id).
+	for j := 0; j < 4; j++ {
+		want := dy.Data[0*4+j] + dy.Data[2*4+j]
+		if math.Abs(float64(grad.Data[3*4+j]-want)) > 1e-6 {
+			t.Fatal("duplicate-id scatter-add broken")
+		}
+	}
+	// Untouched rows stay zero.
+	for j := 0; j < 4; j++ {
+		if grad.Data[5*4+j] != 0 {
+			t.Fatal("unused embedding row has gradient")
+		}
+	}
+}
+
+// TestCrossEntropyGradient checks the fused loss gradient against finite
+// differences of the loss value.
+func TestCrossEntropyGradient(t *testing.T) {
+	logits := randTensor(t, 51, 6, 5)
+	targets := []int{0, 3, 2, 4, 1, 2}
+	loss, grad := CrossEntropy(logits, targets)
+	if loss <= 0 {
+		t.Fatalf("loss %g should be positive for random logits", loss)
+	}
+	num := numGrad(logits, func() float64 {
+		l, _ := CrossEntropy(logits, targets)
+		return l
+	})
+	if d := MaxAbsDiff(grad, num); d > 2e-2 {
+		t.Errorf("cross-entropy gradient off by %g", d)
+	}
+}
+
+// TestCrossEntropyPerfectPrediction: a one-hot logit row on the target
+// approaches zero loss.
+func TestCrossEntropyPerfectPrediction(t *testing.T) {
+	logits := New(2, 4)
+	logits.Data[0*4+1] = 50
+	logits.Data[1*4+3] = 50
+	loss, _ := CrossEntropy(logits, []int{1, 3})
+	if loss > 1e-6 {
+		t.Errorf("confident correct prediction should give near-zero loss, got %g", loss)
+	}
+}
+
+// TestDeterministicParallelKernels runs the parallel kernels twice and
+// demands bit-identical outputs (the property the numeric gradient-parity
+// harness relies on).
+func TestDeterministicParallelKernels(t *testing.T) {
+	a := randTensor(t, 61, 64, 32)
+	b := randTensor(t, 62, 32, 48)
+	x1 := MatMul(a, b)
+	x2 := MatMul(a, b)
+	if MaxAbsDiff(x1, x2) != 0 {
+		t.Error("MatMul must be bit-deterministic")
+	}
+	q := randTensor(t, 63, 2, 16, 8)
+	k := randTensor(t, 64, 2, 16, 8)
+	v := randTensor(t, 65, 2, 16, 8)
+	y1, _ := CausalAttentionForward(q, k, v, 2)
+	y2, _ := CausalAttentionForward(q, k, v, 2)
+	if MaxAbsDiff(y1, y2) != 0 {
+		t.Error("attention must be bit-deterministic")
+	}
+}
+
+func TestAddAndScale(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3}, 3)
+	b := FromSlice([]float32{4, 5, 6}, 3)
+	c := Add(a, b)
+	if c.Data[0] != 5 || c.Data[2] != 9 {
+		t.Error("Add broken")
+	}
+	AddInPlace(a, b)
+	if a.Data[1] != 7 {
+		t.Error("AddInPlace broken")
+	}
+	a.Scale(2)
+	if a.Data[1] != 14 {
+		t.Error("Scale broken")
+	}
+}

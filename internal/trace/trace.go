@@ -1,0 +1,202 @@
+// Package trace renders simulated pipeline timelines as ASCII art and SVG,
+// reproducing the schedule diagrams of the paper (Figures 2, 5, 6 and 7):
+// per-stage lanes, forward cells labelled with micro-batch numbers, shaded
+// backward cells, and distinct tones for pre-attention, attention and
+// post-attention work.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/model"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// cellRune returns the lane character for an op: digits are the micro batch
+// of forward work, letters mark backward (b/w), recompute (r) and stalls.
+func cellRune(op sched.Op, kind string) byte {
+	switch kind {
+	case "F":
+		return byte('0' + op.MB%10)
+	case "B":
+		return 'b'
+	case "W":
+		return 'w'
+	case "R":
+		return 'r'
+	case "S":
+		return '>'
+	default:
+		return '.'
+	}
+}
+
+func opClass(op sched.Op) string {
+	switch op.Kind {
+	case sched.KForward:
+		return "F"
+	case sched.KBackwardB:
+		return "B"
+	case sched.KBackwardW:
+		return "W"
+	case sched.KRecompute:
+		return "R"
+	case sched.KSend:
+		return "S"
+	default:
+		return "."
+	}
+}
+
+// ASCII renders the span timeline as one text lane per stage. width is the
+// number of character columns the full iteration is scaled to.
+func ASCII(res *sim.Result, width int) string {
+	if width <= 0 {
+		width = 100
+	}
+	lanes := make([][]byte, res.Stages)
+	for s := range lanes {
+		lanes[s] = []byte(strings.Repeat(" ", width))
+	}
+	scale := float64(width) / res.IterationSeconds
+	for _, sp := range res.Spans {
+		if sp.End <= sp.Start {
+			continue
+		}
+		class := opClass(sp.Op)
+		if class == "." {
+			continue
+		}
+		if class == "S" && !sp.Op.Blocking {
+			continue // async sends do not occupy the lane
+		}
+		lo := int(math.Floor(sp.Start * scale))
+		hi := int(math.Ceil(sp.End * scale))
+		if hi > width {
+			hi = width
+		}
+		if lo == hi && lo < width {
+			hi = lo + 1
+		}
+		ch := cellRune(sp.Op, class)
+		for x := lo; x < hi; x++ {
+			lanes[sp.Stage][x] = ch
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %d stages, %d ops, iteration %.3g s\n",
+		res.Method, res.Stages, len(res.Spans), res.IterationSeconds)
+	for s, lane := range lanes {
+		fmt.Fprintf(&b, "P%-2d |%s|\n", s, string(lane))
+	}
+	b.WriteString("     digits: forward (micro batch)  b: backward-B  w: backward-W  r: recompute  >: blocking send\n")
+	return b.String()
+}
+
+// segFill returns the SVG fill color of a span, shaded for backward work,
+// with the paper's three-tone scheme for pre/attention/post.
+func segFill(op sched.Op) string {
+	base := map[model.Segment]string{
+		model.SegPre:  "#4878cf", // blue
+		model.SegAttn: "#e8a33d", // orange
+		model.SegPost: "#6acc65", // green
+	}
+	backward := map[model.Segment]string{
+		model.SegPre:  "#2c4a80",
+		model.SegAttn: "#96691f",
+		model.SegPost: "#3f7a3c",
+	}
+	switch op.Kind {
+	case sched.KForward:
+		if op.Layer < 0 {
+			return "#999999"
+		}
+		return base[op.Seg]
+	case sched.KRecompute:
+		return "#c5c5c5"
+	case sched.KBackwardB, sched.KBackwardW:
+		if op.Layer < 0 {
+			return "#666666"
+		}
+		return backward[op.Seg]
+	case sched.KSend:
+		return "#cc4444"
+	default:
+		return "#eeeeee"
+	}
+}
+
+// SVG renders the span timeline as a scalable vector image.
+func SVG(res *sim.Result, width int) string {
+	if width <= 0 {
+		width = 1200
+	}
+	const laneH, gap, top, left = 28, 6, 30, 46
+	height := top + res.Stages*(laneH+gap) + 30
+	scale := float64(width-left-10) / res.IterationSeconds
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace">`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="18" font-size="14">%s — iteration %.4g s</text>`+"\n", left, res.Method, res.IterationSeconds)
+	for s := 0; s < res.Stages; s++ {
+		y := top + s*(laneH+gap)
+		fmt.Fprintf(&b, `<text x="4" y="%d" font-size="12">P%d</text>`+"\n", y+laneH-9, s)
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="#f4f4f4"/>`+"\n", left, y, width-left-10, laneH)
+	}
+	spans := append([]sim.Span(nil), res.Spans...)
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+	for _, sp := range spans {
+		if sp.End <= sp.Start {
+			continue
+		}
+		if sp.Op.Kind == sched.KRecv || (sp.Op.Kind == sched.KSend && !sp.Op.Blocking) {
+			continue
+		}
+		x := left + sp.Start*scale
+		w := (sp.End - sp.Start) * scale
+		if w < 0.5 {
+			w = 0.5
+		}
+		y := top + sp.Stage*(laneH+gap)
+		fmt.Fprintf(&b, `<rect x="%.2f" y="%d" width="%.2f" height="%d" fill="%s" stroke="#ffffff" stroke-width="0.4">`,
+			x, y, w, laneH, segFill(sp.Op))
+		fmt.Fprintf(&b, `<title>%v [%0.4g, %0.4g]</title></rect>`+"\n", sp.Op, sp.Start, sp.End)
+		if sp.Op.Kind == sched.KForward && sp.Op.Layer >= 0 && w > 8 {
+			fmt.Fprintf(&b, `<text x="%.2f" y="%d" font-size="10" fill="#ffffff">%d</text>`+"\n",
+				x+w/2-3, y+laneH/2+4, sp.Op.MB)
+		}
+	}
+	legendY := top + res.Stages*(laneH+gap) + 14
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11">blue: pre-attention · orange: attention · green: post-attention · dark: backward · grey: recompute/embed/head</text>`+"\n", left, legendY)
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// GanttRow summarises one stage for textual reports.
+type GanttRow struct {
+	Stage       int
+	Busy        float64
+	Idle        float64
+	Wait        float64
+	CommStall   float64
+	PeakStashGB float64
+}
+
+// Summary tabulates per-stage utilisation of a result.
+func Summary(res *sim.Result) []GanttRow {
+	rows := make([]GanttRow, res.Stages)
+	for s := 0; s < res.Stages; s++ {
+		rows[s] = GanttRow{
+			Stage:       s,
+			Busy:        res.BusySeconds[s],
+			Idle:        res.IdleSeconds[s],
+			Wait:        res.WaitSeconds[s],
+			CommStall:   res.CommStallSeconds[s],
+			PeakStashGB: float64(res.PeakStashBytes[s]) / (1 << 30),
+		}
+	}
+	return rows
+}

@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+func figurePlan(t *testing.T) *sim.Result {
+	t.Helper()
+	// Figure 2's setting: 4 micro batches, 8 layers, 4 stages, 1:3:2 ratio.
+	cfg := sched.Config{Stages: 4, MicroBatches: 4, Layers: 8}
+	plan, err := core.Build(cfg, sched.UnitCosts(0).ZeroCommCosts(), core.Options{Fold: 1, Recompute: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(plan, sim.Options{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestASCIIRendering(t *testing.T) {
+	res := figurePlan(t)
+	out := ASCII(res, 120)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header + 4 lanes + legend.
+	if len(lines) != 6 {
+		t.Fatalf("expected 6 lines, got %d:\n%s", len(lines), out)
+	}
+	for s := 1; s <= 4; s++ {
+		if !strings.HasPrefix(lines[s], "P") {
+			t.Errorf("lane %d missing stage prefix: %q", s, lines[s])
+		}
+		if len(lines[s]) < 100 {
+			t.Errorf("lane %d too short", s)
+		}
+	}
+	// Forward cells for all four micro batches must appear somewhere.
+	for _, d := range []string{"0", "1", "2", "3"} {
+		if !strings.Contains(out, d) {
+			t.Errorf("micro batch %s missing from timeline", d)
+		}
+	}
+	if !strings.Contains(out, "b") || !strings.Contains(out, "w") {
+		t.Error("backward cells missing from timeline")
+	}
+}
+
+func TestASCIIDefaultWidth(t *testing.T) {
+	res := figurePlan(t)
+	if out := ASCII(res, 0); !strings.Contains(out, "P0") {
+		t.Error("default width rendering broken")
+	}
+}
+
+func TestSVGRendering(t *testing.T) {
+	res := figurePlan(t)
+	svg := SVG(res, 1000)
+	if !strings.HasPrefix(svg, "<svg") || !strings.Contains(svg, "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	for _, want := range []string{"HelixPipe-naive", "<rect", "pre-attention", "P3"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// All three segment tones must be used.
+	for _, color := range []string{"#4878cf", "#e8a33d", "#6acc65"} {
+		if !strings.Contains(svg, color) {
+			t.Errorf("SVG missing segment color %s", color)
+		}
+	}
+	if out := SVG(res, 0); !strings.Contains(out, "<svg") {
+		t.Error("default width SVG broken")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	res := figurePlan(t)
+	rows := Summary(res)
+	if len(rows) != 4 {
+		t.Fatalf("want 4 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Busy <= 0 {
+			t.Errorf("stage %d: busy must be positive", r.Stage)
+		}
+		if r.PeakStashGB < 0 {
+			t.Errorf("stage %d: negative stash", r.Stage)
+		}
+	}
+}
+
+// TestBlockingSendsVisible verifies that naive FILO's blocking sends show up
+// in the ASCII lanes (the communication delay of Figure 6a) once real
+// communication costs are enabled.
+func TestBlockingSendsVisible(t *testing.T) {
+	cfg := sched.Config{Stages: 2, MicroBatches: 2, Layers: 2}
+	plan, err := core.Build(cfg, sched.UnitCosts(0.8), core.Options{Fold: 1, Recompute: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(plan, sim.Options{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ASCII(res, 150), ">") {
+		t.Error("blocking sends should be visible in the naive FILO timeline")
+	}
+}

@@ -1,0 +1,133 @@
+package helixpipe
+
+import (
+	"fmt"
+
+	"repro/internal/exec"
+	"repro/internal/nn"
+	"repro/internal/sched"
+	"repro/internal/tensor"
+)
+
+// Numeric runtime types.
+type (
+	// NumericModel is a real-parameter GPT stack for the numeric runtime.
+	NumericModel = nn.Model
+	// MicroBatch is one micro batch of token ids and targets.
+	MicroBatch = nn.MicroBatch
+	// NumericResult is the outcome of a numerically executed iteration.
+	NumericResult = exec.Result
+	// Grads aggregates parameter gradients by canonical name.
+	Grads = nn.Grads
+	// Adam is the reference optimizer.
+	Adam = nn.Adam
+)
+
+// NewNumericModel deterministically initializes a model for the numeric
+// runtime. The same seed gives bit-identical parameters however the model
+// is later distributed.
+func NewNumericModel(cfg ModelConfig, seed uint64) *NumericModel { return nn.NewModel(cfg, seed) }
+
+// NewAdam returns an Adam optimizer with conventional defaults.
+func NewAdam(lr float64) *Adam { return nn.NewAdam(lr) }
+
+// SyntheticBatch generates a deterministic synthetic micro batch, mirroring
+// the paper's synthesized full-length datasets.
+func SyntheticBatch(cfg ModelConfig, b, s int, seed uint64) MicroBatch {
+	return nn.SyntheticBatch(cfg, b, s, seed)
+}
+
+// RunNumeric executes one training iteration of a plan on real tensors:
+// one goroutine per pipeline stage, channels as interconnect.
+func RunNumeric(p *Plan, m *NumericModel, batches []MicroBatch) (*NumericResult, error) {
+	return exec.Run(p, m, batches)
+}
+
+// ReferenceStep runs the single-device ground-truth iteration.
+func ReferenceStep(m *NumericModel, batches []MicroBatch) (float64, *Grads) {
+	return nn.ReferenceStep(m, batches)
+}
+
+// GradDiff returns the largest absolute per-parameter difference between
+// two gradient sets — zero means bit-identical training semantics.
+func GradDiff(a, b *Grads) float64 {
+	var worst float64
+	bn := b.Named()
+	for name, ga := range a.Named() {
+		if d := tensor.MaxAbsDiff(ga, bn[name]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// TrainConfig drives a short numeric pipeline-training run.
+type TrainConfig struct {
+	// Model is the transformer configuration (use TinyModel for demos).
+	Model ModelConfig
+	// Method is the pipeline parallelism to train with.
+	Method Method
+	// Stages and MicroBatches shape the pipeline.
+	Stages, MicroBatches int
+	// Batch and SeqLen shape each micro batch.
+	Batch, SeqLen int
+	// Steps is the number of optimizer steps.
+	Steps int
+	// LR is the Adam learning rate.
+	LR float64
+	// Seed controls parameter init and data generation.
+	Seed uint64
+}
+
+// TrainReport records the loss trajectory of a numeric training run.
+type TrainReport struct {
+	// Losses holds the per-step mean micro-batch losses.
+	Losses []float64
+}
+
+// Train runs a short pipeline-parallel training loop numerically and
+// returns the loss trajectory. It demonstrates end-to-end that a schedule
+// trains a real model; combined with ReferenceStep it shows convergence
+// parity (paper section 4.1).
+func Train(cfg TrainConfig) (*TrainReport, error) {
+	if cfg.Steps <= 0 || cfg.MicroBatches <= 0 {
+		return nil, fmt.Errorf("helixpipe: Steps and MicroBatches must be positive")
+	}
+	m := nn.NewModel(cfg.Model, cfg.Seed)
+	scfg := sched.Config{Stages: cfg.Stages, MicroBatches: cfg.MicroBatches, Layers: cfg.Model.Layers}
+	costs := sched.UnitCosts(0)
+	var plan *Plan
+	var err error
+	switch cfg.Method {
+	case MethodHelix, MethodHelixNaive, MethodHelixNoRecompute:
+		opt := HelixOptions{Fold: 2, Recompute: true}
+		if cfg.Method == MethodHelixNaive {
+			opt.Fold = 1
+		}
+		if cfg.Method == MethodHelixNoRecompute {
+			opt.Recompute = false
+		}
+		plan, err = BuildHelix(scfg, costs, opt)
+	default:
+		plan, err = sched.Build(cfg.Method, scfg, costs, 0)
+	}
+	if err != nil {
+		return nil, err
+	}
+	opt := nn.NewAdam(cfg.LR)
+	report := &TrainReport{}
+	for step := 0; step < cfg.Steps; step++ {
+		batches := make([]nn.MicroBatch, cfg.MicroBatches)
+		for i := range batches {
+			batches[i] = nn.SyntheticBatch(cfg.Model, cfg.Batch, cfg.SeqLen,
+				cfg.Seed+uint64(step*cfg.MicroBatches+i)+1)
+		}
+		res, err := exec.Run(plan, m, batches)
+		if err != nil {
+			return nil, err
+		}
+		report.Losses = append(report.Losses, res.Loss)
+		opt.Step(m, res.Grads)
+	}
+	return report, nil
+}
