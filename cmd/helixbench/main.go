@@ -1,12 +1,16 @@
 // Command helixbench regenerates the paper's evaluation: every table and
-// figure as a text table, written to stdout or one file per experiment.
+// figure as a text table, written to stdout or one file per experiment. With
+// -method it instead fans a Session.Sweep over the paper's sequence-length
+// and pipeline-size axes for the named methods.
 //
 // Usage:
 //
-//	helixbench                 # run everything
-//	helixbench -exp fig8       # run the Figure 8 panels only
-//	helixbench -exp table2     # one experiment
-//	helixbench -out results/   # also write one .txt per experiment
+//	helixbench                      # run every experiment
+//	helixbench -exp fig8            # the Figure 8 panels only
+//	helixbench -exp table2 -json    # one experiment, as JSON
+//	helixbench -out results/        # also write one .txt per experiment
+//	helixbench -method helixpipe,1f1b -json   # sweep reports as JSON
+//	helixbench -method help         # list the registered methods
 package main
 
 import (
@@ -20,14 +24,29 @@ import (
 	helixpipe "repro"
 )
 
+// The paper's Figure 8 sweep axes.
+var (
+	sweepSeqLens = []int{32768, 65536, 98304, 131072}
+	sweepStages  = []int{2, 4, 8}
+)
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("helixbench: ")
 	var (
-		exp    = flag.String("exp", "all", "experiment id prefix (all, table1, table2, table3, fig3, fig4, fig8, fig9, fig10, fig11, chunk, saturation, interleaved, zb1p-sensitivity)")
-		outDir = flag.String("out", "", "directory to write one .txt per experiment")
+		exp         = flag.String("exp", "all", "experiment id prefix (all, table1, table2, table3, fig3, fig4, fig8, fig9, fig10, fig11, chunk, saturation, interleaved, zb1p-sensitivity)")
+		outDir      = flag.String("out", "", "directory to write one .txt per experiment")
+		methodsFlag = flag.String("method", "", "comma-separated methods (case-insensitive) to sweep instead of running experiments; 'help' lists them")
+		modelName   = flag.String("model", "7B", "model preset for -method sweeps")
+		clusterName = flag.String("cluster", "H20", "cluster preset for -method sweeps")
+		jsonOut     = flag.Bool("json", false, "emit machine-readable JSON on stdout")
 	)
 	flag.Parse()
+
+	if *methodsFlag != "" {
+		runSweep(*methodsFlag, *modelName, *clusterName, *jsonOut)
+		return
+	}
 
 	tables, err := helixpipe.AllExperiments()
 	if err != nil {
@@ -38,14 +57,19 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	matched := 0
+	var matched []*helixpipe.ExperimentTable
 	for _, t := range tables {
 		if *exp != "all" && !strings.HasPrefix(t.ID, *exp) {
 			continue
 		}
-		matched++
-		out := t.Render()
-		fmt.Println(out)
+		matched = append(matched, t)
+		var out string
+		if !*jsonOut || *outDir != "" {
+			out = t.Render()
+		}
+		if !*jsonOut {
+			fmt.Println(out)
+		}
 		if *outDir != "" {
 			path := filepath.Join(*outDir, t.ID+".txt")
 			if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
@@ -53,8 +77,72 @@ func main() {
 			}
 		}
 	}
-	if matched == 0 {
+	if len(matched) == 0 {
 		log.Fatalf("no experiment matches %q", *exp)
 	}
-	fmt.Printf("ran %d experiments\n", matched)
+	if *jsonOut {
+		if err := helixpipe.WriteTablesJSON(os.Stdout, matched); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Printf("ran %d experiments\n", len(matched))
+}
+
+// runSweep fans the named methods across the paper's Figure 8 axes with
+// Session.Sweep and prints the reports as text or JSON.
+func runSweep(methodsFlag, modelName, clusterName string, jsonOut bool) {
+	var methods []helixpipe.Method
+	for _, part := range strings.Split(methodsFlag, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		m, ok := helixpipe.LookupMethod(part)
+		if !ok {
+			if !strings.EqualFold(part, "help") {
+				fmt.Fprintf(os.Stderr, "unknown method %q; the registered methods are:\n\n", part)
+			}
+			fmt.Fprint(os.Stderr, helixpipe.MethodListing())
+			os.Exit(2)
+		}
+		methods = append(methods, m)
+	}
+	if len(methods) == 0 {
+		log.Fatal("no method given")
+	}
+
+	mc, ok := helixpipe.ModelByName(modelName)
+	if !ok {
+		log.Fatalf("unknown model %q", modelName)
+	}
+	cl, ok := helixpipe.ClusterByName(clusterName)
+	if !ok {
+		log.Fatalf("unknown cluster %q", clusterName)
+	}
+	session, err := helixpipe.NewSession(mc, cl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reports, err := session.Sweep(helixpipe.Sweep{
+		Methods: methods,
+		SeqLens: sweepSeqLens,
+		Stages:  sweepStages,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if jsonOut {
+		if err := helixpipe.WriteReportsJSON(os.Stdout, reports); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Printf("%-22s %-8s %-4s %-14s %-14s %-10s\n",
+		"method", "seq", "pp", "iteration (s)", "tokens/s", "bubble %")
+	for _, r := range reports {
+		fmt.Printf("%-22s %-8d %-4d %-14.3f %-14.0f %-10.1f\n",
+			r.Method, r.SeqLen, r.Stages,
+			r.Sim.IterationSeconds, r.Sim.TokensPerSecond, r.Sim.BubbleFraction*100)
+	}
 }

@@ -5,6 +5,8 @@
 // Usage:
 //
 //	helixsim -model 7B -cluster H20 -seq 131072 -pp 8 -method HelixPipe [-timeline] [-svg out.svg]
+//	helixsim -method all -json         # every registered method, JSON reports
+//	helixsim -method help              # list the registered methods
 package main
 
 import (
@@ -12,6 +14,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	helixpipe "repro"
 )
@@ -20,91 +23,123 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("helixsim: ")
 	var (
-		modelName   = flag.String("model", "7B", "model preset: 1.3B, 3B, 7B, 13B")
+		modelName   = flag.String("model", "7B", "model preset: 1.3B, 3B, 7B, 13B, tiny")
 		clusterName = flag.String("cluster", "H20", "cluster preset: H20 or A800")
 		seqLen      = flag.Int("seq", 131072, "sequence length")
 		stages      = flag.Int("pp", 8, "pipeline size (stages, one node each)")
 		microBatch  = flag.Int("b", 1, "micro batch size")
 		numMB       = flag.Int("m", 0, "micro batches per iteration (default 2*pp)")
-		methodName  = flag.String("method", "HelixPipe", "schedule: GPipe, 1F1B, Interleaved1F1B, ZB1P, AdaPipe, HelixPipe-naive, HelixPipe, HelixPipe-norecompute, or 'all'")
+		methodName  = flag.String("method", "HelixPipe", "schedule name (case-insensitive), 'all', or 'help' to list")
 		timeline    = flag.Bool("timeline", false, "print an ASCII timeline")
 		svgPath     = flag.String("svg", "", "write an SVG timeline to this path")
+		jsonOut     = flag.Bool("json", false, "emit machine-readable JSON reports on stdout")
 	)
 	flag.Parse()
 
-	mc, ok := modelByName(*modelName)
+	methods, err := resolveMethods(*methodName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mc, ok := helixpipe.ModelByName(*modelName)
 	if !ok {
 		log.Fatalf("unknown model %q", *modelName)
 	}
-	cl, ok := clusterByName(*clusterName)
+	cl, ok := helixpipe.ClusterByName(*clusterName)
 	if !ok {
 		log.Fatalf("unknown cluster %q", *clusterName)
 	}
-	s := helixpipe.NewScenario(mc, cl, *seqLen, *stages)
-	s.MicroBatch = *microBatch
+	opts := []helixpipe.Option{
+		helixpipe.WithSeqLen(*seqLen),
+		helixpipe.WithStages(*stages),
+		helixpipe.WithMicroBatchSize(*microBatch),
+	}
 	if *numMB > 0 {
-		s.MicroBatches = *numMB
+		opts = append(opts, helixpipe.WithMicroBatches(*numMB))
+	}
+	if *timeline || *svgPath != "" {
+		opts = append(opts, helixpipe.WithTrace())
+	}
+	session, err := helixpipe.NewSession(mc, cl, opts...)
+	if err != nil {
+		log.Fatal(err)
 	}
 
-	methods := []helixpipe.Method{helixpipe.Method(*methodName)}
-	if *methodName == "all" {
-		methods = helixpipe.Methods()
-	}
+	var reports []*helixpipe.Report
 	for _, method := range methods {
-		plan, err := helixpipe.BuildPlan(s, method)
+		report, err := session.Simulate(method)
 		if err != nil {
-			log.Fatalf("%s: %v", method, err)
+			log.Fatal(err)
 		}
-		opt := helixpipe.SimOptions{Trace: *timeline || *svgPath != "", SMPenalty: cl.CommSMPenalty}
-		res, err := helixpipe.Simulate(plan, opt)
-		if err != nil {
-			log.Fatalf("%s: %v", method, err)
+		reports = append(reports, report)
+	}
+
+	if *jsonOut {
+		if err := helixpipe.WriteReportsJSON(os.Stdout, reports); err != nil {
+			log.Fatal(err)
 		}
-		tokens := s.TokensPerIteration()
-		fmt.Printf("%-22s iteration %8.3f s   %10.0f tokens/s   bubble %6.1f%%   peak stash %.1f GB\n",
-			method, res.IterationSeconds, res.Throughput(tokens),
-			res.BubbleSeconds()/res.IterationSeconds*100,
-			float64(res.MaxPeakStashBytes())/(1<<30))
-		for st := 0; st < res.Stages; st++ {
-			fmt.Printf("  P%-2d busy %7.2fs  idle %6.2fs  recv-wait %6.2fs  comm-stall %6.2fs  stash %.1f GB  sent %.1f GB\n",
-				st, res.BusySeconds[st], res.IdleSeconds[st], res.WaitSeconds[st],
-				res.CommStallSeconds[st], float64(res.PeakStashBytes[st])/(1<<30),
-				float64(res.BytesSent[st])/(1<<30))
-		}
-		if *timeline {
-			fmt.Println(helixpipe.TimelineASCII(res, 140))
+	}
+	for _, report := range reports {
+		if !*jsonOut {
+			printReport(report)
+			if *timeline {
+				fmt.Println(report.TimelineASCII(140))
+			}
 		}
 		if *svgPath != "" {
-			if err := os.WriteFile(*svgPath, []byte(helixpipe.TimelineSVG(res, 1400)), 0o644); err != nil {
+			path := *svgPath
+			if len(methods) > 1 {
+				path = strings.TrimSuffix(path, ".svg") + "_" + string(report.Method) + ".svg"
+			}
+			if err := os.WriteFile(path, []byte(report.TimelineSVG(1400)), 0o644); err != nil {
 				log.Fatal(err)
 			}
-			fmt.Printf("wrote %s\n", *svgPath)
+			if !*jsonOut {
+				fmt.Printf("wrote %s\n", path)
+			}
 		}
 	}
 }
 
-func modelByName(name string) (helixpipe.ModelConfig, bool) {
-	switch name {
-	case "1.3B":
-		return helixpipe.Model1B3(), true
-	case "3B":
-		return helixpipe.Model3B(), true
-	case "7B":
-		return helixpipe.Model7B(), true
-	case "13B":
-		return helixpipe.Model13B(), true
-	case "tiny":
-		return helixpipe.TinyModel(), true
+// resolveMethods expands the -method flag into registry method names,
+// case-insensitively. "help" (or an unknown name) prints the registry's
+// method list.
+func resolveMethods(name string) ([]helixpipe.Method, error) {
+	if strings.EqualFold(name, "all") {
+		return helixpipe.Methods(), nil
 	}
-	return helixpipe.ModelConfig{}, false
+	var out []helixpipe.Method
+	for _, part := range strings.Split(name, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		m, ok := helixpipe.LookupMethod(part)
+		if !ok {
+			if !strings.EqualFold(part, "help") {
+				fmt.Fprintf(os.Stderr, "unknown method %q; the registered methods are:\n\n", part)
+			}
+			fmt.Fprint(os.Stderr, helixpipe.MethodListing())
+			fmt.Fprintf(os.Stderr, "  %-22s run every registered method\n", "all")
+			os.Exit(2)
+		}
+		out = append(out, m)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no method given")
+	}
+	return out, nil
 }
 
-func clusterByName(name string) (helixpipe.ClusterSpec, bool) {
-	switch name {
-	case "H20":
-		return helixpipe.H20Cluster(), true
-	case "A800":
-		return helixpipe.A800Cluster(), true
+func printReport(r *helixpipe.Report) {
+	s := r.Sim
+	fmt.Printf("%-22s iteration %8.3f s   %10.0f tokens/s   bubble %6.1f%%   peak stash %.1f GB\n",
+		r.Method, s.IterationSeconds, s.TokensPerSecond,
+		s.BubbleFraction*100, float64(s.MaxPeakStashBytes)/(1<<30))
+	for _, st := range s.PerStage {
+		fmt.Printf("  P%-2d busy %7.2fs  idle %6.2fs  recv-wait %6.2fs  comm-stall %6.2fs  stash %.1f GB  sent %.1f GB\n",
+			st.Stage, st.BusySeconds, st.IdleSeconds, st.WaitSeconds,
+			st.CommStallSeconds, float64(st.PeakStashBytes)/(1<<30),
+			float64(st.BytesSent)/(1<<30))
 	}
-	return helixpipe.ClusterSpec{}, false
 }

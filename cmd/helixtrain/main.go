@@ -6,12 +6,16 @@
 // Usage:
 //
 //	helixtrain -method HelixPipe -steps 10 -pp 2
+//	helixtrain -method help            # list the registered methods
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"strings"
 
 	helixpipe "repro"
 )
@@ -20,18 +24,28 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("helixtrain: ")
 	var (
-		methodName = flag.String("method", "HelixPipe", "pipeline parallelism to train with")
+		methodName = flag.String("method", "HelixPipe", "pipeline parallelism to train with (case-insensitive; 'help' lists)")
 		steps      = flag.Int("steps", 10, "optimizer steps")
 		stages     = flag.Int("pp", 2, "pipeline stages")
 		seqLen     = flag.Int("seq", 16, "sequence length")
 		lr         = flag.Float64("lr", 3e-3, "Adam learning rate")
 		seed       = flag.Uint64("seed", 42, "init/data seed")
+		jsonOut    = flag.Bool("json", false, "emit a machine-readable JSON report on stdout")
 	)
 	flag.Parse()
 
+	method, ok := helixpipe.LookupMethod(*methodName)
+	if !ok {
+		if !strings.EqualFold(*methodName, "help") {
+			fmt.Fprintf(os.Stderr, "unknown method %q; the registered methods are:\n\n", *methodName)
+		}
+		fmt.Fprint(os.Stderr, helixpipe.MethodListing())
+		os.Exit(2)
+	}
+
 	cfg := helixpipe.TrainConfig{
 		Model:        helixpipe.TinyModel(),
-		Method:       helixpipe.Method(*methodName),
+		Method:       method,
 		Stages:       *stages,
 		MicroBatches: 2 * *stages * 2, // two two-fold FILO loops
 		Batch:        1,
@@ -40,42 +54,66 @@ func main() {
 		LR:           *lr,
 		Seed:         *seed,
 	}
-	fmt.Printf("training tiny GPT (%d layers, hidden %d) with %s on %d stages, %d micro batches\n",
-		cfg.Model.Layers, cfg.Model.Hidden, cfg.Method, cfg.Stages, cfg.MicroBatches)
-
-	report, err := helixpipe.Train(cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	for i, loss := range report.Losses {
-		fmt.Printf("step %2d  loss %.6f\n", i, loss)
-	}
-	if n := len(report.Losses); n >= 2 && report.Losses[n-1] < report.Losses[0] {
-		fmt.Printf("loss improved %.4f -> %.4f\n", report.Losses[0], report.Losses[n-1])
+	if !*jsonOut {
+		fmt.Printf("training tiny GPT (%d layers, hidden %d) with %s on %d stages, %d micro batches\n",
+			cfg.Model.Layers, cfg.Model.Hidden, cfg.Method, cfg.Stages, cfg.MicroBatches)
 	}
 
-	// Single-iteration parity check against the single-device reference.
-	m1 := helixpipe.NewNumericModel(cfg.Model, cfg.Seed)
-	m2 := helixpipe.NewNumericModel(cfg.Model, cfg.Seed)
-	batches := make([]helixpipe.MicroBatch, cfg.MicroBatches)
-	for i := range batches {
-		batches[i] = helixpipe.SyntheticBatch(cfg.Model, 1, cfg.SeqLen, uint64(i)+1)
-	}
-	plan, err := helixpipe.BuildHelix(
-		helixpipe.ScheduleConfig{Stages: cfg.Stages, MicroBatches: cfg.MicroBatches, Layers: cfg.Model.Layers},
-		helixpipe.UnitCosts(0), helixpipe.HelixOptions{Fold: 2, Recompute: true})
+	trainReport, err := helixpipe.Train(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := helixpipe.RunNumeric(plan, m1, batches)
+	if !*jsonOut {
+		for i, loss := range trainReport.Losses {
+			fmt.Printf("step %2d  loss %.6f\n", i, loss)
+		}
+		if n := len(trainReport.Losses); n >= 2 && trainReport.Losses[n-1] < trainReport.Losses[0] {
+			fmt.Printf("loss improved %.4f -> %.4f\n", trainReport.Losses[0], trainReport.Losses[n-1])
+		}
+	}
+
+	// Single-iteration parity check against the single-device reference,
+	// through the Session/Engine API: the numeric engine and the reference
+	// share initialization seed and micro batches.
+	session, err := helixpipe.NewSession(cfg.Model, helixpipe.H20Cluster(),
+		helixpipe.WithSeqLen(cfg.SeqLen),
+		helixpipe.WithStages(cfg.Stages),
+		helixpipe.WithMicroBatches(cfg.MicroBatches))
 	if err != nil {
 		log.Fatal(err)
 	}
-	refLoss, refGrads := helixpipe.ReferenceStep(m2, batches)
-	fmt.Printf("parity: pipeline loss %.9f, reference loss %.9f, max grad diff %g\n",
-		res.Loss, refLoss, helixpipe.GradDiff(res.Grads, refGrads))
-	if res.Loss == refLoss && helixpipe.GradDiff(res.Grads, refGrads) == 0 {
-		fmt.Println("HelixPipe preserves the computation semantics of single-device training (paper section 4.1)")
+	engine := session.NumericEngine(cfg.Seed)
+	report, err := session.Run(engine, method)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ref := helixpipe.NewNumericModel(cfg.Model, cfg.Seed)
+	refLoss, refGrads := helixpipe.ReferenceStep(ref, engine.Batches)
+	res := report.NumericResult()
+	diff := helixpipe.GradDiff(res.Grads, refGrads)
+	identical := res.Loss == refLoss && diff == 0
+
+	if *jsonOut {
+		out := struct {
+			Losses    []float64         `json:"losses"`
+			Parity    *helixpipe.Report `json:"parity"`
+			RefLoss   float64           `json:"reference_loss"`
+			GradDiff  float64           `json:"max_grad_diff"`
+			Identical bool              `json:"identical"`
+		}{trainReport.Losses, report, refLoss, diff, identical}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		fmt.Printf("parity: pipeline loss %.9f, reference loss %.9f, max grad diff %g\n",
+			res.Loss, refLoss, diff)
+	}
+	if identical {
+		if !*jsonOut {
+			fmt.Printf("%s preserves the computation semantics of single-device training (paper section 4.1)\n", method)
+		}
 	} else {
 		log.Fatal("parity violated!")
 	}

@@ -10,6 +10,7 @@
 //	helixviz -figure 6          # naive vs two-fold FILO with communication
 //	helixviz -figure 7          # naive vs two-fold FILO full schedules
 //	helixviz -figure 7 -svgdir out/
+//	helixviz -figure 7 -json    # the panel reports as JSON
 package main
 
 import (
@@ -27,69 +28,68 @@ type panel struct {
 	name     string
 	method   helixpipe.Method
 	cfg      helixpipe.ScheduleConfig
+	params   helixpipe.BuildParams
 	commTime float64 // per-message time in the 1:3:2 unit system
 }
 
+// noRecompute disables recomputation for the didactic figures, which draw
+// plain schedules without the memory strategy.
+var noRecompute = false
+
 func panels(figure int) ([]panel, error) {
+	plain := helixpipe.BuildParams{HelixRecompute: &noRecompute}
 	switch figure {
 	case 2:
 		// Figure 2: 4 micro batches, 8 layers, 4 stages, no communication.
 		cfg := helixpipe.ScheduleConfig{Stages: 4, MicroBatches: 4, Layers: 8}
 		return []panel{
-			{"Figure 2a: 1F1B", helixpipe.Method1F1B, cfg, 0},
-			{"Figure 2b: HelixPipe FILO", helixpipe.MethodHelixNaive, cfg, 0},
+			{"Figure 2a: 1F1B", helixpipe.Method1F1B, cfg, helixpipe.BuildParams{}, 0},
+			{"Figure 2b: HelixPipe FILO", helixpipe.MethodHelixNaive, cfg, plain, 0},
 		}, nil
 	case 5:
 		// Figure 5: one layer equivalent, two stages, two micro batches.
 		cfg := helixpipe.ScheduleConfig{Stages: 2, MicroBatches: 2, Layers: 2}
 		return []panel{
-			{"Figure 5a: layer-wise partition", helixpipe.MethodGPipe, cfg, 0},
-			{"Figure 5b: attention parallel partition", helixpipe.MethodHelixNaive, cfg, 0},
+			{"Figure 5a: layer-wise partition", helixpipe.MethodGPipe, cfg, helixpipe.BuildParams{}, 0},
+			{"Figure 5b: attention parallel partition", helixpipe.MethodHelixNaive, cfg, plain, 0},
 		}, nil
 	case 6:
 		// Figure 6: two stages with visible communication.
 		cfg := helixpipe.ScheduleConfig{Stages: 2, MicroBatches: 4, Layers: 4}
 		return []panel{
-			{"Figure 6a: naive FILO (blocking comm delays the pipeline)", helixpipe.MethodHelixNaive, cfg, 1.0},
-			{"Figure 6b: two-fold FILO (comm overlapped by attention)", helixpipe.MethodHelix, cfg, 1.0},
+			{"Figure 6a: naive FILO (blocking comm delays the pipeline)", helixpipe.MethodHelixNaive, cfg, plain, 1.0},
+			{"Figure 6b: two-fold FILO (comm overlapped by attention)", helixpipe.MethodHelix, cfg, plain, 1.0},
 		}, nil
 	case 7:
 		// Figure 7: 8 micro batches, 4 layers, 4 stages.
 		cfg := helixpipe.ScheduleConfig{Stages: 4, MicroBatches: 8, Layers: 4}
 		return []panel{
-			{"Figure 7a: naive FILO", helixpipe.MethodHelixNaive, cfg, 0.5},
-			{"Figure 7b: two-fold FILO", helixpipe.MethodHelix, cfg, 0.5},
+			{"Figure 7a: naive FILO", helixpipe.MethodHelixNaive, cfg, plain, 0.5},
+			{"Figure 7b: two-fold FILO", helixpipe.MethodHelix, cfg, plain, 0.5},
 		}, nil
 	default:
 		return nil, fmt.Errorf("unknown figure %d (supported: 2, 5, 6, 7)", figure)
 	}
 }
 
-func buildPanel(p panel) (*helixpipe.SimResult, error) {
-	costs := helixpipe.UnitCosts(p.commTime)
-	var plan *helixpipe.Plan
-	var err error
-	switch p.method {
-	case helixpipe.MethodHelixNaive:
-		plan, err = helixpipe.BuildHelix(p.cfg, costs, helixpipe.HelixOptions{Fold: 1, Recompute: false})
-	case helixpipe.MethodHelix:
-		plan, err = helixpipe.BuildHelix(p.cfg, costs, helixpipe.HelixOptions{Fold: 2, Recompute: false})
-	default:
-		plan, err = helixpipe.BuildBaseline(p.method, p.cfg, costs)
-	}
+// buildPanel builds the panel's plan through the method registry and runs it
+// on a traced simulator engine.
+func buildPanel(p panel) (*helixpipe.Report, error) {
+	plan, err := helixpipe.BuildMethod(p.method, p.cfg, helixpipe.UnitCosts(p.commTime), p.params)
 	if err != nil {
 		return nil, err
 	}
-	return helixpipe.Simulate(plan, helixpipe.SimOptions{Trace: true})
+	return helixpipe.NewSimEngine(helixpipe.SimOptions{Trace: true}).Run(plan)
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("helixviz: ")
 	var (
-		figure = flag.Int("figure", 2, "paper figure to render: 2, 5, 6 or 7")
-		width  = flag.Int("width", 140, "ASCII timeline width")
-		svgDir = flag.String("svgdir", "", "write SVG files to this directory")
+		figure  = flag.Int("figure", 2, "paper figure to render: 2, 5, 6 or 7")
+		width   = flag.Int("width", 140, "ASCII timeline width")
+		svgDir  = flag.String("svgdir", "", "write SVG files to this directory")
+		jsonOut = flag.Bool("json", false, "emit the panel reports as JSON on stdout")
 	)
 	flag.Parse()
 
@@ -97,22 +97,33 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	var reports []*helixpipe.Report
 	for i, p := range ps {
-		res, err := buildPanel(p)
+		report, err := buildPanel(p)
 		if err != nil {
 			log.Fatalf("%s: %v", p.name, err)
 		}
-		fmt.Println(p.name)
-		fmt.Println(helixpipe.TimelineASCII(res, *width))
+		reports = append(reports, report)
+		if !*jsonOut {
+			fmt.Println(p.name)
+			fmt.Println(report.TimelineASCII(*width))
+		}
 		if *svgDir != "" {
 			if err := os.MkdirAll(*svgDir, 0o755); err != nil {
 				log.Fatal(err)
 			}
 			path := filepath.Join(*svgDir, fmt.Sprintf("figure%d_%c.svg", *figure, 'a'+i))
-			if err := os.WriteFile(path, []byte(helixpipe.TimelineSVG(res, 1400)), 0o644); err != nil {
+			if err := os.WriteFile(path, []byte(report.TimelineSVG(1400)), 0o644); err != nil {
 				log.Fatal(err)
 			}
-			fmt.Printf("wrote %s\n\n", path)
+			if !*jsonOut {
+				fmt.Printf("wrote %s\n\n", path)
+			}
+		}
+	}
+	if *jsonOut {
+		if err := helixpipe.WriteReportsJSON(os.Stdout, reports); err != nil {
+			log.Fatal(err)
 		}
 	}
 }

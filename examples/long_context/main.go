@@ -1,9 +1,9 @@
 // Long-context planning: which pipeline parallelism should serve a given
-// sequence length on a given cluster? This example sweeps 32k-128k on both
-// paper testbeds and reports the winner and the HelixPipe gain, reproducing
-// the scalability story of Figure 8 — including the A800/32k regime where
-// the two-fold FILO communication cannot hide behind attention and plain
-// 1F1B is the right choice.
+// sequence length on a given cluster? This example fans a Session.Sweep over
+// 32k-128k on both paper testbeds and reports the winner and the HelixPipe
+// gain, reproducing the scalability story of Figure 8 — including the
+// A800/32k regime where the two-fold FILO communication cannot hide behind
+// attention and plain 1F1B is the right choice.
 //
 // Run with: go run ./examples/long_context
 package main
@@ -17,34 +17,38 @@ import (
 
 func main() {
 	log.SetFlags(0)
-	clusters := []helixpipe.ClusterSpec{helixpipe.H20Cluster(), helixpipe.A800Cluster()}
 	methods := []helixpipe.Method{
 		helixpipe.Method1F1B, helixpipe.MethodZB1P, helixpipe.MethodAdaPipe, helixpipe.MethodHelix,
 	}
+	seqLens := []int{32768, 65536, 98304, 131072}
 	fmt.Printf("%-6s %-6s %-34s %-12s %s\n", "seq", "nodes", "tokens/s per method (1F1B/ZB1P/AdaPipe/Helix)", "winner", "Helix vs best baseline")
-	for _, cl := range clusters {
+	for _, cl := range []helixpipe.ClusterSpec{helixpipe.H20Cluster(), helixpipe.A800Cluster()} {
+		session, err := helixpipe.NewSession(helixpipe.Model7B(), cl, helixpipe.WithStages(8))
+		if err != nil {
+			log.Fatal(err)
+		}
+		// One sweep per cluster: methods x sequence lengths, fanned out
+		// across goroutines, reports back in deterministic grid order.
+		reports, err := session.Sweep(helixpipe.Sweep{Methods: methods, SeqLens: seqLens})
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("--- %s cluster (%.0f GB/s inter-node, %s GPUs)\n", cl.Name, cl.InterNodeGBps, cl.GPU.Name)
-		for _, seq := range []int{32768, 65536, 98304, 131072} {
-			s := helixpipe.NewScenario(helixpipe.Model7B(), cl, seq, 8)
-			tokens := s.TokensPerIteration()
-			tputs := make([]float64, len(methods))
-			winner, best := helixpipe.Method(""), 0.0
-			baseline := 0.0
-			for i, m := range methods {
-				res, err := s.Simulate(m)
-				if err != nil {
-					log.Fatalf("%s: %v", m, err)
+		for i, seq := range seqLens {
+			row := reports[i*len(methods) : (i+1)*len(methods)]
+			tputs := make([]float64, len(row))
+			winner, best, baseline := helixpipe.Method(""), 0.0, 0.0
+			for j, r := range row {
+				tputs[j] = r.Sim.TokensPerSecond
+				if tputs[j] > best {
+					best, winner = tputs[j], r.Method
 				}
-				tputs[i] = res.Throughput(tokens)
-				if tputs[i] > best {
-					best, winner = tputs[i], m
-				}
-				if m != helixpipe.MethodHelix && tputs[i] > baseline {
-					baseline = tputs[i]
+				if r.Method != helixpipe.MethodHelix && tputs[j] > baseline {
+					baseline = tputs[j]
 				}
 			}
 			fmt.Printf("%-6s %-6d %8.0f /%8.0f /%8.0f /%8.0f   %-12s %+.1f%%\n",
-				fmt.Sprintf("%dk", seq/1024), s.Stages,
+				fmt.Sprintf("%dk", seq/1024), session.Stages(),
 				tputs[0], tputs[1], tputs[2], tputs[3], winner,
 				(tputs[3]/baseline-1)*100)
 		}

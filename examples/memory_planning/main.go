@@ -46,15 +46,19 @@ func main() {
 
 	// Part 2 — simulated footprints: 1F1B skew vs HelixPipe balance.
 	fmt.Println("\nSimulated peak activation stash, 3B model at 128k, p=8 (paper Figure 10):")
-	s := helixpipe.NewScenario(helixpipe.Model3B(), helixpipe.H20Cluster(), 131072, 8)
+	session, err := helixpipe.NewSession(helixpipe.Model3B(), helixpipe.H20Cluster(),
+		helixpipe.WithSeqLen(131072), helixpipe.WithStages(8))
+	if err != nil {
+		log.Fatal(err)
+	}
 	for _, m := range []helixpipe.Method{helixpipe.Method1F1B, helixpipe.MethodZB1P, helixpipe.MethodHelix} {
-		res, err := s.Simulate(m)
+		report, err := session.Simulate(m)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%-12s", m)
-		for _, b := range res.PeakStashBytes {
-			fmt.Printf("  %5.1f", float64(b)/(1<<30))
+		for _, st := range report.Sim.PerStage {
+			fmt.Printf("  %5.1f", float64(st.PeakStashBytes)/(1<<30))
 		}
 		fmt.Println(" GB")
 	}

@@ -20,9 +20,16 @@ func main() {
 	const stages, microBatches, seqLen, steps = 2, 8, 16, 8
 	const seed = 1234
 
-	plan, err := helixpipe.BuildHelix(
-		helixpipe.ScheduleConfig{Stages: stages, MicroBatches: microBatches, Layers: cfg.Layers},
-		helixpipe.UnitCosts(0), helixpipe.HelixOptions{Fold: 2, Recompute: true})
+	// One session describes the geometry; the numeric engine runs the same
+	// plan the simulator would time, on real tensors.
+	session, err := helixpipe.NewSession(cfg, helixpipe.H20Cluster(),
+		helixpipe.WithSeqLen(seqLen),
+		helixpipe.WithStages(stages),
+		helixpipe.WithMicroBatches(microBatches))
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := session.Plan(helixpipe.MethodHelix)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -38,10 +45,12 @@ func main() {
 		for i := range batches {
 			batches[i] = helixpipe.SyntheticBatch(cfg, 1, seqLen, uint64(step*microBatches+i)+1)
 		}
-		res, err := helixpipe.RunNumeric(plan, pipe, batches)
+		engine := helixpipe.NewNumericEngine(pipe, batches)
+		report, err := engine.Run(plan)
 		if err != nil {
 			log.Fatal(err)
 		}
+		res := report.NumericResult()
 		refLoss, refGrads := helixpipe.ReferenceStep(ref, batches)
 		same := res.Loss == refLoss && helixpipe.GradDiff(res.Grads, refGrads) == 0
 		fmt.Printf("%-5d %-14.9f %-14.9f %v\n", step, res.Loss, refLoss, same)

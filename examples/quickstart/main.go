@@ -14,38 +14,36 @@ import (
 
 func main() {
 	log.SetFlags(0)
-	scenario := helixpipe.NewScenario(helixpipe.Model7B(), helixpipe.H20Cluster(), 131072, 8)
+	session, err := helixpipe.NewSession(helixpipe.Model7B(), helixpipe.H20Cluster(),
+		helixpipe.WithSeqLen(131072), helixpipe.WithStages(8))
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("7B model, 128k tokens/sequence, %d pipeline stages (one 8-GPU node each), %d micro batches\n\n",
-		scenario.Stages, scenario.MicroBatches)
+		session.Stages(), session.MicroBatches())
 
 	methods := []helixpipe.Method{
 		helixpipe.Method1F1B, helixpipe.MethodZB1P, helixpipe.MethodAdaPipe, helixpipe.MethodHelix,
 	}
-	tokens := scenario.TokensPerIteration()
-	best := 0.0
-	results := map[helixpipe.Method]*helixpipe.SimResult{}
+	results := map[helixpipe.Method]*helixpipe.Report{}
 	for _, m := range methods {
-		res, err := scenario.Simulate(m)
+		report, err := session.Simulate(m)
 		if err != nil {
-			log.Fatalf("%s: %v", m, err)
+			log.Fatal(err)
 		}
-		results[m] = res
-		if tput := res.Throughput(tokens); tput > best {
-			best = tput
-		}
+		results[m] = report
 	}
 	fmt.Printf("%-12s %12s %12s %10s %12s\n", "method", "iteration", "tokens/s", "bubble", "peak stash")
 	for _, m := range methods {
-		res := results[m]
+		sim := results[m].Sim
 		fmt.Printf("%-12s %10.2f s %12.0f %9.1f%% %9.1f GB\n",
-			m, res.IterationSeconds, res.Throughput(tokens),
-			res.BubbleSeconds()/res.IterationSeconds*100,
-			float64(res.MaxPeakStashBytes())/(1<<30))
+			m, sim.IterationSeconds, sim.TokensPerSecond,
+			sim.BubbleFraction*100, float64(sim.MaxPeakStashBytes)/(1<<30))
 	}
-	helix := results[helixpipe.MethodHelix].Throughput(tokens)
+	helix := results[helixpipe.MethodHelix].Sim.TokensPerSecond
 	baseline := 0.0
 	for _, m := range methods[:3] {
-		if t := results[m].Throughput(tokens); t > baseline {
+		if t := results[m].Sim.TokensPerSecond; t > baseline {
 			baseline = t
 		}
 	}

@@ -3,6 +3,10 @@
 // pre:attention:post cost ratio, and see the bubble shrink from GPipe
 // through 1F1B and ZB1P to HelixPipe's attention parallel partition.
 //
+// Every schedule is built through the method registry — the same path the
+// Session API uses — so the list below stays in sync with whatever methods
+// are registered.
+//
 // Run with: go run ./examples/schedule_explorer
 package main
 
@@ -17,41 +21,36 @@ func main() {
 	log.SetFlags(0)
 	cfg := helixpipe.ScheduleConfig{Stages: 4, MicroBatches: 8, Layers: 8}
 	costs := helixpipe.UnitCosts(0)
+	noRecompute := false
 
 	type entry struct {
-		name  string
-		build func() (*helixpipe.Plan, error)
+		name   string
+		method helixpipe.Method
+		params helixpipe.BuildParams
 	}
 	entries := []entry{
-		{"GPipe", func() (*helixpipe.Plan, error) { return helixpipe.BuildBaseline(helixpipe.MethodGPipe, cfg, costs) }},
-		{"1F1B", func() (*helixpipe.Plan, error) { return helixpipe.BuildBaseline(helixpipe.Method1F1B, cfg, costs) }},
-		{"ZB1P", func() (*helixpipe.Plan, error) { return helixpipe.BuildBaseline(helixpipe.MethodZB1P, cfg, costs) }},
-		{"Interleaved 1F1B", func() (*helixpipe.Plan, error) {
-			return helixpipe.BuildBaseline(helixpipe.MethodInterleaved, cfg, costs)
-		}},
-		{"HelixPipe naive FILO", func() (*helixpipe.Plan, error) {
-			return helixpipe.BuildHelix(cfg, costs, helixpipe.HelixOptions{Fold: 1, Recompute: false})
-		}},
-		{"HelixPipe two-fold FILO", func() (*helixpipe.Plan, error) {
-			return helixpipe.BuildHelix(cfg, costs, helixpipe.HelixOptions{Fold: 2, Recompute: false})
-		}},
-		{"HelixPipe two-fold + recompute", func() (*helixpipe.Plan, error) {
-			return helixpipe.BuildHelix(cfg, costs, helixpipe.HelixOptions{Fold: 2, Recompute: true})
-		}},
+		{"GPipe", helixpipe.MethodGPipe, helixpipe.BuildParams{}},
+		{"1F1B", helixpipe.Method1F1B, helixpipe.BuildParams{}},
+		{"ZB1P", helixpipe.MethodZB1P, helixpipe.BuildParams{}},
+		{"Interleaved 1F1B", helixpipe.MethodInterleaved, helixpipe.BuildParams{}},
+		{"HelixPipe naive FILO", helixpipe.MethodHelixNaive, helixpipe.BuildParams{HelixRecompute: &noRecompute}},
+		{"HelixPipe two-fold FILO", helixpipe.MethodHelix, helixpipe.BuildParams{HelixRecompute: &noRecompute}},
+		{"HelixPipe two-fold + recompute", helixpipe.MethodHelix, helixpipe.BuildParams{}},
 	}
+	engine := helixpipe.NewSimEngine(helixpipe.SimOptions{Trace: true})
 	fmt.Printf("4 stages, 8 micro batches, 8 layers, unit costs pre:attn:post = 1:3:2\n\n")
 	for _, e := range entries {
-		plan, err := e.build()
+		plan, err := helixpipe.BuildMethod(e.method, cfg, costs, e.params)
 		if err != nil {
 			log.Fatalf("%s: %v", e.name, err)
 		}
-		res, err := helixpipe.Simulate(plan, helixpipe.SimOptions{Trace: true})
+		report, err := engine.Run(plan)
 		if err != nil {
 			log.Fatalf("%s: %v", e.name, err)
 		}
 		fmt.Printf("--- %s: iteration %.0f units, mean bubble %.0f units\n",
-			e.name, res.IterationSeconds, res.BubbleSeconds())
-		fmt.Println(helixpipe.TimelineASCII(res, 132))
+			e.name, report.Sim.IterationSeconds, report.Sim.BubbleSeconds)
+		fmt.Println(report.TimelineASCII(132))
 	}
 	fmt.Println("Note how attention (the 3-unit blocks) leaves the critical path under HelixPipe:")
 	fmt.Println("the bubble no longer grows with the layer count, only with pre+post time.")

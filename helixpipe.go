@@ -2,29 +2,53 @@
 // Distributed Training of Long Sequence Transformers with Attention Parallel
 // Pipeline Parallelism" (PPoPP 2026).
 //
-// It packages two engines behind one API:
+// The public surface is built around three concepts:
 //
-//   - A deterministic discrete-event simulator of GPU-cluster pipeline
-//     training, driven by the paper's analytic cost model (Table 1 FLOP and
-//     byte counts, H20/A800 cluster specs). It regenerates every performance
-//     table and figure of the paper's evaluation.
+//   - A Session binds a ModelConfig and a ClusterSpec with functional
+//     options (WithSeqLen, WithStages, WithMicroBatches, ...), validates
+//     eagerly, and builds schedule plans for any registered method.
 //
-//   - A numeric pipeline runtime — one goroutine per stage, channels as the
-//     interconnect, a pure-Go tensor library underneath — that executes the
-//     same schedules on real transformer math and proves the semantics
-//     claim: HelixPipe's gradients are bit-identical to 1F1B's and to a
-//     single device's.
+//   - An Engine runs plans. Two interchangeable implementations exist:
+//     SimEngine, a deterministic discrete-event simulator of GPU-cluster
+//     pipeline training driven by the paper's analytic cost model, and
+//     NumericEngine, a numeric runtime — one goroutine per stage, channels
+//     as the interconnect, a pure-Go tensor library underneath — that
+//     executes the same schedules on real transformer math and proves the
+//     semantics claim: HelixPipe's gradients are bit-identical to 1F1B's
+//     and to a single device's.
 //
-// Both engines consume the same schedule IR. Plans are built per method:
-// the HelixPipe variants (attention parallel partition with naive or
-// two-fold FILO schedules, with or without recomputation without attention)
-// plus the baselines GPipe, 1F1B, interleaved 1F1B, ZB1P and AdaPipe.
+//   - A Report is the unified result of one run: serializable to JSON and
+//     CSV, with the ASCII/SVG timeline renderers hanging off it.
+//
+// Both engines consume the same schedule IR. Methods live in a registry
+// (internal/sched): the HelixPipe variants (attention parallel partition
+// with naive or two-fold FILO schedules, with or without recomputation
+// without attention) register from internal/core, and the baselines GPipe,
+// 1F1B, interleaved 1F1B, ZB1P, ZB2P and AdaPipe register from
+// internal/sched itself. Methods() and the command-line tools are
+// registry-driven.
 //
 // Quick start:
 //
-//	s := helixpipe.NewScenario(helixpipe.Model7B(), helixpipe.H20Cluster(), 131072, 8)
-//	res, err := s.Simulate(helixpipe.MethodHelix)
-//	// res.IterationSeconds, res.PeakStashBytes, ...
+//	s, err := helixpipe.NewSession(helixpipe.Model7B(), helixpipe.H20Cluster(),
+//		helixpipe.WithSeqLen(131072), helixpipe.WithStages(8))
+//	report, err := s.Simulate(helixpipe.MethodHelix)
+//	// report.Sim.IterationSeconds, report.Sim.TokensPerSecond, ...
+//	data, err := json.Marshal(report)
+//
+// Session.Sweep fans a method x sequence-length x stages grid out across
+// goroutines; Session.NumericEngine runs the same plans numerically:
+//
+//	reports, err := s.Sweep(helixpipe.Sweep{
+//		Methods: []helixpipe.Method{helixpipe.Method1F1B, helixpipe.MethodHelix},
+//		SeqLens: []int{32768, 65536, 131072},
+//		Stages:  []int{2, 4, 8},
+//	})
+//	parity, err := s.Run(s.NumericEngine(42), helixpipe.MethodHelix)
+//
+// The free functions below (NewScenario, BuildPlan, Simulate, ...) are the
+// package's original surface, kept as thin deprecated shims over the
+// Session/Engine API.
 package helixpipe
 
 import (
@@ -61,6 +85,8 @@ type (
 	ScheduleConfig = sched.Config
 	// Costs is the cost book plans are annotated with.
 	Costs = sched.Costs
+	// BuildParams carries method-specific build knobs for the registry.
+	BuildParams = sched.BuildParams
 	// HelixOptions selects the HelixPipe variant.
 	HelixOptions = core.Options
 )
@@ -72,6 +98,8 @@ type (
 	// SimOptions tunes the simulator.
 	SimOptions = sim.Options
 	// Scenario is a full experiment configuration.
+	//
+	// Deprecated: build a Session with NewSession instead.
 	Scenario = bench.Scenario
 	// ExperimentTable is a rendered experiment result.
 	ExperimentTable = bench.Table
@@ -83,6 +111,7 @@ const (
 	Method1F1B             = sched.Method1F1B
 	MethodInterleaved      = sched.MethodInterleaved
 	MethodZB1P             = sched.MethodZB1P
+	MethodZB2P             = sched.MethodZB2P
 	MethodAdaPipe          = sched.MethodAdaPipe
 	MethodHelixNaive       = sched.MethodHelixNaive
 	MethodHelix            = sched.MethodHelix
@@ -98,26 +127,27 @@ func Model13B() ModelConfig { return model.Model13B() }
 // TinyModel returns the miniature configuration used by the numeric runtime.
 func TinyModel() ModelConfig { return model.TinyTest() }
 
+// ModelByName resolves a model preset by name ("1.3B", "3B", "7B", "13B",
+// "tiny") and reports whether it exists.
+func ModelByName(name string) (ModelConfig, bool) {
+	if name == "tiny" {
+		return model.TinyTest(), true
+	}
+	return model.PresetByName(name)
+}
+
 // Cluster presets (paper section 5.1 testbeds).
 func H20Cluster() ClusterSpec  { return costmodel.H20Cluster() }
 func A800Cluster() ClusterSpec { return costmodel.A800Cluster() }
 
-// Methods lists every implemented pipeline parallelism.
+// ClusterByName resolves a cluster preset by name ("H20", "A800") and
+// reports whether it exists.
+func ClusterByName(name string) (ClusterSpec, bool) {
+	return costmodel.ClusterByName(name)
+}
+
+// Methods lists every registered pipeline parallelism, baselines first.
 func Methods() []Method { return sched.Methods() }
-
-// NewScenario builds a paper-default scenario: micro batch size 1 and
-// m = 2p micro batches per iteration (section 5.1).
-func NewScenario(m ModelConfig, cl ClusterSpec, seqLen, stages int) Scenario {
-	return bench.NewScenario(m, cl, seqLen, stages)
-}
-
-// BuildPlan constructs the schedule plan for a method under a scenario.
-func BuildPlan(s Scenario, method Method) (*Plan, error) { return s.BuildPlan(method) }
-
-// BuildHelix constructs a HelixPipe plan with explicit options.
-func BuildHelix(cfg ScheduleConfig, costs Costs, opt HelixOptions) (*Plan, error) {
-	return core.Build(cfg, costs, opt)
-}
 
 // NewCosts builds the cost book of a workload.
 func NewCosts(w Workload) Costs { return sched.NewCosts(w) }
@@ -128,27 +158,61 @@ func UnitCosts(commTime float64) Costs { return sched.UnitCosts(commTime) }
 // ValidatePlan checks a plan's structural and dataflow invariants.
 func ValidatePlan(p *Plan) error { return sched.Validate(p) }
 
-// Simulate runs one simulated training iteration of a plan.
-func Simulate(p *Plan, opt SimOptions) (*SimResult, error) { return sim.Run(p, opt) }
+// BuildHelix constructs a HelixPipe plan with explicit options.
+func BuildHelix(cfg ScheduleConfig, costs Costs, opt HelixOptions) (*Plan, error) {
+	return core.Build(cfg, costs, opt)
+}
 
-// TimelineASCII renders a simulated (traced) result as text lanes.
-func TimelineASCII(res *SimResult, width int) string { return trace.ASCII(res, width) }
-
-// TimelineSVG renders a simulated (traced) result as an SVG document.
-func TimelineSVG(res *SimResult, width int) string { return trace.SVG(res, width) }
-
-// AllExperiments regenerates every paper table and figure.
-func AllExperiments() ([]*ExperimentTable, error) { return bench.All() }
+// BuildMethod constructs any registered method's plan from an explicit
+// schedule configuration, cost book and build parameters.
+func BuildMethod(method Method, cfg ScheduleConfig, costs Costs, p BuildParams) (*Plan, error) {
+	return sched.Build(method, cfg, costs, p)
+}
 
 // AttnStage exposes the attention parallel partition's placement function:
 // the stage executing the attention of micro batch mb at layer l in a
 // p-stage pipeline (paper section 4.2).
 func AttnStage(layer, mb, stages int) int { return core.AttnStage(layer, mb, stages) }
 
+// AllExperiments regenerates every paper table and figure.
+func AllExperiments() ([]*ExperimentTable, error) { return bench.All() }
+
+// Deprecated free-function shims over the Session/Engine API.
+
+// NewScenario builds a paper-default scenario: micro batch size 1 and
+// m = 2p micro batches per iteration (section 5.1).
+//
+// Deprecated: use NewSession with WithSeqLen and WithStages.
+func NewScenario(m ModelConfig, cl ClusterSpec, seqLen, stages int) Scenario {
+	return bench.NewScenario(m, cl, seqLen, stages)
+}
+
+// BuildPlan constructs the schedule plan for a method under a scenario.
+//
+// Deprecated: use Session.Plan.
+func BuildPlan(s Scenario, method Method) (*Plan, error) { return s.BuildPlan(method) }
+
+// Simulate runs one simulated training iteration of a plan.
+//
+// Deprecated: use Session.Simulate or SimEngine.Run for Report results;
+// this shim returns the raw simulator result.
+func Simulate(p *Plan, opt SimOptions) (*SimResult, error) { return sim.Run(p, opt) }
+
+// TimelineASCII renders a simulated (traced) result as text lanes.
+//
+// Deprecated: use Report.TimelineASCII.
+func TimelineASCII(res *SimResult, width int) string { return trace.ASCII(res, width) }
+
+// TimelineSVG renders a simulated (traced) result as an SVG document.
+//
+// Deprecated: use Report.TimelineSVG.
+func TimelineSVG(res *SimResult, width int) string { return trace.SVG(res, width) }
+
 // BuildBaseline constructs a baseline plan (GPipe, 1F1B, interleaved 1F1B,
-// ZB1P, AdaPipe) from an explicit schedule configuration and cost book.
-// AdaPipe receives an unlimited memory budget here; use Scenario.BuildPlan
-// for budgeted AdaPipe runs.
+// ZB1P, ZB2P, AdaPipe) from an explicit schedule configuration and cost
+// book, with an unlimited memory budget.
+//
+// Deprecated: use BuildMethod, which reaches every registered method.
 func BuildBaseline(method Method, cfg ScheduleConfig, costs Costs) (*Plan, error) {
-	return sched.Build(method, cfg, costs, 0)
+	return sched.Build(method, cfg, costs, sched.BuildParams{})
 }

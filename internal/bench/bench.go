@@ -8,7 +8,9 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/core"
+	// Linked for its registry side effect: the HelixPipe variants register
+	// themselves into the sched method registry at init.
+	_ "repro/internal/core"
 	"repro/internal/costmodel"
 	"repro/internal/model"
 	"repro/internal/sched"
@@ -99,21 +101,12 @@ func (s Scenario) MemoryBudget() int64 {
 		s.Model.EmbeddingStateBytes(s.Cluster.GPUsPerNode)
 }
 
-// BuildPlan builds the plan for any method, dispatching HelixPipe variants
-// to internal/core.
+// BuildPlan builds the plan for any registered method through the sched
+// method registry.
 func (s Scenario) BuildPlan(method sched.Method) (*sched.Plan, error) {
 	cfg := sched.Config{Stages: s.Stages, MicroBatches: s.MicroBatches, Layers: s.Model.Layers}
 	costs := sched.NewCosts(s.Workload())
-	switch method {
-	case sched.MethodHelix:
-		return core.Build(cfg, costs, core.DefaultOptions())
-	case sched.MethodHelixNaive:
-		return core.Build(cfg, costs, core.Options{Fold: 1, Recompute: true})
-	case sched.MethodHelixNoRecompute:
-		return core.Build(cfg, costs, core.Options{Fold: 2, Recompute: false})
-	default:
-		return sched.Build(method, cfg, costs, s.MemoryBudget())
-	}
+	return sched.Build(method, cfg, costs, sched.BuildParams{MemoryBudget: s.MemoryBudget()})
 }
 
 // Simulate builds and simulates one method for the scenario.

@@ -1,3 +1,14 @@
+// Package core implements the paper's primary contribution: HelixPipe's
+// attention parallel partition (section 4.2) and the first-in-last-out
+// micro-batch schedules built on it — the naive FILO schedule and the
+// asynchronous two-fold FILO schedule (section 4.3) — together with the
+// recomputation-without-attention memory strategy (section 4.4.1).
+//
+// Plans are expressed in the shared IR of internal/sched, so the simulator
+// and the numeric executor run HelixPipe exactly like the baselines. The
+// package registers its three schedule variants in the sched method
+// registry, which makes them reachable from every registry-driven caller
+// (sessions, sweeps, the command-line tools) without hardwired dispatch.
 package core
 
 import (
@@ -8,6 +19,38 @@ import (
 	"repro/internal/model"
 	"repro/internal/sched"
 )
+
+// init registers the HelixPipe variants in the method registry. BuildParams
+// may override the per-variant defaults (fold, recomputation); the zero
+// params reproduce the paper configuration of each variant.
+func init() {
+	register := func(name sched.Method, desc string, rank int, def Options) {
+		sched.Register(sched.Registration{
+			Name:        name,
+			Description: desc,
+			Rank:        rank,
+			Build: func(cfg sched.Config, costs sched.Costs, p sched.BuildParams) (*sched.Plan, error) {
+				opt := def
+				if p.HelixFold != 0 {
+					opt.Fold = p.HelixFold
+				}
+				if p.HelixRecompute != nil {
+					opt.Recompute = *p.HelixRecompute
+				}
+				return Build(cfg, costs, opt)
+			},
+		})
+	}
+	register(sched.MethodHelixNaive,
+		"attention parallel partition with blocking naive FILO schedule", 70,
+		Options{Fold: 1, Recompute: true})
+	register(sched.MethodHelix,
+		"attention parallel partition, two-fold FILO, recomputation without attention", 80,
+		DefaultOptions())
+	register(sched.MethodHelixNoRecompute,
+		"HelixPipe two-fold FILO keeping all activations (no recomputation)", 90,
+		Options{Fold: 2, Recompute: false})
+}
 
 // Options selects the HelixPipe variant to build.
 type Options struct {

@@ -1,11 +1,3 @@
-// Package core implements the paper's primary contribution: HelixPipe's
-// attention parallel partition (section 4.2) and the first-in-last-out
-// micro-batch schedules built on it — the naive FILO schedule and the
-// asynchronous two-fold FILO schedule (section 4.3) — together with the
-// recomputation-without-attention memory strategy (section 4.4.1).
-//
-// Plans are expressed in the shared IR of internal/sched, so the simulator
-// and the numeric executor run HelixPipe exactly like the baselines.
 package core
 
 // PreOwner returns the pipeline stage owning the pre-attention of layer l in

@@ -194,14 +194,6 @@ const (
 	MethodHelixNoRecompute Method = "HelixPipe-norecompute"
 )
 
-// Methods returns every implemented pipeline parallelism, baselines first.
-func Methods() []Method {
-	return []Method{
-		MethodGPipe, Method1F1B, MethodInterleaved, MethodZB1P, MethodZB2P, MethodAdaPipe,
-		MethodHelixNaive, MethodHelix, MethodHelixNoRecompute,
-	}
-}
-
 // Plan is a static pipeline schedule: one ordered op program per stage.
 type Plan struct {
 	// Method names the generating schedule.

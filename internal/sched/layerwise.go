@@ -1,8 +1,6 @@
 package sched
 
 import (
-	"fmt"
-
 	"repro/internal/model"
 )
 
@@ -274,26 +272,4 @@ func oneFOneBOn(lw *layerwise) *Plan {
 		}
 	}
 	return lw.plan(Method1F1B)
-}
-
-// Build dispatches to the named generator with default parameters, as used
-// by the experiment harness. AdaPipe receives the memory budget; Helix
-// methods are built by internal/core and are not reachable from here.
-func Build(method Method, cfg Config, costs Costs, memBudget int64) (*Plan, error) {
-	switch method {
-	case MethodGPipe:
-		return GPipe(cfg, costs)
-	case Method1F1B:
-		return OneFOneB(cfg, costs)
-	case MethodZB1P:
-		return ZB1P(cfg, costs)
-	case MethodZB2P:
-		return ZB2P(cfg, costs)
-	case MethodAdaPipe:
-		return AdaPipe(cfg, costs, memBudget)
-	case MethodInterleaved:
-		return Interleaved(cfg, costs, 2)
-	default:
-		return nil, fmt.Errorf("sched: method %q is not built by this package", method)
-	}
 }

@@ -1,0 +1,184 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// BuildParams carries the method-specific knobs a plan builder may consume.
+// The zero value asks every method for its paper-default configuration, so
+// generic callers (the experiment harness, sweeps, the command-line tools)
+// can build any registered method without knowing its parameters.
+type BuildParams struct {
+	// MemoryBudget is the per-GPU activation budget in bytes for
+	// budget-aware schedules (AdaPipe). Zero or negative means unlimited.
+	MemoryBudget int64
+	// Chunks is the model-chunk count of interleaved schedules; zero keeps
+	// the method default (2).
+	Chunks int
+	// HelixFold overrides the HelixPipe fold (1 naive FILO, 2 two-fold);
+	// zero keeps the registered variant's default.
+	HelixFold int
+	// HelixRecompute overrides recomputation-without-attention; nil keeps
+	// the registered variant's default.
+	HelixRecompute *bool
+}
+
+// Builder constructs the plan of one registered method.
+type Builder func(cfg Config, costs Costs, p BuildParams) (*Plan, error)
+
+// Registration describes one pipeline parallelism in the method registry.
+type Registration struct {
+	// Name is the canonical method name.
+	Name Method
+	// Description is a one-line summary shown by method listings.
+	Description string
+	// Rank orders registry listings (baselines first, like the paper).
+	Rank int
+	// Build constructs the method's plan.
+	Build Builder
+}
+
+var registry = struct {
+	sync.RWMutex
+	byName map[string]Registration
+}{byName: map[string]Registration{}}
+
+// Register adds a method to the registry. Generator packages call it from
+// init: the layer-wise baselines register here in package sched, and
+// internal/core registers the HelixPipe variants. Registering an empty name,
+// a nil builder, or a duplicate (case-insensitively) panics: registration
+// mistakes are programmer errors that must surface at process start.
+func Register(r Registration) {
+	if r.Name == "" {
+		panic("sched: Register with empty method name")
+	}
+	if r.Build == nil {
+		panic(fmt.Sprintf("sched: Register(%s) with nil builder", r.Name))
+	}
+	key := strings.ToLower(string(r.Name))
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.byName[key]; dup {
+		panic(fmt.Sprintf("sched: method %s registered twice", r.Name))
+	}
+	registry.byName[key] = r
+}
+
+// Lookup resolves a method name case-insensitively and reports whether it is
+// registered.
+func Lookup(name string) (Registration, bool) {
+	registry.RLock()
+	defer registry.RUnlock()
+	r, ok := registry.byName[strings.ToLower(name)]
+	return r, ok
+}
+
+// Registrations returns every registered method ordered by rank (baselines
+// first) then name.
+func Registrations() []Registration {
+	registry.RLock()
+	out := make([]Registration, 0, len(registry.byName))
+	for _, r := range registry.byName {
+		out = append(out, r)
+	}
+	registry.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rank != out[j].Rank {
+			return out[i].Rank < out[j].Rank
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Methods returns the names of every registered pipeline parallelism,
+// baselines first. The list is registry-driven: it contains exactly the
+// methods whose packages are linked into the program.
+func Methods() []Method {
+	regs := Registrations()
+	out := make([]Method, len(regs))
+	for i, r := range regs {
+		out[i] = r.Name
+	}
+	return out
+}
+
+// Build constructs the plan of a registered method. The method name is
+// resolved case-insensitively; unknown names report the registered
+// alternatives.
+func Build(method Method, cfg Config, costs Costs, p BuildParams) (*Plan, error) {
+	r, ok := Lookup(string(method))
+	if !ok {
+		return nil, fmt.Errorf("sched: unknown method %q (registered: %s)",
+			method, joinMethods(Methods()))
+	}
+	return r.Build(cfg, costs, p)
+}
+
+func joinMethods(ms []Method) string {
+	names := make([]string, len(ms))
+	for i, m := range ms {
+		names[i] = string(m)
+	}
+	return strings.Join(names, ", ")
+}
+
+// The layer-wise baselines register themselves here; HelixPipe's variants
+// are registered by internal/core, which builds on this package's IR.
+func init() {
+	Register(Registration{
+		Name:        MethodGPipe,
+		Description: "all forwards then all backwards (FILO), layer-wise partition",
+		Rank:        10,
+		Build: func(cfg Config, costs Costs, _ BuildParams) (*Plan, error) {
+			return GPipe(cfg, costs)
+		},
+	})
+	Register(Registration{
+		Name:        Method1F1B,
+		Description: "PipeDream/Megatron-LM one-forward-one-backward steady state",
+		Rank:        20,
+		Build: func(cfg Config, costs Costs, _ BuildParams) (*Plan, error) {
+			return OneFOneB(cfg, costs)
+		},
+	})
+	Register(Registration{
+		Name:        MethodInterleaved,
+		Description: "interleaved 1F1B with multiple model chunks per stage",
+		Rank:        30,
+		Build: func(cfg Config, costs Costs, p BuildParams) (*Plan, error) {
+			chunks := p.Chunks
+			if chunks <= 0 {
+				chunks = 2
+			}
+			return Interleaved(cfg, costs, chunks)
+		},
+	})
+	Register(Registration{
+		Name:        MethodZB1P,
+		Description: "zero-bubble 1F1B: weight gradients deferred into bubbles",
+		Rank:        40,
+		Build: func(cfg Config, costs Costs, _ BuildParams) (*Plan, error) {
+			return ZB1P(cfg, costs)
+		},
+	})
+	Register(Registration{
+		Name:        MethodZB2P,
+		Description: "zero-bubble variant admitting extra warmup forwards",
+		Rank:        50,
+		Build: func(cfg Config, costs Costs, _ BuildParams) (*Plan, error) {
+			return ZB2P(cfg, costs)
+		},
+	})
+	Register(Registration{
+		Name:        MethodAdaPipe,
+		Description: "adaptive recomputation and layer partition under a memory budget",
+		Rank:        60,
+		Build: func(cfg Config, costs Costs, p BuildParams) (*Plan, error) {
+			return AdaPipe(cfg, costs, p.MemoryBudget)
+		},
+	})
+}

@@ -310,12 +310,12 @@ func TestAdaPipeInfeasible(t *testing.T) {
 	}
 }
 
-// TestBuildDispatch exercises the method dispatcher.
+// TestBuildDispatch exercises the registry-driven method dispatcher.
 func TestBuildDispatch(t *testing.T) {
 	costs := realCosts(t)
 	cfg := testCfg(4, 8, 16)
 	for _, m := range []Method{MethodGPipe, Method1F1B, MethodZB1P, MethodAdaPipe, MethodInterleaved} {
-		plan, err := Build(m, cfg, costs, 0)
+		plan, err := Build(m, cfg, costs, BuildParams{})
 		if err != nil {
 			t.Errorf("Build(%s): %v", m, err)
 			continue
@@ -324,8 +324,17 @@ func TestBuildDispatch(t *testing.T) {
 			t.Errorf("Build(%s) produced method %s", m, plan.Method)
 		}
 	}
-	if _, err := Build(MethodHelix, cfg, costs, 0); err == nil {
-		t.Error("helix methods must not be built by sched.Build")
+	// Helix methods are registered by internal/core, which this package
+	// does not (and must not) import: unlinked methods are unknown here.
+	if _, err := Build(MethodHelix, cfg, costs, BuildParams{}); err == nil {
+		t.Error("helix methods must not be buildable without internal/core linked")
+	}
+	// Lookup is case-insensitive.
+	if _, ok := Lookup("zb1p"); !ok {
+		t.Error("Lookup must resolve method names case-insensitively")
+	}
+	if _, ok := Lookup("no-such-method"); ok {
+		t.Error("Lookup must reject unknown names")
 	}
 }
 

@@ -95,22 +95,7 @@ func Train(cfg TrainConfig) (*TrainReport, error) {
 	}
 	m := nn.NewModel(cfg.Model, cfg.Seed)
 	scfg := sched.Config{Stages: cfg.Stages, MicroBatches: cfg.MicroBatches, Layers: cfg.Model.Layers}
-	costs := sched.UnitCosts(0)
-	var plan *Plan
-	var err error
-	switch cfg.Method {
-	case MethodHelix, MethodHelixNaive, MethodHelixNoRecompute:
-		opt := HelixOptions{Fold: 2, Recompute: true}
-		if cfg.Method == MethodHelixNaive {
-			opt.Fold = 1
-		}
-		if cfg.Method == MethodHelixNoRecompute {
-			opt.Recompute = false
-		}
-		plan, err = BuildHelix(scfg, costs, opt)
-	default:
-		plan, err = sched.Build(cfg.Method, scfg, costs, 0)
-	}
+	plan, err := sched.Build(cfg.Method, scfg, sched.UnitCosts(0), sched.BuildParams{})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,291 @@
+package helixpipe
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/exec"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Engine names appearing in Report.Engine.
+const (
+	// EngineSim is the discrete-event cluster simulator.
+	EngineSim = "sim"
+	// EngineNumeric is the goroutine-per-stage numeric runtime.
+	EngineNumeric = "numeric"
+)
+
+// StageMetrics is one pipeline stage's share of a simulated iteration.
+type StageMetrics struct {
+	// Stage is the pipeline stage index.
+	Stage int `json:"stage"`
+	// BusySeconds is the compute-busy time.
+	BusySeconds float64 `json:"busy_seconds"`
+	// IdleSeconds is the bubble plus recv waiting.
+	IdleSeconds float64 `json:"idle_seconds"`
+	// WaitSeconds is the time blocked in recvs.
+	WaitSeconds float64 `json:"wait_seconds"`
+	// CommStallSeconds is the time the compute stream spent in blocking sends.
+	CommStallSeconds float64 `json:"comm_stall_seconds"`
+	// PeakStashBytes is the peak activation stash.
+	PeakStashBytes int64 `json:"peak_stash_bytes"`
+	// BytesSent is the outbound traffic.
+	BytesSent int64 `json:"bytes_sent"`
+}
+
+// SimMetrics summarises a simulated iteration inside a Report.
+type SimMetrics struct {
+	// IterationSeconds is the makespan of one training iteration.
+	IterationSeconds float64 `json:"iteration_seconds"`
+	// TokensPerSecond is the training throughput (zero when the report has
+	// no token geometry).
+	TokensPerSecond float64 `json:"tokens_per_second,omitempty"`
+	// BubbleSeconds is the mean per-stage idle time.
+	BubbleSeconds float64 `json:"bubble_seconds"`
+	// BubbleFraction is BubbleSeconds over IterationSeconds.
+	BubbleFraction float64 `json:"bubble_fraction"`
+	// MaxPeakStashBytes is the largest per-stage stash peak.
+	MaxPeakStashBytes int64 `json:"max_peak_stash_bytes"`
+	// PerStage holds the per-stage breakdown.
+	PerStage []StageMetrics `json:"per_stage"`
+}
+
+// NumericMetrics summarises a numerically executed iteration inside a
+// Report. Gradients are not serialized; use Report.NumericResult for them.
+type NumericMetrics struct {
+	// Loss is the mean micro-batch loss.
+	Loss float64 `json:"loss"`
+}
+
+// Report is the unified, serializable result of running one method on one
+// engine. It marshals to stable JSON, renders CSV rows, and — when the
+// simulation was traced — the ASCII and SVG timeline renderers hang off it.
+type Report struct {
+	// Method is the pipeline parallelism that ran.
+	Method Method `json:"method"`
+	// Engine is the engine that ran it (EngineSim or EngineNumeric).
+	Engine string `json:"engine"`
+	// Model and Cluster label the session configuration (empty on reports
+	// from engines detached from a session).
+	Model   string `json:"model,omitempty"`
+	Cluster string `json:"cluster,omitempty"`
+	// SeqLen and MicroBatchSize are the micro-batch shape.
+	SeqLen         int `json:"seq_len,omitempty"`
+	MicroBatchSize int `json:"micro_batch_size,omitempty"`
+	// Stages, MicroBatches and Layers are the plan geometry.
+	Stages       int `json:"stages"`
+	MicroBatches int `json:"micro_batches"`
+	Layers       int `json:"layers"`
+	// TokensPerIteration is the token count one iteration processes.
+	TokensPerIteration int64 `json:"tokens_per_iteration,omitempty"`
+	// Sim holds the simulator metrics (sim engine only).
+	Sim *SimMetrics `json:"sim,omitempty"`
+	// Numeric holds the numeric metrics (numeric engine only).
+	Numeric *NumericMetrics `json:"numeric,omitempty"`
+
+	// Unserialized raw results, retained for timelines and gradient access.
+	simResult     *sim.Result
+	numericResult *exec.Result
+}
+
+// reportMeta is the session-derived context an engine stamps onto reports.
+type reportMeta struct {
+	model, cluster     string
+	seqLen, microBatch int
+	tokensPerIteration int64
+}
+
+func (s *Session) reportMeta() reportMeta {
+	return reportMeta{
+		model:              s.model.Name,
+		cluster:            s.cluster.Name,
+		seqLen:             s.seqLen,
+		microBatch:         s.microBatch,
+		tokensPerIteration: s.TokensPerIteration(),
+	}
+}
+
+func newReport(plan *sched.Plan, engine string, meta reportMeta) *Report {
+	return &Report{
+		Method:             plan.Method,
+		Engine:             engine,
+		Model:              meta.model,
+		Cluster:            meta.cluster,
+		SeqLen:             meta.seqLen,
+		MicroBatchSize:     meta.microBatch,
+		Stages:             plan.Stages,
+		MicroBatches:       plan.MicroBatches,
+		Layers:             plan.Layers,
+		TokensPerIteration: meta.tokensPerIteration,
+	}
+}
+
+func newSimReport(plan *sched.Plan, res *sim.Result, meta reportMeta) *Report {
+	r := newReport(plan, EngineSim, meta)
+	r.simResult = res
+	m := &SimMetrics{
+		IterationSeconds:  res.IterationSeconds,
+		BubbleSeconds:     res.BubbleSeconds(),
+		MaxPeakStashBytes: res.MaxPeakStashBytes(),
+	}
+	if res.IterationSeconds > 0 {
+		m.BubbleFraction = m.BubbleSeconds / res.IterationSeconds
+		if meta.tokensPerIteration > 0 {
+			m.TokensPerSecond = res.Throughput(meta.tokensPerIteration)
+		}
+	}
+	for st := 0; st < res.Stages; st++ {
+		m.PerStage = append(m.PerStage, StageMetrics{
+			Stage:            st,
+			BusySeconds:      res.BusySeconds[st],
+			IdleSeconds:      res.IdleSeconds[st],
+			WaitSeconds:      res.WaitSeconds[st],
+			CommStallSeconds: res.CommStallSeconds[st],
+			PeakStashBytes:   res.PeakStashBytes[st],
+			BytesSent:        res.BytesSent[st],
+		})
+	}
+	r.Sim = m
+	return r
+}
+
+func newNumericReport(plan *sched.Plan, res *exec.Result, meta reportMeta) *Report {
+	r := newReport(plan, EngineNumeric, meta)
+	r.numericResult = res
+	r.Numeric = &NumericMetrics{Loss: res.Loss}
+	return r
+}
+
+// SimResult returns the raw simulator result backing the report, or nil for
+// numeric reports and reports decoded from JSON.
+func (r *Report) SimResult() *SimResult { return r.simResult }
+
+// NumericResult returns the raw numeric result (loss and full gradients)
+// backing the report, or nil for sim reports and decoded reports.
+func (r *Report) NumericResult() *NumericResult { return r.numericResult }
+
+// TimelineASCII renders the traced simulation as text lanes, one per stage.
+// It returns an empty string when the report has no traced sim result (run
+// the session with WithTrace, or set SimOptions.Trace).
+func (r *Report) TimelineASCII(width int) string {
+	if r.simResult == nil || len(r.simResult.Spans) == 0 {
+		return ""
+	}
+	return trace.ASCII(r.simResult, width)
+}
+
+// TimelineSVG renders the traced simulation as an SVG document, or an empty
+// string when the report has no traced sim result.
+func (r *Report) TimelineSVG(width int) string {
+	if r.simResult == nil || len(r.simResult.Spans) == 0 {
+		return ""
+	}
+	return trace.SVG(r.simResult, width)
+}
+
+// ReportCSVHeader returns the column names of Report.CSVRow.
+func ReportCSVHeader() []string {
+	return []string{
+		"method", "engine", "model", "cluster",
+		"seq_len", "micro_batch_size", "stages", "micro_batches", "layers",
+		"iteration_seconds", "tokens_per_second", "bubble_fraction",
+		"max_peak_stash_bytes", "loss",
+	}
+}
+
+// CSVRow renders the report as one CSV row matching ReportCSVHeader.
+// Engine-specific columns are empty when they do not apply.
+func (r *Report) CSVRow() []string {
+	iter, tput, bubble, stash, loss := "", "", "", "", ""
+	if r.Sim != nil {
+		iter = fmt.Sprintf("%g", r.Sim.IterationSeconds)
+		tput = fmt.Sprintf("%g", r.Sim.TokensPerSecond)
+		bubble = fmt.Sprintf("%g", r.Sim.BubbleFraction)
+		stash = fmt.Sprintf("%d", r.Sim.MaxPeakStashBytes)
+	}
+	if r.Numeric != nil {
+		loss = fmt.Sprintf("%g", r.Numeric.Loss)
+	}
+	return []string{
+		string(r.Method), r.Engine, r.Model, r.Cluster,
+		fmt.Sprintf("%d", r.SeqLen), fmt.Sprintf("%d", r.MicroBatchSize),
+		fmt.Sprintf("%d", r.Stages), fmt.Sprintf("%d", r.MicroBatches),
+		fmt.Sprintf("%d", r.Layers),
+		iter, tput, bubble, stash, loss,
+	}
+}
+
+// WriteReportsCSV writes a header plus one row per report.
+func WriteReportsCSV(w io.Writer, reports []*Report) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(ReportCSVHeader()); err != nil {
+		return err
+	}
+	for _, r := range reports {
+		if err := cw.Write(r.CSVRow()); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteReportsJSON writes the reports as an indented JSON array.
+func WriteReportsJSON(w io.Writer, reports []*Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(reports)
+}
+
+// WriteTablesJSON writes experiment tables as an indented JSON array.
+func WriteTablesJSON(w io.Writer, tables []*ExperimentTable) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(tables)
+}
+
+// MethodInfo describes one registered pipeline parallelism.
+type MethodInfo struct {
+	// Name is the canonical method name.
+	Name Method
+	// Description is a one-line summary.
+	Description string
+}
+
+// MethodInfos lists every registered method with its description, baselines
+// first.
+func MethodInfos() []MethodInfo {
+	regs := sched.Registrations()
+	out := make([]MethodInfo, len(regs))
+	for i, r := range regs {
+		out[i] = MethodInfo{Name: r.Name, Description: r.Description}
+	}
+	return out
+}
+
+// LookupMethod resolves a method name case-insensitively against the
+// registry and reports whether it is registered.
+func LookupMethod(name string) (Method, bool) {
+	r, ok := sched.Lookup(name)
+	if !ok {
+		return "", false
+	}
+	return r.Name, true
+}
+
+// MethodListing renders the registry's method table — one line per method
+// with its description — as the command-line tools print it on
+// "-method help" or an unknown name.
+func MethodListing() string {
+	var b strings.Builder
+	for _, info := range MethodInfos() {
+		fmt.Fprintf(&b, "  %-22s %s\n", info.Name, info.Description)
+	}
+	return b.String()
+}

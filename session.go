@@ -1,0 +1,436 @@
+package helixpipe
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/bench"
+	"repro/internal/costmodel"
+	"repro/internal/exec"
+	"repro/internal/model"
+	"repro/internal/nn"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// Session is the configured front door of the package: one model on one
+// cluster at one micro-batch geometry, validated eagerly, from which plans
+// are built and engines are run. A Session is immutable after construction;
+// With derives a modified copy, and Sweep fans a method x sequence-length x
+// stage grid out across goroutines.
+type Session struct {
+	model        model.Config
+	cluster      costmodel.ClusterSpec
+	seqLen       int
+	microBatch   int
+	stages       int
+	microBatches int  // 0 while unset: resolved to 2*stages
+	mbExplicit   bool // WithMicroBatches was applied (kept across Sweep cells)
+	memBudget    int64
+	memExplicit  bool
+	helix        *HelixOptions
+	simOpt       sim.Options
+	simExplicit  bool
+	trace        bool
+}
+
+// Option mutates a Session under construction. Options are applied in order;
+// validation runs once, eagerly, after the last option.
+type Option func(*Session)
+
+// WithSeqLen sets the sequence length of every micro batch (default 131072,
+// the paper's headline 128k configuration).
+func WithSeqLen(s int) Option { return func(ses *Session) { ses.seqLen = s } }
+
+// WithStages sets the pipeline size p (default 8; the paper maps one stage
+// to one node).
+func WithStages(p int) Option { return func(ses *Session) { ses.stages = p } }
+
+// WithMicroBatches sets the number of micro batches m per iteration. The
+// default is the paper's m = 2p (section 5.1), recomputed per grid cell by
+// Sweep; an explicit value is kept as-is everywhere.
+func WithMicroBatches(m int) Option {
+	return func(ses *Session) { ses.microBatches = m; ses.mbExplicit = true }
+}
+
+// WithMicroBatchSize sets the micro batch size b (default 1, as in the
+// paper's evaluation).
+func WithMicroBatchSize(b int) Option { return func(ses *Session) { ses.microBatch = b } }
+
+// WithMemoryBudget sets the per-GPU activation budget in bytes handed to
+// budget-aware schedules (AdaPipe). The default derives it from the cluster:
+// GPU capacity minus model states and a 10% allocator reserve. Zero or
+// negative means unlimited.
+func WithMemoryBudget(bytes int64) Option {
+	return func(ses *Session) { ses.memBudget = bytes; ses.memExplicit = true }
+}
+
+// WithHelixOptions pins the HelixPipe build options (fold, recomputation)
+// for every helix method built by the session, overriding each variant's
+// registered default.
+func WithHelixOptions(opt HelixOptions) Option {
+	return func(ses *Session) { o := opt; ses.helix = &o }
+}
+
+// WithSimOptions replaces the simulator options. The default applies the
+// cluster's CommSMPenalty and no tracing.
+func WithSimOptions(opt SimOptions) Option {
+	return func(ses *Session) { ses.simOpt = opt; ses.simExplicit = true }
+}
+
+// WithTrace enables span tracing in the simulator so reports can render
+// ASCII and SVG timelines.
+func WithTrace() Option { return func(ses *Session) { ses.trace = true } }
+
+// NewSession builds and eagerly validates a session. The defaults reproduce
+// the paper's headline configuration: sequence length 131072, 8 stages,
+// micro batch size 1, and m = 2p micro batches.
+func NewSession(m ModelConfig, cl ClusterSpec, opts ...Option) (*Session, error) {
+	s := &Session{
+		model:      m,
+		cluster:    cl,
+		seqLen:     131072,
+		microBatch: 1,
+		stages:     8,
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if s.microBatches == 0 {
+		s.microBatches = 2 * s.stages
+	}
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Session) validate() error {
+	if err := s.model.Validate(); err != nil {
+		return fmt.Errorf("helixpipe: invalid model: %w", err)
+	}
+	if err := s.cluster.Validate(); err != nil {
+		return fmt.Errorf("helixpipe: invalid cluster: %w", err)
+	}
+	switch {
+	case s.seqLen <= 0:
+		return fmt.Errorf("helixpipe: sequence length must be positive, got %d", s.seqLen)
+	case s.microBatch <= 0:
+		return fmt.Errorf("helixpipe: micro batch size must be positive, got %d", s.microBatch)
+	case s.stages <= 0:
+		return fmt.Errorf("helixpipe: stages must be positive, got %d", s.stages)
+	case s.microBatches <= 0:
+		return fmt.Errorf("helixpipe: micro batches must be positive, got %d", s.microBatches)
+	case s.model.Layers%s.stages != 0:
+		return fmt.Errorf("helixpipe: layers (%d) must be divisible by stages (%d)",
+			s.model.Layers, s.stages)
+	}
+	if s.helix != nil && s.helix.Fold != 1 && s.helix.Fold != 2 {
+		return fmt.Errorf("helixpipe: helix fold must be 1 or 2, got %d", s.helix.Fold)
+	}
+	return nil
+}
+
+// With derives a new session with the extra options applied, re-validating
+// eagerly. The receiver is unchanged.
+func (s *Session) With(opts ...Option) (*Session, error) {
+	d := *s
+	if s.helix != nil {
+		h := *s.helix
+		d.helix = &h
+	}
+	if !d.mbExplicit {
+		d.microBatches = 0
+	}
+	for _, opt := range opts {
+		opt(&d)
+	}
+	if d.microBatches == 0 {
+		d.microBatches = 2 * d.stages
+	}
+	if err := d.validate(); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+// Accessors.
+
+// Model returns the session's model configuration.
+func (s *Session) Model() ModelConfig { return s.model }
+
+// Cluster returns the session's cluster spec.
+func (s *Session) Cluster() ClusterSpec { return s.cluster }
+
+// SeqLen returns the sequence length.
+func (s *Session) SeqLen() int { return s.seqLen }
+
+// Stages returns the pipeline size p.
+func (s *Session) Stages() int { return s.stages }
+
+// MicroBatches returns the micro batches m per iteration.
+func (s *Session) MicroBatches() int { return s.microBatches }
+
+// MicroBatchSize returns the micro batch size b.
+func (s *Session) MicroBatchSize() int { return s.microBatch }
+
+// Workload returns the cost-model workload of the session.
+func (s *Session) Workload() Workload {
+	return costmodel.NewWorkload(s.model, s.cluster, model.Shape{B: s.microBatch, S: s.seqLen})
+}
+
+// Costs returns the cost book plans are annotated with.
+func (s *Session) Costs() Costs { return sched.NewCosts(s.Workload()) }
+
+// MemoryBudget returns the per-GPU activation budget handed to budget-aware
+// schedules: the explicit WithMemoryBudget value, or the cluster-derived
+// default (GPU capacity minus model states and a 10% allocator reserve).
+func (s *Session) MemoryBudget() int64 {
+	if s.memExplicit {
+		return s.memBudget
+	}
+	return s.scenario().MemoryBudget()
+}
+
+// TokensPerIteration returns the tokens one iteration processes.
+func (s *Session) TokensPerIteration() int64 {
+	return int64(s.microBatch) * int64(s.seqLen) * int64(s.microBatches)
+}
+
+// SimOptions returns the simulator options the session runs with: the
+// explicit WithSimOptions value or the cluster defaults, with tracing forced
+// on by WithTrace.
+func (s *Session) SimOptions() SimOptions {
+	opt := s.simOpt
+	if !s.simExplicit {
+		opt = sim.Options{SMPenalty: s.cluster.CommSMPenalty}
+	}
+	if s.trace {
+		opt.Trace = true
+	}
+	return opt
+}
+
+// scenario bridges to the internal experiment harness for its derived
+// quantities.
+func (s *Session) scenario() bench.Scenario {
+	return bench.Scenario{
+		Model:        s.model,
+		Cluster:      s.cluster,
+		SeqLen:       s.seqLen,
+		MicroBatch:   s.microBatch,
+		Stages:       s.stages,
+		MicroBatches: s.microBatches,
+	}
+}
+
+// buildParams assembles the registry build parameters from the session.
+func (s *Session) buildParams() sched.BuildParams {
+	p := sched.BuildParams{MemoryBudget: s.MemoryBudget()}
+	if s.helix != nil {
+		p.HelixFold = s.helix.Fold
+		rec := s.helix.Recompute
+		p.HelixRecompute = &rec
+	}
+	return p
+}
+
+// Plan builds the schedule plan of any registered method for the session.
+// Method names resolve case-insensitively through the registry.
+func (s *Session) Plan(method Method) (*Plan, error) {
+	reg, ok := sched.Lookup(string(method))
+	if !ok {
+		return nil, fmt.Errorf("helixpipe: unknown method %q (known: %v)", method, Methods())
+	}
+	cfg := sched.Config{Stages: s.stages, MicroBatches: s.microBatches, Layers: s.model.Layers}
+	return reg.Build(cfg, s.Costs(), s.buildParams())
+}
+
+// Engine runs plans and produces Reports. The simulator and the numeric
+// goroutine runtime are interchangeable behind this interface.
+type Engine interface {
+	// Name labels the engine in reports ("sim" or "numeric").
+	Name() string
+	// Run executes one training iteration of the plan.
+	Run(plan *Plan) (*Report, error)
+}
+
+// SimEngine runs plans on the deterministic discrete-event cluster
+// simulator.
+type SimEngine struct {
+	// Options tunes the simulator.
+	Options SimOptions
+
+	meta reportMeta
+}
+
+// NewSimEngine returns a simulator engine with explicit options, detached
+// from any session. Reports it produces carry plan-derived metadata only.
+func NewSimEngine(opt SimOptions) *SimEngine { return &SimEngine{Options: opt} }
+
+// SimEngine returns the session's simulator engine: session sim options and
+// report metadata (model, cluster, geometry) included.
+func (s *Session) SimEngine() *SimEngine {
+	return &SimEngine{Options: s.SimOptions(), meta: s.reportMeta()}
+}
+
+// Name implements Engine.
+func (e *SimEngine) Name() string { return EngineSim }
+
+// Run implements Engine: it simulates one training iteration.
+func (e *SimEngine) Run(plan *Plan) (*Report, error) {
+	res, err := sim.Run(plan, e.Options)
+	if err != nil {
+		return nil, err
+	}
+	return newSimReport(plan, res, e.meta), nil
+}
+
+// NumericEngine runs plans on real tensors: one goroutine per pipeline
+// stage, channels as the interconnect.
+type NumericEngine struct {
+	// Model is the real-parameter model the iteration trains.
+	Model *NumericModel
+	// Batches are the micro batches of one iteration; the length must equal
+	// the plan's MicroBatches.
+	Batches []MicroBatch
+
+	meta reportMeta
+}
+
+// NewNumericEngine returns a numeric engine over an explicit model and
+// batches, detached from any session.
+func NewNumericEngine(m *NumericModel, batches []MicroBatch) *NumericEngine {
+	return &NumericEngine{Model: m, Batches: batches}
+}
+
+// NumericEngine returns the session's numeric engine: a deterministically
+// initialized model of the session's configuration and synthetic micro
+// batches of the session's geometry, both derived from seed.
+func (s *Session) NumericEngine(seed uint64) *NumericEngine {
+	batches := make([]MicroBatch, s.microBatches)
+	for i := range batches {
+		batches[i] = nn.SyntheticBatch(s.model, s.microBatch, s.seqLen, seed+uint64(i)+1)
+	}
+	return &NumericEngine{
+		Model:   nn.NewModel(s.model, seed),
+		Batches: batches,
+		meta:    s.reportMeta(),
+	}
+}
+
+// Name implements Engine.
+func (e *NumericEngine) Name() string { return EngineNumeric }
+
+// Run implements Engine: it executes one training iteration numerically.
+func (e *NumericEngine) Run(plan *Plan) (*Report, error) {
+	res, err := exec.Run(plan, e.Model, e.Batches)
+	if err != nil {
+		return nil, err
+	}
+	return newNumericReport(plan, res, e.meta), nil
+}
+
+// Run builds the method's plan and executes it on the engine.
+func (s *Session) Run(engine Engine, method Method) (*Report, error) {
+	plan, err := s.Plan(method)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", method, err)
+	}
+	report, err := engine.Run(plan)
+	if err != nil {
+		return nil, fmt.Errorf("%s/%s: %w", method, engine.Name(), err)
+	}
+	return report, nil
+}
+
+// Simulate builds and simulates one method: shorthand for
+// s.Run(s.SimEngine(), method).
+func (s *Session) Simulate(method Method) (*Report, error) {
+	return s.Run(s.SimEngine(), method)
+}
+
+// Sweep describes a grid of runs fanned out by Session.Sweep. Empty axes
+// fall back to the session's own value (or, for Methods, to every
+// registered method).
+type Sweep struct {
+	// Methods are the schedules to run; empty means every registered method.
+	Methods []Method
+	// SeqLens are the sequence lengths; empty means the session's.
+	SeqLens []int
+	// Stages are the pipeline sizes; empty means the session's.
+	Stages []int
+	// Engine builds the engine of one grid cell; nil means the cell
+	// session's SimEngine.
+	Engine func(cell *Session) Engine
+}
+
+// Sweep derives one session per (seqlen, stages) cell, runs every method on
+// the cell's engine concurrently across goroutines, and returns the reports
+// in deterministic grid order (seqlen-major, then stages, then method).
+// Cells that fail — an invalid derived geometry or a build/run error — are
+// reported in the joined error; the successful reports are returned
+// regardless.
+func (s *Session) Sweep(sw Sweep) ([]*Report, error) {
+	methods := sw.Methods
+	if len(methods) == 0 {
+		methods = Methods()
+	}
+	seqLens := sw.SeqLens
+	if len(seqLens) == 0 {
+		seqLens = []int{s.seqLen}
+	}
+	stages := sw.Stages
+	if len(stages) == 0 {
+		stages = []int{s.stages}
+	}
+	engineOf := sw.Engine
+	if engineOf == nil {
+		engineOf = func(cell *Session) Engine { return cell.SimEngine() }
+	}
+
+	type cell struct {
+		report *Report
+		err    error
+	}
+	cells := make([]cell, len(seqLens)*len(stages)*len(methods))
+	var wg sync.WaitGroup
+	idx := 0
+	for _, seq := range seqLens {
+		for _, p := range stages {
+			derived, derr := s.With(WithSeqLen(seq), WithStages(p))
+			for _, m := range methods {
+				i, method := idx, m
+				idx++
+				if derr != nil {
+					cells[i].err = fmt.Errorf("seq=%d p=%d: %w", seq, p, derr)
+					continue
+				}
+				wg.Add(1)
+				go func(cellSession *Session) {
+					defer wg.Done()
+					r, err := cellSession.Run(engineOf(cellSession), method)
+					if err != nil {
+						cells[i].err = fmt.Errorf("seq=%d p=%d: %w",
+							cellSession.seqLen, cellSession.stages, err)
+						return
+					}
+					cells[i].report = r
+				}(derived)
+			}
+		}
+	}
+	wg.Wait()
+
+	reports := make([]*Report, 0, len(cells))
+	var errs []error
+	for _, c := range cells {
+		if c.err != nil {
+			errs = append(errs, c.err)
+			continue
+		}
+		reports = append(reports, c.report)
+	}
+	return reports, errors.Join(errs...)
+}

@@ -1,0 +1,304 @@
+package helixpipe
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// tinySession returns a session every registered method can run: the tiny
+// model on two stages with eight micro batches (a multiple of every
+// schedule's loop size).
+func tinySession(t *testing.T, opts ...Option) *Session {
+	t.Helper()
+	base := []Option{WithSeqLen(8), WithStages(2), WithMicroBatches(8)}
+	s, err := NewSession(TinyModel(), H20Cluster(), append(base, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestSessionValidation checks that NewSession validates eagerly.
+func TestSessionValidation(t *testing.T) {
+	if _, err := NewSession(TinyModel(), H20Cluster()); err == nil {
+		t.Error("tiny model on the default 8 stages must fail (4 layers)")
+	}
+	if _, err := NewSession(TinyModel(), H20Cluster(), WithStages(2), WithSeqLen(0)); err == nil {
+		t.Error("zero sequence length must fail")
+	}
+	if _, err := NewSession(TinyModel(), H20Cluster(), WithStages(2), WithMicroBatches(-1)); err == nil {
+		t.Error("negative micro batches must fail")
+	}
+	if _, err := NewSession(TinyModel(), H20Cluster(), WithStages(2),
+		WithHelixOptions(HelixOptions{Fold: 3})); err == nil {
+		t.Error("fold 3 must fail")
+	}
+	if _, err := NewSession(ModelConfig{}, H20Cluster(), WithStages(2)); err == nil {
+		t.Error("zero model must fail")
+	}
+	s := tinySession(t)
+	if s.MicroBatches() != 8 || s.Stages() != 2 || s.SeqLen() != 8 {
+		t.Errorf("session geometry wrong: %d stages, %d mb, %d seq",
+			s.Stages(), s.MicroBatches(), s.SeqLen())
+	}
+	// Default m = 2p tracks stage overrides in With; explicit m is kept.
+	d, err := NewSession(TinyModel(), H20Cluster(), WithStages(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MicroBatches() != 4 {
+		t.Errorf("default micro batches: want 2p=4, got %d", d.MicroBatches())
+	}
+	d2, err := d.With(WithStages(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.MicroBatches() != 8 {
+		t.Errorf("derived default micro batches: want 2p=8, got %d", d2.MicroBatches())
+	}
+	if d.Stages() != 2 {
+		t.Error("With must not mutate the receiver")
+	}
+}
+
+// TestSessionRoundTrip runs every registered method through both engines on
+// a tiny model and checks that each Report's JSON survives an unmarshal
+// round-trip.
+func TestSessionRoundTrip(t *testing.T) {
+	s := tinySession(t)
+	if len(Methods()) < 9 {
+		t.Fatalf("registry incomplete: %v", Methods())
+	}
+	for _, method := range Methods() {
+		engines := []Engine{s.SimEngine(), s.NumericEngine(7)}
+		for _, engine := range engines {
+			report, err := s.Run(engine, method)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", method, engine.Name(), err)
+			}
+			if report.Method != method {
+				t.Errorf("%s/%s: report names method %s", method, engine.Name(), report.Method)
+			}
+			if report.Engine != engine.Name() {
+				t.Errorf("%s: engine label %q", method, report.Engine)
+			}
+			switch engine.Name() {
+			case EngineSim:
+				if report.Sim == nil || report.Sim.IterationSeconds <= 0 {
+					t.Errorf("%s/sim: missing or non-positive sim metrics", method)
+				}
+				if report.Numeric != nil {
+					t.Errorf("%s/sim: unexpected numeric metrics", method)
+				}
+			case EngineNumeric:
+				if report.Numeric == nil || report.Numeric.Loss <= 0 {
+					t.Errorf("%s/numeric: missing or non-positive loss", method)
+				}
+				if report.NumericResult() == nil || report.NumericResult().Grads == nil {
+					t.Errorf("%s/numeric: raw result not retained", method)
+				}
+			}
+
+			// JSON round trip: marshal, unmarshal, re-marshal, compare.
+			first, err := json.Marshal(report)
+			if err != nil {
+				t.Fatalf("%s/%s: marshal: %v", method, engine.Name(), err)
+			}
+			var decoded Report
+			if err := json.Unmarshal(first, &decoded); err != nil {
+				t.Fatalf("%s/%s: unmarshal: %v", method, engine.Name(), err)
+			}
+			second, err := json.Marshal(&decoded)
+			if err != nil {
+				t.Fatalf("%s/%s: re-marshal: %v", method, engine.Name(), err)
+			}
+			if !bytes.Equal(first, second) {
+				t.Errorf("%s/%s: JSON round trip not stable:\n%s\nvs\n%s",
+					method, engine.Name(), first, second)
+			}
+		}
+	}
+}
+
+// TestNumericEnginesAgree checks that every method's numeric run produces
+// the same loss: the paper's semantics claim through the Session API.
+func TestNumericEnginesAgree(t *testing.T) {
+	s := tinySession(t)
+	var wantLoss float64
+	for i, method := range Methods() {
+		report, err := s.Run(s.NumericEngine(99), method)
+		if err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		if i == 0 {
+			wantLoss = report.Numeric.Loss
+			continue
+		}
+		if report.Numeric.Loss != wantLoss {
+			t.Errorf("%s: loss %v differs from %v — schedules must be semantics-preserving",
+				method, report.Numeric.Loss, wantLoss)
+		}
+	}
+}
+
+// TestSessionSweep fans a small grid out and checks order and geometry.
+func TestSessionSweep(t *testing.T) {
+	// No explicit WithMicroBatches: the paper default m = 2p must follow
+	// each grid cell's stage count.
+	s, err := NewSession(TinyModel(), H20Cluster(), WithSeqLen(8), WithStages(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	methods := []Method{Method1F1B, MethodHelix}
+	seqLens := []int{8, 16}
+	stages := []int{2, 4}
+	reports, err := s.Sweep(Sweep{Methods: methods, SeqLens: seqLens, Stages: stages})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(methods) * len(seqLens) * len(stages); len(reports) != want {
+		t.Fatalf("want %d reports, got %d", want, len(reports))
+	}
+	i := 0
+	for _, seq := range seqLens {
+		for _, p := range stages {
+			for _, m := range methods {
+				r := reports[i]
+				i++
+				if r.Method != m || r.SeqLen != seq || r.Stages != p {
+					t.Errorf("report %d: got (%s, seq=%d, p=%d), want (%s, seq=%d, p=%d)",
+						i-1, r.Method, r.SeqLen, r.Stages, m, seq, p)
+				}
+				// Default m = 2p must follow the grid's stage count.
+				if r.MicroBatches != 2*p {
+					t.Errorf("report %d: micro batches %d, want %d", i-1, r.MicroBatches, 2*p)
+				}
+			}
+		}
+	}
+	// A grid containing an invalid cell reports the failure but still
+	// returns the valid cells.
+	reports, err = s.Sweep(Sweep{Methods: methods, Stages: []int{2, 3}})
+	if err == nil {
+		t.Error("stages=3 does not divide 4 layers: sweep must report it")
+	}
+	if len(reports) != len(methods) {
+		t.Errorf("valid cells must survive a partial failure: got %d reports", len(reports))
+	}
+}
+
+// TestSweepNumericEngine swaps the engine factory for the numeric runtime.
+func TestSweepNumericEngine(t *testing.T) {
+	s := tinySession(t)
+	reports, err := s.Sweep(Sweep{
+		Methods: []Method{Method1F1B, MethodHelix},
+		Engine:  func(cell *Session) Engine { return cell.NumericEngine(3) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("want 2 reports, got %d", len(reports))
+	}
+	if reports[0].Numeric == nil || reports[1].Numeric == nil {
+		t.Fatal("numeric sweeps must carry numeric metrics")
+	}
+	if reports[0].Numeric.Loss != reports[1].Numeric.Loss {
+		t.Error("1F1B and HelixPipe must train identically")
+	}
+}
+
+// TestReportTimelines checks the renderers hang off traced reports.
+func TestReportTimelines(t *testing.T) {
+	s := tinySession(t, WithTrace())
+	report, err := s.Simulate(MethodHelix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := report.TimelineASCII(100); !strings.Contains(out, "P0") {
+		t.Error("traced report must render an ASCII timeline")
+	}
+	if out := report.TimelineSVG(800); !strings.Contains(out, "<svg") {
+		t.Error("traced report must render an SVG timeline")
+	}
+	// Untraced reports render nothing rather than panicking.
+	plain, err := tinySession(t).Simulate(MethodHelix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.TimelineASCII(100) != "" || plain.TimelineSVG(800) != "" {
+		t.Error("untraced report must render empty timelines")
+	}
+}
+
+// TestReportCSV checks the CSV surface.
+func TestReportCSV(t *testing.T) {
+	s := tinySession(t)
+	sim, err := s.Simulate(Method1F1B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	num, err := s.Run(s.NumericEngine(1), Method1F1B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	header := ReportCSVHeader()
+	for _, r := range []*Report{sim, num} {
+		if got := len(r.CSVRow()); got != len(header) {
+			t.Errorf("CSV row has %d columns, header %d", got, len(header))
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteReportsCSV(&buf, []*Report{sim, num}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Errorf("want header + 2 rows, got %d lines", len(lines))
+	}
+}
+
+// TestMethodRegistry checks the registry-driven lookups.
+func TestMethodRegistry(t *testing.T) {
+	if len(MethodInfos()) != len(Methods()) {
+		t.Error("MethodInfos and Methods must agree")
+	}
+	for _, info := range MethodInfos() {
+		if info.Description == "" {
+			t.Errorf("%s: empty description", info.Name)
+		}
+	}
+	if m, ok := LookupMethod("helixpipe"); !ok || m != MethodHelix {
+		t.Errorf("case-insensitive lookup failed: %v %v", m, ok)
+	}
+	if _, ok := LookupMethod("nope"); ok {
+		t.Error("unknown method must not resolve")
+	}
+	// Baselines first, as the paper lists them.
+	if ms := Methods(); ms[0] != MethodGPipe || ms[len(ms)-1] != MethodHelixNoRecompute {
+		t.Errorf("registry order wrong: %v", ms)
+	}
+}
+
+// TestHelixOptionsOverride checks WithHelixOptions pins the variant.
+func TestHelixOptionsOverride(t *testing.T) {
+	pinned := tinySession(t, WithHelixOptions(HelixOptions{Fold: 1, Recompute: false}))
+	plan, err := pinned.Plan(MethodHelix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fold 1 uses blocking sends — detectable in the plan.
+	blocking := false
+	for _, ops := range plan.Ops {
+		for _, op := range ops {
+			if op.Blocking {
+				blocking = true
+			}
+		}
+	}
+	if !blocking {
+		t.Error("fold-1 override must produce blocking sends")
+	}
+}
