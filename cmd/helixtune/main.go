@@ -1,0 +1,142 @@
+// Command helixtune searches the pipeline-parallelism configuration space
+// for a model on a cluster under a per-GPU memory budget: it enumerates the
+// method x seqlen x stages x micro-batch grid, prunes memory-infeasible
+// points with cheap caching-allocator estimates before simulating, fans the
+// survivors across a worker pool, and prints the best schedule per sequence
+// length plus the throughput-vs-peak-memory Pareto frontier.
+//
+// Usage:
+//
+//	helixtune -model 3B -cluster A800 -budget 64
+//	helixtune -seq 32768,65536,131072 -pp 2,4,8 -m 0,16 -json
+//	helixtune -method helixpipe,1f1b,zb1p -csv points.csv
+//	helixtune -method help              # list the registered methods
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	helixpipe "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("helixtune: ")
+	var (
+		modelName   = flag.String("model", "3B", "model preset: 1.3B, 3B, 7B, 13B, tiny")
+		clusterName = flag.String("cluster", "A800", "cluster preset: H20 or A800")
+		seqList     = flag.String("seq", "32768,65536,131072", "comma-separated sequence lengths to tune for")
+		ppList      = flag.String("pp", "2,4,8", "comma-separated candidate pipeline sizes")
+		mbList      = flag.String("m", "0", "comma-separated candidate micro-batch counts (0 = 2*pp)")
+		bList       = flag.String("b", "1", "comma-separated candidate micro-batch sizes")
+		methodsFlag = flag.String("method", "", "comma-separated methods to consider (default all; 'help' lists)")
+		budgetGB    = flag.Float64("budget", 0, "per-GPU memory budget in GB, model states included (0 = GPU capacity)")
+		workers     = flag.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS)")
+		jsonOut     = flag.Bool("json", false, "emit the full machine-readable result as JSON on stdout")
+		csvPath     = flag.String("csv", "", "also write every evaluated point as CSV to this path")
+	)
+	flag.Parse()
+
+	mc, ok := helixpipe.ModelByName(*modelName)
+	if !ok {
+		log.Fatalf("unknown model %q", *modelName)
+	}
+	cl, ok := helixpipe.ClusterByName(*clusterName)
+	if !ok {
+		log.Fatalf("unknown cluster %q", *clusterName)
+	}
+
+	spec := helixpipe.TuneSpec{
+		Methods:           resolveMethods(*methodsFlag),
+		SeqLens:           parseInts("seq", *seqList),
+		Stages:            parseInts("pp", *ppList),
+		MicroBatches:      parseInts("m", *mbList),
+		MicroBatchSizes:   parseInts("b", *bList),
+		MemoryBudgetBytes: int64(*budgetGB * float64(1<<30)),
+		Workers:           *workers,
+	}
+
+	session, err := helixpipe.NewSession(mc, cl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	result, err := session.Autotune(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := helixpipe.WriteTuneResultCSV(f, result); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *jsonOut {
+		if err := helixpipe.WriteTuneResultJSON(os.Stdout, result); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Print(result.Summary())
+	fmt.Println()
+	fmt.Print(result.BestTable())
+	fmt.Println()
+	fmt.Print(result.FrontierTable())
+	for _, e := range result.Errors {
+		fmt.Fprintf(os.Stderr, "skipped: %s\n", e)
+	}
+}
+
+// resolveMethods expands the -method flag through the registry,
+// case-insensitively; empty keeps the autotuner's every-method default.
+// "help" (or an unknown name) prints the registry's method list.
+func resolveMethods(flagValue string) []helixpipe.Method {
+	if flagValue == "" {
+		return nil
+	}
+	var out []helixpipe.Method
+	for _, part := range strings.Split(flagValue, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		m, ok := helixpipe.LookupMethod(part)
+		if !ok {
+			if !strings.EqualFold(part, "help") {
+				fmt.Fprintf(os.Stderr, "unknown method %q; the registered methods are:\n\n", part)
+			}
+			fmt.Fprint(os.Stderr, helixpipe.MethodListing())
+			os.Exit(2)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// parseInts parses a comma-separated integer list flag.
+func parseInts(name, s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			log.Fatalf("-%s: %q is not an integer", name, part)
+		}
+		out = append(out, v)
+	}
+	return out
+}

@@ -59,6 +59,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/trace"
+	"repro/internal/tune"
 )
 
 // Model and cluster configuration types.
@@ -89,6 +90,28 @@ type (
 	BuildParams = sched.BuildParams
 	// HelixOptions selects the HelixPipe variant.
 	HelixOptions = core.Options
+)
+
+// Autotuner types (Session.Autotune).
+type (
+	// TuneSpec constrains the autotuner's configuration search.
+	TuneSpec = tune.Spec
+	// TuneResult is the outcome of one autotuner run: pruning accounting,
+	// best-per-seqlen picks and the throughput-vs-peak-memory frontier.
+	TuneResult = tune.Result
+	// TunePoint is one evaluated configuration of an autotuner run.
+	TunePoint = tune.Point
+	// TuneCandidate is one grid point of the autotuner's search space.
+	TuneCandidate = tune.Candidate
+)
+
+// The autotuner's "why pruned" constraint names (TuneResult.Pruned keys).
+const (
+	TunePruneGeometry = tune.PruneGeometry
+	TunePruneMemory   = tune.PruneMemory
+	TunePruneBuild    = tune.PruneBuild
+	TunePruneSim      = tune.PruneSim
+	TunePruneMeasured = tune.PruneMeasured
 )
 
 // Simulation types.

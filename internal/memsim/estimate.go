@@ -1,0 +1,160 @@
+package memsim
+
+import "fmt"
+
+// StageTrace describes the allocation behaviour of one pipeline stage over
+// one training iteration at the fidelity feasibility pruning needs: per-layer
+// stashes that live from a micro batch's forward to its backward, short-lived
+// working buffers cycling around every layer, and buffers resident for the
+// whole iteration. The schedule-specific part is entirely in the numbers —
+// 1F1B's most loaded stage holds p outstanding micro batches, GPipe and the
+// FILO HelixPipe schedules hold all m — so one replay serves every method.
+type StageTrace struct {
+	// StashBytes is the long-lived stash one layer lays down per outstanding
+	// micro batch during its forward and releases in its backward.
+	StashBytes int64
+	// LayersPerStage is the layer count of the stage (L/p).
+	LayersPerStage int
+	// OutstandingMB is the number of micro batches whose stashes the
+	// schedule holds simultaneously at its most loaded stage.
+	OutstandingMB int
+	// TransientBytes are the short-lived working buffers (MLP intermediates,
+	// all-gather workspaces) allocated around one layer's compute and freed
+	// before the next layer's stash is laid down. Sizes vary per layer by
+	// the same deterministic irregularity as the chunked-MLP workload.
+	TransientBytes []int64
+	// ResidentBytes are allocated before the iteration and held until its
+	// end — e.g. ZB1P's fp32 embedding-gradient stash at the last stage.
+	ResidentBytes []int64
+}
+
+// Validate reports an error when the trace cannot be replayed.
+func (tr StageTrace) Validate() error {
+	switch {
+	case tr.StashBytes < 0:
+		return fmt.Errorf("memsim: negative stash bytes %d", tr.StashBytes)
+	case tr.LayersPerStage <= 0:
+		return fmt.Errorf("memsim: layers per stage must be positive, got %d", tr.LayersPerStage)
+	case tr.OutstandingMB <= 0:
+		return fmt.Errorf("memsim: outstanding micro batches must be positive, got %d", tr.OutstandingMB)
+	}
+	for _, b := range tr.TransientBytes {
+		if b < 0 {
+			return fmt.Errorf("memsim: negative transient buffer %d", b)
+		}
+	}
+	for _, b := range tr.ResidentBytes {
+		if b < 0 {
+			return fmt.Errorf("memsim: negative resident buffer %d", b)
+		}
+	}
+	return nil
+}
+
+// EstimatePeak replays the stage trace on a fresh allocator and returns its
+// statistics. Stash laydown interleaves with the transient buffers exactly
+// like the chunked-MLP workload, so PeakReservedBytes includes the holes a
+// caching allocator would actually carve — an estimate a few hundred
+// allocations cheap, which is what lets the autotuner discard infeasible
+// grid points before paying for a full discrete-event simulation.
+func EstimatePeak(cfg Config, tr StageTrace) (Stats, error) {
+	if err := tr.Validate(); err != nil {
+		return Stats{}, err
+	}
+	a := New(cfg)
+
+	allocAll := func(sizes []int64) ([]int64, error) {
+		var hs []int64
+		for _, size := range sizes {
+			if size <= 0 {
+				continue
+			}
+			h, err := a.Alloc(size)
+			if err != nil {
+				return hs, err
+			}
+			hs = append(hs, h)
+		}
+		return hs, nil
+	}
+	freeAll := func(hs []int64) error {
+		for _, h := range hs {
+			if err := a.Free(h); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// transients returns the layer's working-buffer sizes with the same
+	// deterministic per-layer irregularity the chunked-MLP workload uses:
+	// real MLP temporaries are not uniform, and the irregularity interacting
+	// with long-lived stashes is what fragments the pool.
+	transients := func(layer int) []int64 {
+		out := make([]int64, 0, len(tr.TransientBytes))
+		for _, base := range tr.TransientBytes {
+			size := base + irregular(layer)*base/8
+			if size <= 0 {
+				continue
+			}
+			out = append(out, size)
+		}
+		return out
+	}
+	cycleTransients := func(layer int) error {
+		hs, err := allocAll(transients(layer))
+		if err != nil {
+			return err
+		}
+		return freeAll(hs)
+	}
+
+	residents, err := allocAll(tr.ResidentBytes)
+	if err != nil {
+		return a.Stats(), err
+	}
+
+	// Forward: each outstanding micro batch lays its per-layer stashes down
+	// while the layer's transient buffers come and go around them.
+	stash := make([][]int64, tr.OutstandingMB)
+	for mb := range stash {
+		stash[mb] = make([]int64, tr.LayersPerStage)
+		for layer := 0; layer < tr.LayersPerStage; layer++ {
+			hs, err := allocAll(transients(layer))
+			if err != nil {
+				return a.Stats(), err
+			}
+			if tr.StashBytes > 0 {
+				h, err := a.Alloc(tr.StashBytes)
+				if err != nil {
+					return a.Stats(), err
+				}
+				stash[mb][layer] = h
+			}
+			if err := freeAll(hs); err != nil {
+				return a.Stats(), err
+			}
+		}
+	}
+
+	// Backward in FILO order: transients cycle again (recomputation and
+	// gradient workspaces), then the stashes release.
+	for mb := tr.OutstandingMB - 1; mb >= 0; mb-- {
+		for layer := tr.LayersPerStage - 1; layer >= 0; layer-- {
+			if err := cycleTransients(layer); err != nil {
+				return a.Stats(), err
+			}
+			if h := stash[mb][layer]; h != 0 {
+				if err := a.Free(h); err != nil {
+					return a.Stats(), err
+				}
+			}
+		}
+	}
+	if err := freeAll(residents); err != nil {
+		return a.Stats(), err
+	}
+	if err := a.CheckInvariants(); err != nil {
+		return a.Stats(), err
+	}
+	return a.Stats(), nil
+}

@@ -1,0 +1,107 @@
+package memsim
+
+import "testing"
+
+func TestEstimatePeakValidation(t *testing.T) {
+	bad := []StageTrace{
+		{StashBytes: 1 << 20, LayersPerStage: 0, OutstandingMB: 4},
+		{StashBytes: 1 << 20, LayersPerStage: 4, OutstandingMB: 0},
+		{StashBytes: -1, LayersPerStage: 4, OutstandingMB: 4},
+		{StashBytes: 1 << 20, LayersPerStage: 4, OutstandingMB: 4, TransientBytes: []int64{-5}},
+		{StashBytes: 1 << 20, LayersPerStage: 4, OutstandingMB: 4, ResidentBytes: []int64{-5}},
+	}
+	for i, tr := range bad {
+		if _, err := EstimatePeak(DefaultConfig(), tr); err == nil {
+			t.Errorf("trace %d: expected validation error, got none", i)
+		}
+	}
+}
+
+func TestEstimatePeakCoversStashes(t *testing.T) {
+	const unit = int64(8 << 20)
+	tr := StageTrace{
+		StashBytes:     4 * unit,
+		LayersPerStage: 4,
+		OutstandingMB:  8,
+		TransientBytes: []int64{unit, 4 * unit, 4 * unit, unit},
+	}
+	st, err := EstimatePeak(DefaultConfig(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Peak allocated must cover all stashes held simultaneously.
+	minPeak := tr.StashBytes * int64(tr.LayersPerStage) * int64(tr.OutstandingMB)
+	if st.PeakAllocatedBytes < minPeak {
+		t.Errorf("peak allocated %d below the simultaneous stash volume %d", st.PeakAllocatedBytes, minPeak)
+	}
+	// Reserved always dominates allocated, and the replay must leave the
+	// allocator empty.
+	if st.PeakReservedBytes < st.PeakAllocatedBytes {
+		t.Errorf("peak reserved %d below peak allocated %d", st.PeakReservedBytes, st.PeakAllocatedBytes)
+	}
+	if st.AllocatedBytes != 0 {
+		t.Errorf("replay leaked %d bytes", st.AllocatedBytes)
+	}
+}
+
+func TestEstimatePeakMonotoneInOutstanding(t *testing.T) {
+	base := StageTrace{
+		StashBytes:     2 << 20,
+		LayersPerStage: 4,
+		TransientBytes: []int64{1 << 20, 4 << 20},
+	}
+	var prevAlloc, prevReserved int64
+	for _, m := range []int{2, 4, 8, 16} {
+		tr := base
+		tr.OutstandingMB = m
+		st, err := EstimatePeak(DefaultConfig(), tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.PeakAllocatedBytes <= prevAlloc {
+			t.Errorf("m=%d: peak allocated %d not above previous %d", m, st.PeakAllocatedBytes, prevAlloc)
+		}
+		// Reserved is segment-granular, so it may plateau but never shrink.
+		if st.PeakReservedBytes < prevReserved {
+			t.Errorf("m=%d: peak reserved %d shrank below %d", m, st.PeakReservedBytes, prevReserved)
+		}
+		prevAlloc, prevReserved = st.PeakAllocatedBytes, st.PeakReservedBytes
+	}
+}
+
+func TestEstimatePeakResidents(t *testing.T) {
+	tr := StageTrace{
+		StashBytes:     1 << 20,
+		LayersPerStage: 2,
+		OutstandingMB:  2,
+		ResidentBytes:  []int64{64 << 20},
+	}
+	with, err := EstimatePeak(DefaultConfig(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.ResidentBytes = nil
+	without, err := EstimatePeak(DefaultConfig(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.PeakReservedBytes < without.PeakReservedBytes+(64<<20) {
+		t.Errorf("resident buffer not reflected: with=%d without=%d", with.PeakReservedBytes, without.PeakReservedBytes)
+	}
+}
+
+func TestEstimatePeakZeroStash(t *testing.T) {
+	// A fully recomputing schedule may stash nothing at all; the replay must
+	// still cycle the transients without error.
+	st, err := EstimatePeak(DefaultConfig(), StageTrace{
+		LayersPerStage: 4,
+		OutstandingMB:  4,
+		TransientBytes: []int64{1 << 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PeakAllocatedBytes == 0 {
+		t.Error("transient buffers should register a nonzero peak")
+	}
+}

@@ -1,7 +1,9 @@
 package sched
 
 import (
+	"errors"
 	"fmt"
+	"log"
 	"sort"
 	"strings"
 	"sync"
@@ -46,25 +48,46 @@ var registry = struct {
 	byName map[string]Registration
 }{byName: map[string]Registration{}}
 
-// Register adds a method to the registry. Generator packages call it from
-// init: the layer-wise baselines register here in package sched, and
-// internal/core registers the HelixPipe variants. Registering an empty name,
-// a nil builder, or a duplicate (case-insensitively) panics: registration
-// mistakes are programmer errors that must surface at process start.
-func Register(r Registration) {
+// ErrDuplicateMethod reports a registration whose name (case-insensitively)
+// is already taken. TryRegister wraps it; errors.Is unwraps it.
+var ErrDuplicateMethod = errors.New("sched: duplicate method registration")
+
+// TryRegister adds a method to the registry and reports why it could not:
+// an empty name, a nil builder, or a name (case-insensitively) already
+// registered. On a duplicate the existing registration stays in place —
+// first wins, deterministically, whatever the init order.
+func TryRegister(r Registration) error {
 	if r.Name == "" {
-		panic("sched: Register with empty method name")
+		return errors.New("sched: Register with empty method name")
 	}
 	if r.Build == nil {
-		panic(fmt.Sprintf("sched: Register(%s) with nil builder", r.Name))
+		return fmt.Errorf("sched: Register(%s) with nil builder", r.Name)
 	}
 	key := strings.ToLower(string(r.Name))
 	registry.Lock()
 	defer registry.Unlock()
 	if _, dup := registry.byName[key]; dup {
-		panic(fmt.Sprintf("sched: method %s registered twice", r.Name))
+		return fmt.Errorf("%w: %s", ErrDuplicateMethod, r.Name)
 	}
 	registry.byName[key] = r
+	return nil
+}
+
+// Register adds a method to the registry. Generator packages call it from
+// init: the layer-wise baselines register here in package sched, and
+// internal/core registers the HelixPipe variants. Registering an empty name
+// or a nil builder panics — those are programmer errors that must surface at
+// process start. A duplicate name is logged and ignored, keeping the first
+// registration: panicking here would make program startup depend on package
+// init order. Callers that need the duplicate as a value use TryRegister.
+func Register(r Registration) {
+	if err := TryRegister(r); err != nil {
+		if errors.Is(err, ErrDuplicateMethod) {
+			log.Print(err)
+			return
+		}
+		panic(err)
+	}
 }
 
 // Lookup resolves a method name case-insensitively and reports whether it is

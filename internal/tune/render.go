@@ -1,0 +1,91 @@
+package tune
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Summary renders the search accounting — grid size, evaluated points, and
+// the "why pruned" count per constraint — as one line per fact.
+func (r *Result) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "model %s on %s, budget %.1f GB per GPU\n",
+		r.Model, r.Cluster, gb(r.MemoryBudgetBytes))
+	fmt.Fprintf(&b, "grid %d points, evaluated %d, cost-model evaluations %d\n",
+		r.GridSize, r.Evaluated, r.CostModelEvals)
+	for _, reason := range []string{PruneGeometry, PruneMemory, PruneBuild, PruneSim, PruneMeasured} {
+		if n := r.Pruned[reason]; n > 0 {
+			fmt.Fprintf(&b, "pruned %d (%s)\n", n, reason)
+		}
+	}
+	return b.String()
+}
+
+// BestTable renders the best-throughput pick per sequence length as an
+// aligned ASCII table.
+func (r *Result) BestTable() string {
+	return pointTable("best configuration per sequence length", r.Best)
+}
+
+// FrontierTable renders the throughput-versus-peak-memory Pareto frontier
+// as an aligned ASCII table, ascending in peak memory.
+func (r *Result) FrontierTable() string {
+	return pointTable("throughput vs peak-memory Pareto frontier", r.Frontier)
+}
+
+func pointTable(title string, points []Point) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s\n", title)
+	if len(points) == 0 {
+		b.WriteString("(no feasible points)\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%-22s %-8s %-4s %-4s %-3s %-12s %-10s %-10s %-12s\n",
+		"method", "seq", "pp", "m", "b", "tokens/s", "bubble %", "peak GB", "est peak GB")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-22s %-8d %-4d %-4d %-3d %-12.0f %-10.1f %-10.1f %-12.1f\n",
+			p.Method, p.SeqLen, p.Stages, p.MicroBatches, p.MicroBatchSize,
+			p.TokensPerSecond, p.BubbleFraction*100, gb(p.PeakBytes), gb(p.EstimatedPeakBytes))
+	}
+	return b.String()
+}
+
+func gb(bytes int64) float64 { return float64(bytes) / (1 << 30) }
+
+// CSVHeader returns the column names of Point.CSVRow.
+func CSVHeader() []string {
+	return []string{
+		"method", "seq_len", "stages", "micro_batches", "micro_batch_size",
+		"tokens_per_second", "iteration_seconds", "bubble_fraction",
+		"peak_bytes", "estimated_peak_bytes",
+	}
+}
+
+// CSVRow renders the point as one CSV row matching CSVHeader.
+func (p Point) CSVRow() []string {
+	return []string{
+		string(p.Method),
+		fmt.Sprintf("%d", p.SeqLen), fmt.Sprintf("%d", p.Stages),
+		fmt.Sprintf("%d", p.MicroBatches), fmt.Sprintf("%d", p.MicroBatchSize),
+		fmt.Sprintf("%g", p.TokensPerSecond), fmt.Sprintf("%g", p.IterationSeconds),
+		fmt.Sprintf("%g", p.BubbleFraction),
+		fmt.Sprintf("%d", p.PeakBytes), fmt.Sprintf("%d", p.EstimatedPeakBytes),
+	}
+}
+
+// WriteCSV writes a header plus one row per point.
+func WriteCSV(w io.Writer, points []Point) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(CSVHeader()); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if err := cw.Write(p.CSVRow()); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

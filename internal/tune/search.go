@@ -1,0 +1,300 @@
+package tune
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/costmodel"
+	"repro/internal/memsim"
+	"repro/internal/model"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// Run searches the spec's grid for the given model on the given cluster.
+// Build and simulation failures of individual grid points are counted and
+// recorded, never fatal; Run errors only on an unusable spec or inputs.
+func Run(m model.Config, cl costmodel.ClusterSpec, spec Spec) (*Result, error) {
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("tune: invalid model: %w", err)
+	}
+	if err := cl.Validate(); err != nil {
+		return nil, fmt.Errorf("tune: invalid cluster: %w", err)
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	methods := sched.Methods()
+	if len(spec.Methods) > 0 {
+		// Resolve to canonical registry names: the per-method memory
+		// profiles (stageTrace, stateBytes) switch on them, so a
+		// case-variant spelling must not fall through to the default.
+		methods = make([]sched.Method, 0, len(spec.Methods))
+		for _, method := range spec.Methods {
+			r, ok := sched.Lookup(string(method))
+			if !ok {
+				return nil, fmt.Errorf("tune: unknown method %q", method)
+			}
+			methods = append(methods, r.Name)
+		}
+	}
+	budget := spec.MemoryBudgetBytes
+	if budget == 0 {
+		budget = int64(cl.GPU.MemoryGB * float64(1<<30))
+	}
+
+	res := &Result{
+		Model:             m.Name,
+		Cluster:           cl.Name,
+		MemoryBudgetBytes: budget,
+		Pruned:            map[string]int{},
+	}
+	grid := spec.grid(methods)
+	res.GridSize = len(grid)
+
+	// Phase 1: cheap pruning. Geometry first, then the memsim peak-memory
+	// estimate — no cost model, no plan building, no simulation.
+	type survivor struct {
+		Candidate
+		estPeak int64 // memsim activation peak + model states
+	}
+	var survivors []survivor
+	for _, c := range grid {
+		if c.Stages <= 0 || c.MicroBatches <= 0 || c.MicroBatchSize <= 0 ||
+			c.SeqLen <= 0 || m.Layers%c.Stages != 0 {
+			res.Pruned[PruneGeometry]++
+			continue
+		}
+		w := costmodel.NewWorkload(m, cl, model.Shape{B: c.MicroBatchSize, S: c.SeqLen})
+		est, err := estimatePeak(w, c, budget)
+		if err != nil || est > budget {
+			res.Pruned[PruneMemory]++
+			continue
+		}
+		survivors = append(survivors, survivor{Candidate: c, estPeak: est})
+	}
+
+	// Phase 2: memoized cost books. Cost-model evaluation depends only on
+	// the micro-batch shape (b, s), so the whole method x stages x micro-
+	// batch cross product shares one evaluation per shape — this is what
+	// keeps CostModelEvals strictly below the naive grid size.
+	type shapeKey struct{ b, s int }
+	costs := map[shapeKey]sched.Costs{}
+	for _, sv := range survivors {
+		key := shapeKey{sv.MicroBatchSize, sv.SeqLen}
+		if _, ok := costs[key]; ok {
+			continue
+		}
+		w := costmodel.NewWorkload(m, cl, model.Shape{B: key.b, S: key.s})
+		costs[key] = sched.NewCosts(w)
+		res.CostModelEvals++
+	}
+
+	// Phase 3: fan the survivors across a bounded worker pool, reusing the
+	// Session.Sweep goroutine pattern with a semaphore on top.
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	type outcome struct {
+		point  Point
+		reason string // empty on success
+		err    error
+	}
+	outcomes := make([]outcome, len(survivors))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, sv := range survivors {
+		wg.Add(1)
+		go func(i int, sv survivor) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			point, reason, err := evaluate(m, cl, sv.Candidate, sv.estPeak, budget,
+				costs[shapeKey{sv.MicroBatchSize, sv.SeqLen}])
+			outcomes[i] = outcome{point: point, reason: reason, err: err}
+		}(i, sv)
+	}
+	wg.Wait()
+
+	for _, o := range outcomes {
+		if o.reason != "" {
+			res.Pruned[o.reason]++
+			res.Errors = append(res.Errors, o.err.Error())
+			continue
+		}
+		res.Points = append(res.Points, o.point)
+	}
+	res.Evaluated = len(res.Points)
+	res.Best = bestPerSeqLen(spec.SeqLens, res.Points)
+	res.Frontier = paretoFrontier(res.Points)
+	return res, nil
+}
+
+// evaluate builds and simulates one surviving candidate. A non-empty reason
+// (PruneBuild or PruneSim) reports a discarded point.
+func evaluate(m model.Config, cl costmodel.ClusterSpec, c Candidate,
+	estPeak, budget int64, costs sched.Costs) (Point, string, error) {
+	cfg := sched.Config{Stages: c.Stages, MicroBatches: c.MicroBatches, Layers: m.Layers}
+	activationBudget := budget - stateBytes(m, cl, c.Method, c.Stages)
+	plan, err := sched.Build(c.Method, cfg, costs, sched.BuildParams{MemoryBudget: activationBudget})
+	if err != nil {
+		return Point{}, PruneBuild, fmt.Errorf("%s: %w", c, err)
+	}
+	simRes, err := sim.Run(plan, sim.Options{SMPenalty: cl.CommSMPenalty})
+	if err != nil {
+		return Point{}, PruneSim, fmt.Errorf("%s: %w", c, err)
+	}
+	peak := simRes.MaxPeakStashBytes() + stateBytes(m, cl, c.Method, c.Stages)
+	if peak > budget {
+		// The cheap estimate admitted the point but the simulation measured
+		// it over budget: discard it rather than recommend an OOM.
+		return Point{}, PruneMeasured, fmt.Errorf(
+			"%s: measured peak %d exceeds budget %d", c, peak, budget)
+	}
+	tokens := int64(c.MicroBatchSize) * int64(c.SeqLen) * int64(c.MicroBatches)
+	return Point{
+		Candidate:          c,
+		EstimatedPeakBytes: estPeak,
+		PeakBytes:          peak,
+		IterationSeconds:   simRes.IterationSeconds,
+		TokensPerSecond:    simRes.Throughput(tokens),
+		BubbleFraction:     bubbleFraction(simRes),
+	}, "", nil
+}
+
+func bubbleFraction(r *sim.Result) float64 {
+	if r.IterationSeconds <= 0 {
+		return 0
+	}
+	return r.BubbleSeconds() / r.IterationSeconds
+}
+
+// estimatePeak returns the candidate's per-GPU peak-memory estimate: the
+// memsim caching-allocator replay of the most loaded stage's activation
+// trace plus model states. The replay costs a few hundred allocator
+// operations — the "cheap" in cheap pruning.
+func estimatePeak(w costmodel.Workload, c Candidate, budget int64) (int64, error) {
+	states := stateBytes(w.Model, w.Cluster, c.Method, c.Stages)
+	if states >= budget {
+		// Model states alone exhaust the budget; no activation trace needed.
+		return states, nil
+	}
+	tr := stageTrace(w, c)
+	cfg := memsim.DefaultConfig()
+	cfg.SegmentBytes = 64 << 20
+	st, err := memsim.EstimatePeak(cfg, tr)
+	if err != nil {
+		return 0, err
+	}
+	return st.PeakReservedBytes + states, nil
+}
+
+// stageTrace maps a candidate onto the allocation trace of its most loaded
+// pipeline stage. The per-method profiles follow the paper's analysis
+// (Equations 2 and 4, Table 2): what varies between schedules is how much
+// one layer stashes and how many micro batches stay outstanding at once.
+func stageTrace(w costmodel.Workload, c Candidate) memsim.StageTrace {
+	seqPar := int64(w.Cluster.GPUsPerNode)
+	perLayerFull := w.Model.LayerActivationElems(w.Shape) * model.FP16Bytes / seqPar
+	helixStash := w.Model.HelixStashElems(w.Shape) * model.FP16Bytes / seqPar
+	unit := w.Shape.Tokens() * int64(w.Model.Hidden) * model.FP16Bytes / seqPar
+
+	tr := memsim.StageTrace{
+		LayersPerStage: w.Model.Layers / c.Stages,
+		// The MLP working set of one layer: input, the two 4bsh
+		// intermediates, output — the buffers whose irregular sizes carve
+		// the pool (section 4.4.2).
+		TransientBytes: []int64{unit, 4 * unit, 4 * unit, unit},
+	}
+	switch c.Method {
+	case sched.MethodGPipe:
+		// All forwards before any backward: every micro batch outstanding.
+		tr.StashBytes, tr.OutstandingMB = perLayerFull, c.MicroBatches
+	case sched.MethodInterleaved:
+		// Interleaving adds up to one extra in-flight micro batch at the
+		// first stage over plain 1F1B.
+		tr.StashBytes, tr.OutstandingMB = perLayerFull, min(c.Stages+1, c.MicroBatches)
+	case sched.MethodZB1P:
+		// Equation 4: ZB1P's worst stage matches 1F1B's first stage, plus
+		// the last stage's fp32 embedding-gradient stash for deferred W.
+		tr.StashBytes, tr.OutstandingMB = perLayerFull, min(c.Stages, c.MicroBatches)
+		tr.ResidentBytes = embedGradResidents(w, c.Stages-1)
+	case sched.MethodZB2P:
+		// ZB2P admits roughly a second pipeline's worth of warmup forwards
+		// for its smaller bubble, doubling ZB1P's outstanding count.
+		tr.StashBytes, tr.OutstandingMB = perLayerFull, min(2*c.Stages, c.MicroBatches)
+		tr.ResidentBytes = embedGradResidents(w, c.Stages-1)
+	case sched.MethodAdaPipe:
+		// AdaPipe recomputes adaptively under the budget; its floor is full
+		// recomputation, which keeps only each layer's input.
+		tr.StashBytes, tr.OutstandingMB = w.InputStashBytes(), min(c.Stages, c.MicroBatches)
+	case sched.MethodHelix, sched.MethodHelixNaive:
+		// Table 2: the FILO schedules stash all m micro batches, but
+		// recomputation without attention keeps only 4bsh per layer.
+		tr.StashBytes, tr.OutstandingMB = helixStash, c.MicroBatches
+	case sched.MethodHelixNoRecompute:
+		tr.StashBytes, tr.OutstandingMB = perLayerFull, c.MicroBatches
+	default:
+		// Unknown registered methods get the 1F1B profile: the most common
+		// steady state, p outstanding micro batches of full layer stashes.
+		tr.StashBytes, tr.OutstandingMB = perLayerFull, min(c.Stages, c.MicroBatches)
+	}
+	return tr
+}
+
+// embedGradResidents returns the last stage's deferred embedding-gradient
+// stashes under the zero-bubble schedules: one fp32 head-activation pair per
+// warmup micro batch (section 5.4).
+func embedGradResidents(w costmodel.Workload, warmup int) []int64 {
+	if warmup <= 0 {
+		return nil
+	}
+	out := make([]int64, warmup)
+	for i := range out {
+		out[i] = w.EmbeddingGradStashBytes()
+	}
+	return out
+}
+
+// bestPerSeqLen picks the highest-throughput point per sequence length, in
+// the spec's sequence-length order.
+func bestPerSeqLen(seqLens []int, points []Point) []Point {
+	best := map[int]Point{}
+	for _, p := range points {
+		cur, ok := best[p.SeqLen]
+		if !ok || p.TokensPerSecond > cur.TokensPerSecond {
+			best[p.SeqLen] = p
+		}
+	}
+	out := make([]Point, 0, len(best))
+	for _, seq := range dedupe(seqLens) {
+		if p, ok := best[seq]; ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// paretoFrontier returns the points no other point dominates in (peak
+// memory down, throughput up), ordered by ascending peak memory.
+func paretoFrontier(points []Point) []Point {
+	sorted := append([]Point(nil), points...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].PeakBytes != sorted[j].PeakBytes {
+			return sorted[i].PeakBytes < sorted[j].PeakBytes
+		}
+		return sorted[i].TokensPerSecond > sorted[j].TokensPerSecond
+	})
+	var frontier []Point
+	best := 0.0
+	for _, p := range sorted {
+		if p.TokensPerSecond > best {
+			frontier = append(frontier, p)
+			best = p.TokensPerSecond
+		}
+	}
+	return frontier
+}

@@ -1,0 +1,231 @@
+// Package tune implements the configuration autotuner: given a model, a
+// cluster and a constraint spec it enumerates the method x sequence-length x
+// stages x micro-batch grid, discards memory-infeasible points with cheap
+// memsim peak estimates before simulating anything, fans the survivors
+// across a bounded worker pool, memoizes cost-model evaluations keyed by
+// micro-batch shape so repeated grid points are free, and ranks the results
+// into a best-throughput pick per sequence length and a throughput-versus-
+// peak-memory Pareto frontier.
+//
+// The paper's own evaluation is exactly such a sweep — method x seqlen x
+// cluster, with schedules winning or losing depending on where attention
+// time and memory pressure land — and the autotuner turns that from "run
+// every cell and eyeball the table" into "ask which schedule fits a budget".
+package tune
+
+import (
+	"fmt"
+
+	// Linked for its registry side effect: the HelixPipe variants register
+	// themselves into the sched method registry at init.
+	_ "repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+// Prune reasons counted in Result.Pruned, one per constraint.
+const (
+	// PruneGeometry counts grid points with an unusable pipeline geometry
+	// (non-positive axes, layers not divisible by stages).
+	PruneGeometry = "geometry"
+	// PruneMemory counts grid points whose memsim peak-memory estimate
+	// exceeds the per-GPU budget.
+	PruneMemory = "memory-budget"
+	// PruneBuild counts survivors whose schedule builder rejected the
+	// configuration (e.g. AdaPipe finding no partition under the budget).
+	PruneBuild = "build-error"
+	// PruneSim counts survivors whose simulation failed.
+	PruneSim = "sim-error"
+	// PruneMeasured counts survivors whose simulated (measured) peak memory
+	// exceeded the budget even though the cheap estimate admitted them.
+	PruneMeasured = "memory-measured"
+)
+
+// Spec constrains the autotuner's search. Empty axes are rejected by
+// Validate — callers with a natural default (the Session front door, the
+// helixtune CLI) fill them in before calling Run.
+type Spec struct {
+	// Methods are the schedules to consider; empty means every registered
+	// method.
+	Methods []sched.Method `json:"methods,omitempty"`
+	// SeqLens are the sequence lengths to tune for.
+	SeqLens []int `json:"seq_lens"`
+	// Stages are the candidate pipeline sizes.
+	Stages []int `json:"stages"`
+	// MicroBatches are the candidate micro-batch counts per iteration; a 0
+	// entry means the paper default m = 2p of the grid point's stages.
+	MicroBatches []int `json:"micro_batches,omitempty"`
+	// MicroBatchSizes are the candidate micro-batch sizes; empty means {1}.
+	MicroBatchSizes []int `json:"micro_batch_sizes,omitempty"`
+	// MemoryBudgetBytes is the per-GPU memory budget (model states included)
+	// a configuration must fit in. Zero means the GPU's full capacity.
+	MemoryBudgetBytes int64 `json:"memory_budget_bytes,omitempty"`
+	// Workers bounds the simulation worker pool; zero picks a default.
+	Workers int `json:"workers,omitempty"`
+}
+
+// Validate reports an error when the spec cannot be searched.
+func (s Spec) Validate() error {
+	switch {
+	case len(s.SeqLens) == 0:
+		return fmt.Errorf("tune: no sequence lengths to search")
+	case len(s.Stages) == 0:
+		return fmt.Errorf("tune: no pipeline sizes to search")
+	case s.MemoryBudgetBytes < 0:
+		return fmt.Errorf("tune: negative memory budget %d", s.MemoryBudgetBytes)
+	case s.Workers < 0:
+		return fmt.Errorf("tune: negative worker count %d", s.Workers)
+	}
+	for _, seq := range s.SeqLens {
+		if seq <= 0 {
+			return fmt.Errorf("tune: non-positive sequence length %d", seq)
+		}
+	}
+	for _, b := range s.MicroBatchSizes {
+		if b <= 0 {
+			return fmt.Errorf("tune: non-positive micro batch size %d", b)
+		}
+	}
+	for _, m := range s.MicroBatches {
+		if m < 0 {
+			return fmt.Errorf("tune: negative micro batch count %d", m)
+		}
+	}
+	return nil
+}
+
+// Candidate is one grid point of the search.
+type Candidate struct {
+	// Method is the pipeline parallelism.
+	Method sched.Method `json:"method"`
+	// SeqLen is the sequence length of every micro batch.
+	SeqLen int `json:"seq_len"`
+	// Stages is the pipeline size p.
+	Stages int `json:"stages"`
+	// MicroBatches is the micro-batch count m per iteration.
+	MicroBatches int `json:"micro_batches"`
+	// MicroBatchSize is the micro-batch size b.
+	MicroBatchSize int `json:"micro_batch_size"`
+}
+
+func (c Candidate) String() string {
+	return fmt.Sprintf("%s seq=%d p=%d m=%d b=%d",
+		c.Method, c.SeqLen, c.Stages, c.MicroBatches, c.MicroBatchSize)
+}
+
+// Point is one evaluated (simulated) configuration.
+type Point struct {
+	Candidate
+	// EstimatedPeakBytes is the memsim per-GPU peak estimate the point was
+	// admitted under: peak reserved activation memory plus model states.
+	EstimatedPeakBytes int64 `json:"estimated_peak_bytes"`
+	// PeakBytes is the measured per-GPU peak: the simulator's largest stash
+	// peak plus model states. The Pareto frontier orders by this.
+	PeakBytes int64 `json:"peak_bytes"`
+	// IterationSeconds is the simulated iteration makespan.
+	IterationSeconds float64 `json:"iteration_seconds"`
+	// TokensPerSecond is the simulated training throughput.
+	TokensPerSecond float64 `json:"tokens_per_second"`
+	// BubbleFraction is the simulated bubble share of the iteration.
+	BubbleFraction float64 `json:"bubble_fraction"`
+}
+
+// Result is the serializable outcome of one autotuner run.
+type Result struct {
+	// Model and Cluster label the tuned configuration.
+	Model   string `json:"model"`
+	Cluster string `json:"cluster"`
+	// MemoryBudgetBytes is the per-GPU budget the search ran under.
+	MemoryBudgetBytes int64 `json:"memory_budget_bytes"`
+	// GridSize is the naive grid size: the product of the axis lengths.
+	GridSize int `json:"grid_size"`
+	// Evaluated counts the grid points that survived pruning and simulated
+	// successfully.
+	Evaluated int `json:"evaluated"`
+	// Pruned counts discarded grid points per constraint (PruneGeometry,
+	// PruneMemory, PruneBuild, PruneSim).
+	Pruned map[string]int `json:"pruned"`
+	// CostModelEvals counts the cost-model evaluations actually issued;
+	// memoization keeps it strictly below GridSize on any real grid.
+	CostModelEvals int `json:"cost_model_evals"`
+	// Best is the highest-throughput feasible point per sequence length, in
+	// Spec.SeqLens order; sequence lengths with no feasible point are absent.
+	Best []Point `json:"best"`
+	// Frontier is the throughput-versus-peak-memory Pareto frontier over all
+	// evaluated points, ordered by ascending peak memory.
+	Frontier []Point `json:"frontier"`
+	// Points are all evaluated points in deterministic grid order.
+	Points []Point `json:"points"`
+	// Errors records build/sim failures of pruned survivors.
+	Errors []string `json:"errors,omitempty"`
+}
+
+// grid enumerates the candidate grid in deterministic order (seqlen-major,
+// then stages, micro batches, micro batch size, method), resolving the
+// m = 2p default and deduplicating axis values while preserving order.
+func (s Spec) grid(methods []sched.Method) []Candidate {
+	seqLens := dedupe(s.SeqLens)
+	stages := dedupe(s.Stages)
+	microBatches := s.MicroBatches
+	if len(microBatches) == 0 {
+		microBatches = []int{0}
+	}
+	microBatches = dedupe(microBatches)
+	sizes := s.MicroBatchSizes
+	if len(sizes) == 0 {
+		sizes = []int{1}
+	}
+	sizes = dedupe(sizes)
+
+	seen := map[Candidate]bool{}
+	out := make([]Candidate, 0, len(seqLens)*len(stages)*len(microBatches)*len(sizes)*len(methods))
+	for _, seq := range seqLens {
+		for _, p := range stages {
+			for _, m := range microBatches {
+				if m == 0 {
+					m = 2 * p
+				}
+				for _, b := range sizes {
+					for _, method := range methods {
+						c := Candidate{Method: method, SeqLen: seq, Stages: p,
+							MicroBatches: m, MicroBatchSize: b}
+						if seen[c] {
+							continue
+						}
+						seen[c] = true
+						out = append(out, c)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func dedupe(xs []int) []int {
+	seen := map[int]bool{}
+	out := xs[:0:0]
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// stateBytes returns the per-GPU model-state bytes of the most loaded stage:
+// per-stage parameter/optimizer state plus the embedding (doubled for
+// HelixPipe, whose first stage holds both the input embedding and the tied
+// LM head, section 4.6).
+func stateBytes(m model.Config, cl costmodel.ClusterSpec, method sched.Method, stages int) int64 {
+	states := m.ModelStateBytesPerStage(stages, cl.GPUsPerNode)
+	embed := m.EmbeddingStateBytes(cl.GPUsPerNode)
+	switch method {
+	case sched.MethodHelix, sched.MethodHelixNaive, sched.MethodHelixNoRecompute:
+		return states + 2*embed
+	default:
+		return states + embed
+	}
+}

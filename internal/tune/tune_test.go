@@ -1,0 +1,346 @@
+package tune
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+// a800Spec is the acceptance configuration: the paper's A800 testbed under
+// a 64 GB per-GPU budget.
+func a800Spec() Spec {
+	return Spec{
+		SeqLens:           []int{32768, 65536, 131072},
+		Stages:            []int{2, 4, 8},
+		MemoryBudgetBytes: 64 << 30,
+	}
+}
+
+func TestAutotuneA800Budget(t *testing.T) {
+	res, err := Run(model.Model3B(), costmodel.A800Cluster(), a800Spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Frontier) == 0 {
+		t.Fatal("expected a non-empty Pareto frontier on the A800 64GB budget")
+	}
+	if len(res.Best) == 0 {
+		t.Fatal("expected best-per-seqlen picks")
+	}
+	// No returned configuration may exceed the budget by its memsim
+	// estimate — the feasibility guarantee of the pruning phase.
+	for _, set := range [][]Point{res.Points, res.Best, res.Frontier} {
+		for _, p := range set {
+			if p.EstimatedPeakBytes > res.MemoryBudgetBytes {
+				t.Errorf("%s: memsim peak %d exceeds budget %d",
+					p.Candidate, p.EstimatedPeakBytes, res.MemoryBudgetBytes)
+			}
+			if p.PeakBytes > res.MemoryBudgetBytes {
+				t.Errorf("%s: measured peak %d exceeds budget %d",
+					p.Candidate, p.PeakBytes, res.MemoryBudgetBytes)
+			}
+		}
+	}
+	// Long sequences at small pipeline sizes must actually be pruned on
+	// this budget: the search is not a no-op.
+	if res.Pruned[PruneMemory] == 0 {
+		t.Error("expected memory-budget pruning on a 64GB A800 budget")
+	}
+}
+
+func TestAutotuneMemoizationBeatsNaiveGrid(t *testing.T) {
+	res, err := Run(model.Model3B(), costmodel.A800Cluster(), a800Spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The acceptance criterion: the memoized search issues strictly fewer
+	// cost-model evaluations than the naive grid size. Cost books depend
+	// only on the micro-batch shape, so the method x stages cross product
+	// shares them.
+	if res.CostModelEvals >= res.GridSize {
+		t.Errorf("memoization ineffective: %d cost-model evals on a grid of %d",
+			res.CostModelEvals, res.GridSize)
+	}
+	if res.CostModelEvals == 0 {
+		t.Error("expected at least one cost-model evaluation")
+	}
+	if max := len(a800Spec().SeqLens); res.CostModelEvals > max {
+		t.Errorf("cost-model evals %d exceed the %d distinct micro-batch shapes",
+			res.CostModelEvals, max)
+	}
+}
+
+func TestAutotuneFrontierIsPareto(t *testing.T) {
+	res, err := Run(model.Model3B(), costmodel.A800Cluster(), a800Spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.Frontier
+	for i := 1; i < len(f); i++ {
+		if f[i].PeakBytes <= f[i-1].PeakBytes {
+			t.Errorf("frontier not ascending in peak memory at %d: %d <= %d",
+				i, f[i].PeakBytes, f[i-1].PeakBytes)
+		}
+		if f[i].TokensPerSecond <= f[i-1].TokensPerSecond {
+			t.Errorf("frontier not ascending in throughput at %d: %g <= %g",
+				i, f[i].TokensPerSecond, f[i-1].TokensPerSecond)
+		}
+	}
+	// No evaluated point may dominate a frontier point.
+	for _, p := range res.Points {
+		for _, q := range f {
+			if p.PeakBytes <= q.PeakBytes && p.TokensPerSecond > q.TokensPerSecond {
+				t.Errorf("%s dominates frontier point %s", p.Candidate, q.Candidate)
+			}
+		}
+	}
+}
+
+func TestAutotuneBestPerSeqLen(t *testing.T) {
+	spec := a800Spec()
+	res, err := Run(model.Model3B(), costmodel.A800Cluster(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, p := range res.Best {
+		if seen[p.SeqLen] {
+			t.Errorf("duplicate best pick for seqlen %d", p.SeqLen)
+		}
+		seen[p.SeqLen] = true
+		// The pick must beat every other evaluated point of its seqlen.
+		for _, q := range res.Points {
+			if q.SeqLen == p.SeqLen && q.TokensPerSecond > p.TokensPerSecond {
+				t.Errorf("seq=%d: %s beats the best pick %s", p.SeqLen, q.Candidate, p.Candidate)
+			}
+		}
+	}
+}
+
+func TestAutotuneTinyBudgetPrunesEverything(t *testing.T) {
+	spec := a800Spec()
+	spec.MemoryBudgetBytes = 1 << 30 // smaller than the model states alone
+	res, err := Run(model.Model3B(), costmodel.A800Cluster(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluated != 0 {
+		t.Errorf("expected no feasible points under a 1GB budget, got %d", res.Evaluated)
+	}
+	if len(res.Frontier) != 0 || len(res.Best) != 0 {
+		t.Error("expected empty frontier and best picks under a 1GB budget")
+	}
+	if res.Pruned[PruneMemory]+res.Pruned[PruneGeometry] != res.GridSize {
+		t.Errorf("pruned counts %v do not account for the whole grid %d", res.Pruned, res.GridSize)
+	}
+}
+
+func TestAutotuneGeometryPruning(t *testing.T) {
+	// 16 layers are not divisible by 3 stages: every method x seqlen cell
+	// of that column must land in the geometry count.
+	spec := Spec{SeqLens: []int{32768}, Stages: []int{3, 4}}
+	res, err := Run(model.Model3B(), costmodel.A800Cluster(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(sched.Methods())
+	if res.Pruned[PruneGeometry] != want {
+		t.Errorf("geometry pruned = %d, want %d", res.Pruned[PruneGeometry], want)
+	}
+}
+
+func TestAutotuneDefaultsAndDedupe(t *testing.T) {
+	spec := Spec{
+		Methods: []sched.Method{sched.Method1F1B, sched.Method1F1B},
+		SeqLens: []int{32768, 32768},
+		Stages:  []int{4, 4},
+	}
+	res, err := Run(model.Model3B(), costmodel.H20Cluster(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GridSize != 1 {
+		t.Errorf("duplicated axes should dedupe to one grid point, got %d", res.GridSize)
+	}
+	if res.Evaluated != 1 {
+		t.Errorf("evaluated = %d, want 1", res.Evaluated)
+	}
+	// m defaulted to 2p.
+	if got := res.Points[0].MicroBatches; got != 8 {
+		t.Errorf("micro batches defaulted to %d, want 8", got)
+	}
+	if got := res.Points[0].MicroBatchSize; got != 1 {
+		t.Errorf("micro batch size defaulted to %d, want 1", got)
+	}
+}
+
+func TestAutotuneCanonicalizesMethodNames(t *testing.T) {
+	run := func(name string) *Result {
+		res, err := Run(model.Model3B(), costmodel.A800Cluster(), Spec{
+			Methods:           []sched.Method{sched.Method(name)},
+			SeqLens:           []int{65536},
+			Stages:            []int{4},
+			MemoryBudgetBytes: 64 << 30,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	canonical, lower := run("HelixPipe"), run("helixpipe")
+	if len(lower.Points) != 1 || len(canonical.Points) != 1 {
+		t.Fatalf("want one point each, got %d/%d", len(canonical.Points), len(lower.Points))
+	}
+	if lower.Points[0].Method != sched.MethodHelix {
+		t.Errorf("lowercase spelling not canonicalized: %q", lower.Points[0].Method)
+	}
+	// The case-variant spelling must hit the same per-method memory
+	// profile, not fall through to the 1F1B default.
+	if lower.Points[0].EstimatedPeakBytes != canonical.Points[0].EstimatedPeakBytes {
+		t.Errorf("estimate differs by spelling: %d vs %d",
+			lower.Points[0].EstimatedPeakBytes, canonical.Points[0].EstimatedPeakBytes)
+	}
+	// Case variants of one method dedupe to one grid point.
+	res, err := Run(model.Model3B(), costmodel.A800Cluster(), Spec{
+		Methods: []sched.Method{"1F1B", "1f1b"},
+		SeqLens: []int{32768},
+		Stages:  []int{4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GridSize != 1 {
+		t.Errorf("case variants should dedupe to one grid point, got %d", res.GridSize)
+	}
+}
+
+func TestAutotuneSpecValidation(t *testing.T) {
+	cl := costmodel.H20Cluster()
+	bad := []Spec{
+		{},
+		{SeqLens: []int{4096}},
+		{SeqLens: []int{-1}, Stages: []int{2}},
+		{SeqLens: []int{4096}, Stages: []int{2}, MemoryBudgetBytes: -1},
+		{SeqLens: []int{4096}, Stages: []int{2}, Workers: -1},
+		{SeqLens: []int{4096}, Stages: []int{2}, MicroBatchSizes: []int{0}},
+		{SeqLens: []int{4096}, Stages: []int{2}, MicroBatches: []int{-2}},
+	}
+	for i, spec := range bad {
+		if _, err := Run(model.Model3B(), cl, spec); err == nil {
+			t.Errorf("spec %d: expected a validation error", i)
+		}
+	}
+	if _, err := Run(model.Model3B(), cl, Spec{
+		SeqLens: []int{4096}, Stages: []int{2},
+		Methods: []sched.Method{"no-such-method"},
+	}); err == nil || !strings.Contains(err.Error(), "unknown method") {
+		t.Errorf("unknown method: got %v", err)
+	}
+}
+
+func TestAutotuneBuildErrorsAreCountedNotFatal(t *testing.T) {
+	// AdaPipe with m < p is unbuildable in this repo's scheduler; the run
+	// must count it and keep the other method's report.
+	spec := Spec{
+		Methods:      []sched.Method{sched.MethodAdaPipe, sched.Method1F1B},
+		SeqLens:      []int{8192},
+		Stages:       []int{4},
+		MicroBatches: []int{2},
+	}
+	res, err := Run(model.Model3B(), costmodel.H20Cluster(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluated == 0 {
+		t.Fatal("expected surviving evaluations")
+	}
+	total := res.Evaluated
+	for _, n := range res.Pruned {
+		total += n
+	}
+	if total != res.GridSize {
+		t.Errorf("evaluated %d + pruned %v != grid %d", res.Evaluated, res.Pruned, res.GridSize)
+	}
+}
+
+func TestResultSerializationAndTables(t *testing.T) {
+	res, err := Run(model.Model3B(), costmodel.A800Cluster(), Spec{
+		SeqLens:           []int{32768},
+		Stages:            []int{4},
+		MemoryBudgetBytes: 64 << 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded Result
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.GridSize != res.GridSize || len(decoded.Frontier) != len(res.Frontier) {
+		t.Error("JSON round trip lost fields")
+	}
+	if !strings.Contains(string(data), "pruned") {
+		t.Error("serialized result misses the pruned counts")
+	}
+
+	if s := res.Summary(); !strings.Contains(s, "grid") {
+		t.Errorf("summary misses accounting: %q", s)
+	}
+	if s := res.FrontierTable(); !strings.Contains(s, "method") {
+		t.Errorf("frontier table misses header: %q", s)
+	}
+	if s := res.BestTable(); !strings.Contains(s, "tokens/s") {
+		t.Errorf("best table misses header: %q", s)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, res.Points); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(res.Points)+1 {
+		t.Errorf("CSV rows = %d, want %d", len(lines), len(res.Points)+1)
+	}
+	if !strings.HasPrefix(lines[0], "method,seq_len") {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+}
+
+func TestStageTraceProfiles(t *testing.T) {
+	w := costmodel.NewWorkload(model.Model3B(), costmodel.A800Cluster(),
+		model.Shape{B: 1, S: 65536})
+	base := Candidate{SeqLen: 65536, Stages: 4, MicroBatches: 8, MicroBatchSize: 1}
+
+	trace := func(m sched.Method) int64 {
+		c := base
+		c.Method = m
+		tr := stageTrace(w, c)
+		return tr.StashBytes * int64(tr.OutstandingMB) * int64(tr.LayersPerStage)
+	}
+	// Table 2 ordering: HelixPipe's recomputation-without-attention stash is
+	// far below 1F1B's full stash, which is below GPipe's all-outstanding.
+	if !(trace(sched.MethodHelix) < trace(sched.Method1F1B)) {
+		t.Error("helix stash volume should undercut 1F1B")
+	}
+	if !(trace(sched.Method1F1B) < trace(sched.MethodGPipe)) {
+		t.Error("1F1B stash volume should undercut GPipe")
+	}
+	if !(trace(sched.MethodHelix) < trace(sched.MethodHelixNoRecompute)) {
+		t.Error("recomputation must shrink the helix stash")
+	}
+	// ZB1P carries the deferred embedding-gradient residents.
+	c := base
+	c.Method = sched.MethodZB1P
+	if tr := stageTrace(w, c); len(tr.ResidentBytes) != c.Stages-1 {
+		t.Errorf("ZB1P residents = %d, want %d", len(tr.ResidentBytes), c.Stages-1)
+	}
+}

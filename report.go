@@ -11,6 +11,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/trace"
+	"repro/internal/tune"
 )
 
 // Engine names appearing in Report.Engine.
@@ -241,6 +242,25 @@ func WriteReportsJSON(w io.Writer, reports []*Report) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(reports)
+}
+
+// WriteTuneResultJSON writes an autotuner result as indented JSON: the
+// search accounting (grid size, "why pruned" count per constraint, memoized
+// cost-model evaluations), the best pick per sequence length, the Pareto
+// frontier, and every evaluated point.
+func WriteTuneResultJSON(w io.Writer, r *TuneResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// TuneCSVHeader returns the column names of the autotuner's CSV rows.
+func TuneCSVHeader() []string { return tune.CSVHeader() }
+
+// WriteTuneResultCSV writes every evaluated point of an autotuner result as
+// CSV, one row per configuration, matching TuneCSVHeader.
+func WriteTuneResultCSV(w io.Writer, r *TuneResult) error {
+	return tune.WriteCSV(w, r.Points)
 }
 
 // WriteTablesJSON writes experiment tables as an indented JSON array.

@@ -12,6 +12,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/tune"
 )
 
 // Session is the configured front door of the package: one model on one
@@ -349,6 +350,33 @@ func (s *Session) Run(engine Engine, method Method) (*Report, error) {
 // s.Run(s.SimEngine(), method).
 func (s *Session) Simulate(method Method) (*Report, error) {
 	return s.Run(s.SimEngine(), method)
+}
+
+// Autotune searches the spec's method x seqlen x stages x micro-batch grid
+// for the session's model and cluster: grid points are pruned cheaply with
+// memsim peak-memory estimates before anything simulates, the survivors fan
+// out across a bounded worker pool with memoized cost-model evaluations, and
+// the result ranks a best-throughput pick per sequence length next to a
+// throughput-vs-peak-memory Pareto frontier.
+//
+// Empty spec axes fall back to the session's own geometry; a zero memory
+// budget means the GPU's full capacity. Build or simulation failures of
+// individual grid points are counted in the result's pruning accounting, not
+// returned as errors.
+func (s *Session) Autotune(spec TuneSpec) (*TuneResult, error) {
+	if len(spec.SeqLens) == 0 {
+		spec.SeqLens = []int{s.seqLen}
+	}
+	if len(spec.Stages) == 0 {
+		spec.Stages = []int{s.stages}
+	}
+	if len(spec.MicroBatches) == 0 && s.mbExplicit {
+		spec.MicroBatches = []int{s.microBatches}
+	}
+	if len(spec.MicroBatchSizes) == 0 {
+		spec.MicroBatchSizes = []int{s.microBatch}
+	}
+	return tune.Run(s.model, s.cluster, spec)
 }
 
 // Sweep describes a grid of runs fanned out by Session.Sweep. Empty axes

@@ -3,6 +3,7 @@ package helixpipe
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -186,6 +187,134 @@ func TestSessionSweep(t *testing.T) {
 	}
 	if len(reports) != len(methods) {
 		t.Errorf("valid cells must survive a partial failure: got %d reports", len(reports))
+	}
+}
+
+// failingEngine errors on every run; it stands in for a grid cell whose
+// execution (not derivation) fails mid-sweep.
+type failingEngine struct{}
+
+func (failingEngine) Name() string { return "failing" }
+func (failingEngine) Run(*Plan) (*Report, error) {
+	return nil, errors.New("engine down")
+}
+
+// TestSweepErrorAggregation pins the contract the autotuner leans on: every
+// failing grid point is reported in the joined error, and no failure — at
+// derivation or at run time — loses the reports of the other cells.
+func TestSweepErrorAggregation(t *testing.T) {
+	s, err := NewSession(TinyModel(), H20Cluster(), WithSeqLen(8), WithStages(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	methods := []Method{Method1F1B, MethodHelix}
+
+	// Derivation failures: stages 3 does not divide the tiny model's 4
+	// layers, twice over, amid two valid stage counts.
+	reports, err := s.Sweep(Sweep{Methods: methods, Stages: []int{2, 3, 4}})
+	if err == nil {
+		t.Fatal("stages=3 cells must surface in the sweep error")
+	}
+	if want := 2 * len(methods); len(reports) != want {
+		t.Fatalf("valid cells lost: got %d reports, want %d", len(reports), want)
+	}
+	if n := strings.Count(err.Error(), "p=3"); n != len(methods) {
+		t.Errorf("joined error names %d p=3 failures, want %d: %v", n, len(methods), err)
+	}
+	for _, r := range reports {
+		if r.Stages != 2 && r.Stages != 4 {
+			t.Errorf("report for pruned cell p=%d leaked through", r.Stages)
+		}
+	}
+
+	// Run failures: an engine that errors on the 16-token cells must not
+	// lose the 8-token reports, and grid order must hold for the survivors.
+	engineOf := func(cell *Session) Engine {
+		if cell.SeqLen() == 16 {
+			return failingEngine{}
+		}
+		return cell.SimEngine()
+	}
+	reports, err = s.Sweep(Sweep{Methods: methods, SeqLens: []int{8, 16}, Engine: engineOf})
+	if err == nil {
+		t.Fatal("failing engine cells must surface in the sweep error")
+	}
+	if len(reports) != len(methods) {
+		t.Fatalf("got %d reports, want %d", len(reports), len(methods))
+	}
+	for i, r := range reports {
+		if r.SeqLen != 8 {
+			t.Errorf("report %d: seq %d leaked from a failing cell", i, r.SeqLen)
+		}
+		if r.Method != methods[i] {
+			t.Errorf("report %d: method %s breaks grid order", i, r.Method)
+		}
+	}
+}
+
+// TestSessionAutotune checks the autotuner's session front door: spec axes
+// default from the session, the frontier is non-empty on the paper's A800
+// testbed under a 64GB budget, nothing returned exceeds the budget, and
+// memoization keeps cost-model evaluations strictly below the grid size.
+func TestSessionAutotune(t *testing.T) {
+	s, err := NewSession(Model3B(), A800Cluster(), WithSeqLen(65536), WithStages(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Autotune(TuneSpec{
+		SeqLens:           []int{32768, 65536},
+		Stages:            []int{2, 4, 8},
+		MemoryBudgetBytes: 64 << 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Frontier) == 0 {
+		t.Fatal("expected a non-empty Pareto frontier")
+	}
+	if res.CostModelEvals >= res.GridSize {
+		t.Errorf("memoization ineffective: %d cost evals on a grid of %d",
+			res.CostModelEvals, res.GridSize)
+	}
+	for _, p := range res.Points {
+		if p.EstimatedPeakBytes > res.MemoryBudgetBytes || p.PeakBytes > res.MemoryBudgetBytes {
+			t.Errorf("%s seq=%d p=%d: peaks (%d est, %d measured) exceed budget %d",
+				p.Method, p.SeqLen, p.Stages, p.EstimatedPeakBytes, p.PeakBytes,
+				res.MemoryBudgetBytes)
+		}
+	}
+
+	// Empty axes fall back to the session's geometry.
+	res, err = s.Autotune(TuneSpec{Methods: []Method{Method1F1B}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GridSize != 1 || res.Evaluated != 1 {
+		t.Fatalf("session-default spec: grid %d evaluated %d, want 1/1", res.GridSize, res.Evaluated)
+	}
+	p := res.Points[0]
+	if p.SeqLen != s.SeqLen() || p.Stages != s.Stages() || p.MicroBatchSize != s.MicroBatchSize() {
+		t.Errorf("defaults not taken from session: %+v", p.Candidate)
+	}
+
+	// The serialization plumbing round-trips through the root package.
+	var buf bytes.Buffer
+	if err := WriteTuneResultJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	var decoded TuneResult
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.GridSize != res.GridSize {
+		t.Error("tune JSON round trip lost the grid size")
+	}
+	buf.Reset()
+	if err := WriteTuneResultCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Split(strings.TrimSpace(buf.String()), "\n"); len(lines) != res.Evaluated+1 {
+		t.Errorf("tune CSV rows = %d, want %d", len(lines), res.Evaluated+1)
 	}
 }
 
