@@ -7,6 +7,10 @@
 //	helixsim -model 7B -cluster H20 -seq 131072 -pp 8 -method HelixPipe [-timeline] [-svg out.svg]
 //	helixsim -method all -json         # every registered method, JSON reports
 //	helixsim -method help              # list the registered methods
+//	helixsim -dist bimodal -docs 64 -minseq 8192 -seq 131072 -method 1F1B
+//	                                   # variable-length workload: sample
+//	                                   # document lengths, pack under -seq
+//	                                   # tokens per micro batch, simulate
 package main
 
 import (
@@ -33,6 +37,10 @@ func main() {
 		timeline    = flag.Bool("timeline", false, "print an ASCII timeline")
 		svgPath     = flag.String("svg", "", "write an SVG timeline to this path")
 		jsonOut     = flag.Bool("json", false, "emit machine-readable JSON reports on stdout")
+		distName    = flag.String("dist", "", "variable-length workload: document-length distribution (uniform, bimodal, longtail)")
+		docs        = flag.Int("docs", 64, "variable-length workload: documents to sample")
+		minSeq      = flag.Int("minseq", 0, "variable-length workload: shortest document (default seq/16)")
+		distSeed    = flag.Uint64("dist-seed", 42, "variable-length workload: sampling seed")
 	)
 	flag.Parse()
 
@@ -59,6 +67,26 @@ func main() {
 	}
 	if *timeline || *svgPath != "" {
 		opts = append(opts, helixpipe.WithTrace())
+	}
+	if *distName != "" {
+		dist, ok := helixpipe.LengthDistByName(*distName)
+		if !ok {
+			log.Fatalf("unknown distribution %q (uniform, bimodal, longtail)", *distName)
+		}
+		lo := *minSeq
+		if lo <= 0 {
+			lo = *seqLen / 16
+			if lo < 1 {
+				lo = 1
+			}
+		}
+		// -seq doubles as the longest document and the per-micro-batch token
+		// budget, so a full-length document fills one micro batch alone.
+		workload, err := helixpipe.SyntheticWorkload(dist, *docs, lo, *seqLen, int64(*seqLen), *distSeed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts = append(opts, helixpipe.WithWorkload(workload))
 	}
 	session, err := helixpipe.NewSession(mc, cl, opts...)
 	if err != nil {
@@ -136,6 +164,14 @@ func printReport(r *helixpipe.Report) {
 	fmt.Printf("%-22s iteration %8.3f s   %10.0f tokens/s   bubble %6.1f%%   peak stash %.1f GB\n",
 		r.Method, s.IterationSeconds, s.TokensPerSecond,
 		s.BubbleFraction*100, float64(s.MaxPeakStashBytes)/(1<<30))
+	if len(r.SeqLenHistogram) > 0 {
+		fmt.Printf("  %d mixed-length micro batches, %d tokens/iteration; seq lens:",
+			r.MicroBatches, r.TokensPerIteration)
+		for _, b := range r.SeqLenHistogram {
+			fmt.Printf("  %d-%d x%d", b.MinSeqLen, b.MaxSeqLen, b.MicroBatches)
+		}
+		fmt.Println()
+	}
 	for _, st := range s.PerStage {
 		fmt.Printf("  P%-2d busy %7.2fs  idle %6.2fs  recv-wait %6.2fs  comm-stall %6.2fs  stash %.1f GB  sent %.1f GB\n",
 			st.Stage, st.BusySeconds, st.IdleSeconds, st.WaitSeconds,

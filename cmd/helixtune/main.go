@@ -11,6 +11,9 @@
 //	helixtune -seq 32768,65536,131072 -pp 2,4,8 -m 0,16 -json
 //	helixtune -method helixpipe,1f1b,zb1p -csv points.csv
 //	helixtune -method help              # list the registered methods
+//	helixtune -dist longtail -docs 64 -minseq 8192 -maxseq 131072
+//	                                    # also rank methods on a sampled
+//	                                    # variable-length workload
 package main
 
 import (
@@ -39,6 +42,11 @@ func main() {
 		workers     = flag.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS)")
 		jsonOut     = flag.Bool("json", false, "emit the full machine-readable result as JSON on stdout")
 		csvPath     = flag.String("csv", "", "also write every evaluated point as CSV to this path")
+		distName    = flag.String("dist", "", "also tune a variable-length workload: length distribution (uniform, bimodal, longtail)")
+		docs        = flag.Int("docs", 64, "variable-length workload: documents to sample")
+		minSeq      = flag.Int("minseq", 8192, "variable-length workload: shortest document")
+		maxSeq      = flag.Int("maxseq", 131072, "variable-length workload: longest document and micro-batch token budget")
+		distSeed    = flag.Uint64("dist-seed", 42, "variable-length workload: sampling seed")
 	)
 	flag.Parse()
 
@@ -59,6 +67,19 @@ func main() {
 		MicroBatchSizes:   parseInts("b", *bList),
 		MemoryBudgetBytes: int64(*budgetGB * float64(1<<30)),
 		Workers:           *workers,
+	}
+	if *distName != "" {
+		dist, ok := helixpipe.LengthDistByName(*distName)
+		if !ok {
+			log.Fatalf("unknown distribution %q (uniform, bimodal, longtail)", *distName)
+		}
+		workload, err := helixpipe.SyntheticWorkload(dist, *docs, *minSeq, *maxSeq, int64(*maxSeq), *distSeed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		spec.Workloads = append(spec.Workloads, helixpipe.TuneWorkload{
+			Name: *distName, Batch: workload,
+		})
 	}
 
 	session, err := helixpipe.NewSession(mc, cl)

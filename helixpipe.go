@@ -74,7 +74,49 @@ type (
 	Workload = costmodel.Workload
 	// Shape is a micro-batch shape (batch, sequence length).
 	Shape = model.Shape
+	// BatchSpec is the per-micro-batch shape list of one iteration — the
+	// variable-length workload description consumed by WithWorkload.
+	BatchSpec = model.BatchSpec
+	// LengthBucket is one bin of a sequence-length histogram.
+	LengthBucket = model.LengthBucket
+	// LengthDist names a synthetic document-length distribution.
+	LengthDist = model.LengthDist
 )
+
+// The synthetic document-length distributions.
+const (
+	DistUniform  = model.DistUniform
+	DistBimodal  = model.DistBimodal
+	DistLongTail = model.DistLongTail
+)
+
+// UniformWorkload returns the classic fixed-shape iteration as a BatchSpec:
+// m micro batches of shape (b, s).
+func UniformWorkload(m, b, s int) BatchSpec { return model.UniformBatch(m, b, s) }
+
+// SampleLengths draws n synthetic document lengths in [minLen, maxLen] from
+// the distribution, deterministically from the seed.
+func SampleLengths(dist LengthDist, n, minLen, maxLen int, seed uint64) ([]int, error) {
+	return model.SampleLengths(dist, n, minLen, maxLen, seed)
+}
+
+// PackLengths bins document lengths into micro batches under a token budget
+// with first-fit-decreasing bucketing; each micro batch pads its documents to
+// its longest sequence.
+func PackLengths(lengths []int, tokenBudget int64) (BatchSpec, error) {
+	return model.PackLengths(lengths, tokenBudget)
+}
+
+// SyntheticWorkload samples n document lengths from the distribution and
+// packs them under the token budget — the one-call constructor for
+// variable-length workloads.
+func SyntheticWorkload(dist LengthDist, n, minLen, maxLen int, tokenBudget int64, seed uint64) (BatchSpec, error) {
+	return model.SyntheticBatchSpec(dist, n, minLen, maxLen, tokenBudget, seed)
+}
+
+// LengthDistByName resolves a distribution name ("uniform", "bimodal",
+// "longtail") and reports whether it exists.
+func LengthDistByName(name string) (LengthDist, bool) { return model.LengthDistByName(name) }
 
 // Schedule types.
 type (
@@ -103,6 +145,8 @@ type (
 	TunePoint = tune.Point
 	// TuneCandidate is one grid point of the autotuner's search space.
 	TuneCandidate = tune.Candidate
+	// TuneWorkload is one named variable-length workload of a TuneSpec.
+	TuneWorkload = tune.WorkloadSpec
 )
 
 // The autotuner's "why pruned" constraint names (TuneResult.Pruned keys).
@@ -174,6 +218,10 @@ func Methods() []Method { return sched.Methods() }
 
 // NewCosts builds the cost book of a workload.
 func NewCosts(w Workload) Costs { return sched.NewCosts(w) }
+
+// NewBatchCosts builds the per-micro-batch cost book of a variable-length
+// workload: micro batch i is costed at spec.Shapes[i].
+func NewBatchCosts(w Workload, spec BatchSpec) Costs { return sched.NewBatchCosts(w, spec) }
 
 // UnitCosts returns the didactic 1:3:2 cost book of the paper's figures.
 func UnitCosts(commTime float64) Costs { return sched.UnitCosts(commTime) }

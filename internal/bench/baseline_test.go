@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+func TestBaseline(t *testing.T) {
+	configs, err := Baseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(configs) != 3 {
+		t.Fatalf("baseline has %d configs, want 3", len(configs))
+	}
+	varlen := 0
+	for _, c := range configs {
+		if c.VariableLength {
+			varlen++
+		}
+		if c.TokensPerIteration <= 0 {
+			t.Errorf("%s: no tokens", c.Name)
+		}
+		for _, method := range Figure8Methods {
+			if tput := c.Throughput[string(method)]; tput <= 0 {
+				t.Errorf("%s/%s: throughput %g", c.Name, method, tput)
+			}
+		}
+		if tput := c.Throughput[string(sched.MethodHelix)]; tput <= 0 {
+			t.Errorf("%s: helix missing from baseline", c.Name)
+		}
+	}
+	if varlen != 1 {
+		t.Errorf("baseline has %d variable-length configs, want 1", varlen)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteBaselineJSON(&buf, configs); err != nil {
+		t.Fatal(err)
+	}
+	var back []BaselineConfig
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(configs) {
+		t.Error("baseline JSON round trip lost configs")
+	}
+}
+
+// BenchmarkBaseline regenerates the perf baseline; with BENCH_BASELINE_OUT
+// set it also writes BENCH_baseline.json, which CI uploads as an artifact so
+// every change leaves a throughput trajectory behind.
+func BenchmarkBaseline(b *testing.B) {
+	var configs []BaselineConfig
+	var err error
+	for i := 0; i < b.N; i++ {
+		configs, err = Baseline()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if path := os.Getenv("BENCH_BASELINE_OUT"); path != "" && len(configs) > 0 {
+		f, err := os.Create(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := WriteBaselineJSON(f, configs); err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -109,6 +109,7 @@ func Build(cfg sched.Config, costs sched.Costs, opt Options) (*sched.Plan, error
 		Layers:       cfg.Layers,
 		Ops:          b.ops,
 		Costs:        costs,
+		Batch:        cfg.Batch,
 	}, nil
 }
 
@@ -435,7 +436,7 @@ func (b *helixBuilder) sendPiece(stage, mb, peer int, tag sched.Tag, clock float
 		return clock
 	}
 	blocking := b.opt.Fold == 1
-	bytes := b.costs.BoundBytes[tag.Bound]
+	bytes := b.costs.MB(tag.MB).BoundBytes[tag.Bound]
 	b.emit(stage, sched.Op{
 		Kind: sched.KSend, MB: mb, Peer: peer, Tag: tag, Bytes: bytes, Blocking: blocking,
 	})
@@ -463,32 +464,35 @@ func (b *helixBuilder) sendPiece(stage, mb, peer int, tag sched.Tag, clock float
 	return clock
 }
 
-// stashAlloc returns the forward allocation for a segment under the active
-// memory strategy.
-func (b *helixBuilder) stashAlloc(seg model.Segment) int64 {
+// stashAlloc returns the forward allocation for one micro batch's segment
+// under the active memory strategy.
+func (b *helixBuilder) stashAlloc(mb int, seg model.Segment) int64 {
+	c := b.costs.MB(mb)
 	if b.opt.Recompute {
-		return b.costs.HelixSegStash[seg]
+		return c.HelixSegStash[seg]
 	}
-	return b.costs.SegStash[seg]
+	return c.SegStash[seg]
 }
 
-// attnFree returns the stash released by attention backward.
-func (b *helixBuilder) attnFree() int64 {
+// attnFree returns the stash released by one micro batch's attention backward.
+func (b *helixBuilder) attnFree(mb int) int64 {
+	c := b.costs.MB(mb)
 	if b.opt.Recompute {
-		return b.costs.HelixSegStash[model.SegAttn]
+		return c.HelixSegStash[model.SegAttn]
 	}
-	return b.costs.SegStash[model.SegAttn]
+	return c.SegStash[model.SegAttn]
 }
 
 func (b *helixBuilder) runUnitF(t *hTask) {
-	c, L, p := b.costs, b.cfg.Layers, b.cfg.Stages
+	L, p := b.cfg.Layers, b.cfg.Stages
 	clock := b.clock[t.stage]
 	for _, mb := range t.mbs {
+		c := b.costs.MB(mb)
 		if t.unit > 0 {
 			from := AttnStage(t.unit-1, mb, p)
 			clock = b.recvPiece(t, mb, from, clock)
 			b.emit(t.stage, sched.Op{Kind: sched.KForward, MB: mb, Layer: t.unit - 1, Seg: model.SegPost,
-				Dur: c.Seg[model.SegPost][model.Forward], Alloc: b.stashAlloc(model.SegPost)})
+				Dur: c.Seg[model.SegPost][model.Forward], Alloc: b.stashAlloc(mb, model.SegPost)})
 			clock += c.Seg[model.SegPost][model.Forward]
 		} else {
 			b.emit(t.stage, sched.Op{Kind: sched.KForward, MB: mb, Layer: sched.LayerEmbed, Dur: c.EmbedF})
@@ -496,7 +500,7 @@ func (b *helixBuilder) runUnitF(t *hTask) {
 		}
 		if t.unit < L {
 			b.emit(t.stage, sched.Op{Kind: sched.KForward, MB: mb, Layer: t.unit, Seg: model.SegPre,
-				Dur: c.Seg[model.SegPre][model.Forward], Alloc: b.stashAlloc(model.SegPre)})
+				Dur: c.Seg[model.SegPre][model.Forward], Alloc: b.stashAlloc(mb, model.SegPre)})
 			clock += c.Seg[model.SegPre][model.Forward]
 			clock = b.sendPiece(t.stage, mb, AttnStage(t.unit, mb, p),
 				sched.Tag{MB: mb, Layer: t.unit, Bound: sched.BoundPreAttn}, clock)
@@ -506,21 +510,22 @@ func (b *helixBuilder) runUnitF(t *hTask) {
 }
 
 func (b *helixBuilder) runAttn(t *hTask, back bool) {
-	c, p := b.costs, b.cfg.Stages
+	p := b.cfg.Stages
 	l := t.unit
 	mb := t.mbs[0]
+	c := b.costs.MB(mb)
 	clock := b.clock[t.stage]
 	if back {
 		clock = b.recvPiece(t, mb, PostOwner(l, p), clock)
 		b.emit(t.stage, sched.Op{Kind: sched.KBackwardB, MB: mb, Layer: l, Seg: model.SegAttn,
-			Dur: c.Seg[model.SegAttn][model.BackwardB], Free: b.attnFree()})
+			Dur: c.Seg[model.SegAttn][model.BackwardB], Free: b.attnFree(mb)})
 		clock += c.Seg[model.SegAttn][model.BackwardB]
 		clock = b.sendPiece(t.stage, mb, PreOwner(l, p),
 			sched.Tag{MB: mb, Layer: l, Bound: sched.BoundPreAttn, Back: true}, clock)
 	} else {
 		clock = b.recvPiece(t, mb, PreOwner(l, p), clock)
 		b.emit(t.stage, sched.Op{Kind: sched.KForward, MB: mb, Layer: l, Seg: model.SegAttn,
-			Dur: c.Seg[model.SegAttn][model.Forward], Alloc: b.stashAlloc(model.SegAttn)})
+			Dur: c.Seg[model.SegAttn][model.Forward], Alloc: b.stashAlloc(mb, model.SegAttn)})
 		clock += c.Seg[model.SegAttn][model.Forward]
 		clock = b.sendPiece(t.stage, mb, PostOwner(l, p),
 			sched.Tag{MB: mb, Layer: l, Bound: sched.BoundAttnPost}, clock)
@@ -529,9 +534,10 @@ func (b *helixBuilder) runAttn(t *hTask, back bool) {
 }
 
 func (b *helixBuilder) runUnitB(t *hTask) {
-	c, L, p := b.costs, b.cfg.Layers, b.cfg.Stages
+	L, p := b.cfg.Layers, b.cfg.Stages
 	clock := b.clock[t.stage]
 	for _, mb := range t.mbs {
+		c := b.costs.MB(mb)
 		if t.unit == L {
 			// Deferred LM head: forward + loss + backward-B fused (4.6),
 			// weight gradient immediately after (no ZB1P-style deferral).

@@ -13,6 +13,11 @@ type StageTrace struct {
 	// StashBytes is the long-lived stash one layer lays down per outstanding
 	// micro batch during its forward and releases in its backward.
 	StashBytes int64
+	// StashBytesPerMB optionally overrides StashBytes per outstanding micro
+	// batch — variable-length workloads stash different amounts per micro
+	// batch. When set its length must be at least OutstandingMB; entry i is
+	// the per-layer stash of outstanding micro batch i.
+	StashBytesPerMB []int64
 	// LayersPerStage is the layer count of the stage (L/p).
 	LayersPerStage int
 	// OutstandingMB is the number of micro batches whose stashes the
@@ -37,6 +42,14 @@ func (tr StageTrace) Validate() error {
 		return fmt.Errorf("memsim: layers per stage must be positive, got %d", tr.LayersPerStage)
 	case tr.OutstandingMB <= 0:
 		return fmt.Errorf("memsim: outstanding micro batches must be positive, got %d", tr.OutstandingMB)
+	case len(tr.StashBytesPerMB) > 0 && len(tr.StashBytesPerMB) < tr.OutstandingMB:
+		return fmt.Errorf("memsim: %d per-micro-batch stashes for %d outstanding micro batches",
+			len(tr.StashBytesPerMB), tr.OutstandingMB)
+	}
+	for _, b := range tr.StashBytesPerMB {
+		if b < 0 {
+			return fmt.Errorf("memsim: negative per-micro-batch stash %d", b)
+		}
 	}
 	for _, b := range tr.TransientBytes {
 		if b < 0 {
@@ -115,6 +128,12 @@ func EstimatePeak(cfg Config, tr StageTrace) (Stats, error) {
 
 	// Forward: each outstanding micro batch lays its per-layer stashes down
 	// while the layer's transient buffers come and go around them.
+	stashBytes := func(mb int) int64 {
+		if mb < len(tr.StashBytesPerMB) {
+			return tr.StashBytesPerMB[mb]
+		}
+		return tr.StashBytes
+	}
 	stash := make([][]int64, tr.OutstandingMB)
 	for mb := range stash {
 		stash[mb] = make([]int64, tr.LayersPerStage)
@@ -123,8 +142,8 @@ func EstimatePeak(cfg Config, tr StageTrace) (Stats, error) {
 			if err != nil {
 				return a.Stats(), err
 			}
-			if tr.StashBytes > 0 {
-				h, err := a.Alloc(tr.StashBytes)
+			if sb := stashBytes(mb); sb > 0 {
+				h, err := a.Alloc(sb)
 				if err != nil {
 					return a.Stats(), err
 				}

@@ -1,0 +1,304 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// BatchSpec describes the micro batches of one training iteration by shape:
+// Shapes[i] is the (b, s) geometry of micro batch i. It generalizes the
+// single-Shape assumption of the fixed-length paths — real long-context
+// corpora are dominated by mixed-length documents, and the quadratic
+// attention share of each micro batch depends on its own sequence length.
+//
+// A BatchSpec with identical shapes is exactly equivalent to the classic
+// "m micro batches of one Shape" configuration.
+type BatchSpec struct {
+	// Shapes holds one micro-batch shape per micro batch, in execution order.
+	Shapes []Shape `json:"shapes"`
+}
+
+// UniformBatch returns the classic fixed-shape iteration: m micro batches of
+// shape (b, s).
+func UniformBatch(m, b, s int) BatchSpec {
+	shapes := make([]Shape, m)
+	for i := range shapes {
+		shapes[i] = Shape{B: b, S: s}
+	}
+	return BatchSpec{Shapes: shapes}
+}
+
+// Validate reports an error when the spec cannot drive an iteration.
+func (bs BatchSpec) Validate() error {
+	if len(bs.Shapes) == 0 {
+		return fmt.Errorf("model: batch spec has no micro batches")
+	}
+	for i, sh := range bs.Shapes {
+		if sh.B <= 0 || sh.S <= 0 {
+			return fmt.Errorf("model: micro batch %d has non-positive shape %+v", i, sh)
+		}
+	}
+	return nil
+}
+
+// MicroBatches returns the number of micro batches in the iteration.
+func (bs BatchSpec) MicroBatches() int { return len(bs.Shapes) }
+
+// TotalTokens returns the token count of one iteration, summed per micro
+// batch — the numerator of variable-length throughput.
+func (bs BatchSpec) TotalTokens() int64 {
+	var total int64
+	for _, sh := range bs.Shapes {
+		total += sh.Tokens()
+	}
+	return total
+}
+
+// TokensPerMB returns the per-micro-batch token counts in execution order.
+func (bs BatchSpec) TokensPerMB() []int64 {
+	out := make([]int64, len(bs.Shapes))
+	for i, sh := range bs.Shapes {
+		out[i] = sh.Tokens()
+	}
+	return out
+}
+
+// MinSeqLen and MaxSeqLen bound the sequence lengths across micro batches.
+func (bs BatchSpec) MinSeqLen() int {
+	min := 0
+	for i, sh := range bs.Shapes {
+		if i == 0 || sh.S < min {
+			min = sh.S
+		}
+	}
+	return min
+}
+
+// MaxSeqLen returns the longest sequence length of any micro batch.
+func (bs BatchSpec) MaxSeqLen() int {
+	max := 0
+	for _, sh := range bs.Shapes {
+		if sh.S > max {
+			max = sh.S
+		}
+	}
+	return max
+}
+
+// MaxShape returns the per-axis maximum shape across micro batches — the
+// conservative shape for capacity-style estimates.
+func (bs BatchSpec) MaxShape() Shape {
+	var out Shape
+	for _, sh := range bs.Shapes {
+		if sh.B > out.B {
+			out.B = sh.B
+		}
+		if sh.S > out.S {
+			out.S = sh.S
+		}
+	}
+	return out
+}
+
+// Uniform reports whether every micro batch shares one shape, and that shape.
+func (bs BatchSpec) Uniform() (Shape, bool) {
+	if len(bs.Shapes) == 0 {
+		return Shape{}, false
+	}
+	first := bs.Shapes[0]
+	for _, sh := range bs.Shapes[1:] {
+		if sh != first {
+			return Shape{}, false
+		}
+	}
+	return first, true
+}
+
+// LengthBucket is one bin of a sequence-length histogram.
+type LengthBucket struct {
+	// MinSeqLen and MaxSeqLen are the inclusive sequence-length bounds.
+	MinSeqLen int `json:"min_seq_len"`
+	MaxSeqLen int `json:"max_seq_len"`
+	// MicroBatches counts the micro batches whose S falls in the bucket.
+	MicroBatches int `json:"micro_batches"`
+	// Tokens sums the tokens of those micro batches.
+	Tokens int64 `json:"tokens"`
+}
+
+// Histogram bins the micro batches by sequence length into at most `bins`
+// equal-width buckets (empty buckets are dropped). With one distinct length
+// the single bucket covers it exactly.
+func (bs BatchSpec) Histogram(bins int) []LengthBucket {
+	if len(bs.Shapes) == 0 || bins <= 0 {
+		return nil
+	}
+	lo, hi := bs.MinSeqLen(), bs.MaxSeqLen()
+	if lo == hi {
+		return []LengthBucket{{
+			MinSeqLen: lo, MaxSeqLen: hi,
+			MicroBatches: len(bs.Shapes), Tokens: bs.TotalTokens(),
+		}}
+	}
+	width := (hi - lo + bins) / bins // ceil so bins*width covers [lo, hi]
+	out := make([]LengthBucket, bins)
+	for i := range out {
+		out[i].MinSeqLen = lo + i*width
+		out[i].MaxSeqLen = lo + (i+1)*width - 1
+	}
+	out[len(out)-1].MaxSeqLen = hi
+	for _, sh := range bs.Shapes {
+		i := (sh.S - lo) / width
+		if i >= bins {
+			i = bins - 1
+		}
+		out[i].MicroBatches++
+		out[i].Tokens += sh.Tokens()
+	}
+	filled := out[:0]
+	for _, b := range out {
+		if b.MicroBatches > 0 {
+			filled = append(filled, b)
+		}
+	}
+	return filled
+}
+
+// LengthDist names a synthetic document-length distribution.
+type LengthDist int
+
+const (
+	// DistUniform draws lengths uniformly in [MinLen, MaxLen].
+	DistUniform LengthDist = iota
+	// DistBimodal mixes a short mode near MinLen (70% of documents) with a
+	// long mode near MaxLen (30%) — the "mostly chat, some books" corpus.
+	DistBimodal
+	// DistLongTail concentrates documents near MinLen with a polynomial tail
+	// of rare near-MaxLen documents — the web-crawl profile.
+	DistLongTail
+)
+
+// String implements fmt.Stringer.
+func (d LengthDist) String() string {
+	switch d {
+	case DistUniform:
+		return "uniform"
+	case DistBimodal:
+		return "bimodal"
+	case DistLongTail:
+		return "longtail"
+	default:
+		return fmt.Sprintf("LengthDist(%d)", int(d))
+	}
+}
+
+// LengthDistByName resolves a distribution name ("uniform", "bimodal",
+// "longtail") and reports whether it exists.
+func LengthDistByName(name string) (LengthDist, bool) {
+	switch name {
+	case "uniform":
+		return DistUniform, true
+	case "bimodal":
+		return DistBimodal, true
+	case "longtail":
+		return DistLongTail, true
+	}
+	return 0, false
+}
+
+// SampleLengths draws n synthetic document lengths in [minLen, maxLen] from
+// the distribution, deterministically from the seed.
+func SampleLengths(dist LengthDist, n, minLen, maxLen int, seed uint64) ([]int, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("model: need a positive document count, got %d", n)
+	}
+	if minLen <= 0 || maxLen < minLen {
+		return nil, fmt.Errorf("model: need 0 < minLen <= maxLen, got [%d, %d]", minLen, maxLen)
+	}
+	stream := rng.New(seed)
+	span := float64(maxLen - minLen)
+	clamp := func(l int) int {
+		if l < minLen {
+			return minLen
+		}
+		if l > maxLen {
+			return maxLen
+		}
+		return l
+	}
+	out := make([]int, n)
+	for i := range out {
+		switch dist {
+		case DistBimodal:
+			// Normal jitter of sigma span/16 around each mode keeps the two
+			// populations clearly separated at any [minLen, maxLen].
+			mode, jitter := float64(minLen), stream.NormFloat64()*span/16
+			if stream.Float64() < 0.3 {
+				mode = float64(maxLen)
+			}
+			out[i] = clamp(int(mode + jitter))
+		case DistLongTail:
+			// u^4 maps the uniform draw onto a heavy-headed distribution:
+			// the median document is short, the 99th percentile near maxLen.
+			u := stream.Float64()
+			out[i] = clamp(minLen + int(span*u*u*u*u))
+		default: // DistUniform
+			out[i] = minLen + stream.Intn(maxLen-minLen+1)
+		}
+	}
+	return out, nil
+}
+
+// PackLengths bins document lengths into micro batches under a token budget
+// with first-fit-decreasing bucketing: documents are sorted by length
+// descending and greedily placed into the first micro batch that stays within
+// the budget when every document in it is padded to the batch's longest
+// sequence. Each resulting micro batch is a Shape{B: documents, S: longest},
+// so padding waste is bounded by the greedy bucketing, and no single document
+// may exceed the budget by itself.
+func PackLengths(lengths []int, tokenBudget int64) (BatchSpec, error) {
+	if len(lengths) == 0 {
+		return BatchSpec{}, fmt.Errorf("model: no documents to pack")
+	}
+	if tokenBudget <= 0 {
+		return BatchSpec{}, fmt.Errorf("model: token budget must be positive, got %d", tokenBudget)
+	}
+	sorted := append([]int(nil), lengths...)
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	if int64(sorted[0]) > tokenBudget {
+		return BatchSpec{}, fmt.Errorf("model: document of %d tokens exceeds the %d-token budget",
+			sorted[0], tokenBudget)
+	}
+	var shapes []Shape
+	for _, l := range sorted {
+		if l <= 0 {
+			return BatchSpec{}, fmt.Errorf("model: non-positive document length %d", l)
+		}
+		placed := false
+		for i := range shapes {
+			// Descending order means shapes[i].S never grows when a document
+			// joins, so the padded cost is (B+1) * S.
+			if int64(shapes[i].B+1)*int64(shapes[i].S) <= tokenBudget {
+				shapes[i].B++
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			shapes = append(shapes, Shape{B: 1, S: l})
+		}
+	}
+	return BatchSpec{Shapes: shapes}, nil
+}
+
+// SyntheticBatchSpec samples n document lengths from the distribution and
+// packs them under the token budget — the one-call constructor for
+// variable-length workload experiments.
+func SyntheticBatchSpec(dist LengthDist, n, minLen, maxLen int, tokenBudget int64, seed uint64) (BatchSpec, error) {
+	lengths, err := SampleLengths(dist, n, minLen, maxLen, seed)
+	if err != nil {
+		return BatchSpec{}, err
+	}
+	return PackLengths(lengths, tokenBudget)
+}

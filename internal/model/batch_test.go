@@ -1,0 +1,193 @@
+package model
+
+import (
+	"testing"
+)
+
+func TestBatchSpecBasics(t *testing.T) {
+	bs := BatchSpec{Shapes: []Shape{{B: 1, S: 1024}, {B: 2, S: 512}, {B: 1, S: 4096}}}
+	if err := bs.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := bs.MicroBatches(); got != 3 {
+		t.Errorf("MicroBatches = %d, want 3", got)
+	}
+	if got := bs.TotalTokens(); got != 1024+2*512+4096 {
+		t.Errorf("TotalTokens = %d", got)
+	}
+	if got := bs.MaxSeqLen(); got != 4096 {
+		t.Errorf("MaxSeqLen = %d, want 4096", got)
+	}
+	if got := bs.MinSeqLen(); got != 512 {
+		t.Errorf("MinSeqLen = %d, want 512", got)
+	}
+	if got := bs.MaxShape(); got != (Shape{B: 2, S: 4096}) {
+		t.Errorf("MaxShape = %+v", got)
+	}
+	if _, uniform := bs.Uniform(); uniform {
+		t.Error("mixed shapes must not report uniform")
+	}
+	toks := bs.TokensPerMB()
+	if len(toks) != 3 || toks[0] != 1024 || toks[1] != 1024 || toks[2] != 4096 {
+		t.Errorf("TokensPerMB = %v", toks)
+	}
+
+	u := UniformBatch(4, 1, 128)
+	if sh, uniform := u.Uniform(); !uniform || sh != (Shape{B: 1, S: 128}) {
+		t.Errorf("UniformBatch not uniform: %+v %v", sh, uniform)
+	}
+	if err := (BatchSpec{}).Validate(); err == nil {
+		t.Error("empty spec must fail validation")
+	}
+	if err := (BatchSpec{Shapes: []Shape{{B: 0, S: 8}}}).Validate(); err == nil {
+		t.Error("non-positive shape must fail validation")
+	}
+}
+
+func TestBatchSpecHistogram(t *testing.T) {
+	bs := BatchSpec{Shapes: []Shape{
+		{B: 1, S: 100}, {B: 1, S: 110}, {B: 1, S: 900}, {B: 1, S: 1000},
+	}}
+	h := bs.Histogram(4)
+	if len(h) == 0 {
+		t.Fatal("histogram empty")
+	}
+	var mbs int
+	var toks int64
+	for _, b := range h {
+		if b.MicroBatches == 0 {
+			t.Errorf("empty bucket %+v survived", b)
+		}
+		if b.MinSeqLen > b.MaxSeqLen {
+			t.Errorf("inverted bucket %+v", b)
+		}
+		mbs += b.MicroBatches
+		toks += b.Tokens
+	}
+	if mbs != 4 || toks != bs.TotalTokens() {
+		t.Errorf("histogram covers %d micro batches / %d tokens, want 4 / %d",
+			mbs, toks, bs.TotalTokens())
+	}
+	// The short and long pairs land in different buckets.
+	if h[0].MicroBatches != 2 || h[len(h)-1].MicroBatches != 2 {
+		t.Errorf("bimodal split lost: %+v", h)
+	}
+	// Degenerate single-length histogram covers everything in one bucket.
+	one := UniformBatch(3, 1, 64).Histogram(8)
+	if len(one) != 1 || one[0].MicroBatches != 3 || one[0].MinSeqLen != 64 || one[0].MaxSeqLen != 64 {
+		t.Errorf("uniform histogram = %+v", one)
+	}
+}
+
+func TestSampleLengthsDistributions(t *testing.T) {
+	const n, lo, hi = 500, 1024, 65536
+	for _, dist := range []LengthDist{DistUniform, DistBimodal, DistLongTail} {
+		a, err := SampleLengths(dist, n, lo, hi, 7)
+		if err != nil {
+			t.Fatalf("%v: %v", dist, err)
+		}
+		b, err := SampleLengths(dist, n, lo, hi, 7)
+		if err != nil {
+			t.Fatalf("%v: %v", dist, err)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%v: not deterministic at %d (%d vs %d)", dist, i, a[i], b[i])
+			}
+			if a[i] < lo || a[i] > hi {
+				t.Fatalf("%v: length %d out of [%d, %d]", dist, a[i], lo, hi)
+			}
+		}
+	}
+	// Long-tail medians sit far below uniform medians.
+	med := func(dist LengthDist) int {
+		xs, err := SampleLengths(dist, n, lo, hi, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0
+		for _, x := range xs {
+			sum += x
+		}
+		return sum / n
+	}
+	if !(med(DistLongTail) < med(DistUniform)) {
+		t.Error("long-tail mean should undercut uniform mean")
+	}
+	if _, err := SampleLengths(DistUniform, 0, lo, hi, 1); err == nil {
+		t.Error("zero documents must error")
+	}
+	if _, err := SampleLengths(DistUniform, 1, 10, 5, 1); err == nil {
+		t.Error("inverted bounds must error")
+	}
+}
+
+func TestPackLengths(t *testing.T) {
+	lengths := []int{100, 900, 300, 500, 800, 200, 400}
+	const budget = 1000
+	bs, err := PackLengths(lengths, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every document is represented and every micro batch fits the budget.
+	docs := 0
+	for _, sh := range bs.Shapes {
+		docs += sh.B
+		if sh.Tokens() > budget {
+			t.Errorf("micro batch %+v exceeds budget %d", sh, budget)
+		}
+	}
+	if docs != len(lengths) {
+		t.Errorf("packed %d documents, want %d", docs, len(lengths))
+	}
+	// First-fit-decreasing: the first micro batch holds the longest document.
+	if bs.Shapes[0].S != 900 {
+		t.Errorf("first micro batch S = %d, want 900", bs.Shapes[0].S)
+	}
+	if _, err := PackLengths([]int{2000}, budget); err == nil {
+		t.Error("oversized document must error")
+	}
+	if _, err := PackLengths(nil, budget); err == nil {
+		t.Error("empty document list must error")
+	}
+	if _, err := PackLengths(lengths, 0); err == nil {
+		t.Error("non-positive budget must error")
+	}
+}
+
+func TestSyntheticBatchSpec(t *testing.T) {
+	bs, err := SyntheticBatchSpec(DistBimodal, 64, 512, 8192, 8192, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bs.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, uniform := bs.Uniform(); uniform {
+		t.Error("bimodal workload should not be uniform")
+	}
+	again, err := SyntheticBatchSpec(DistBimodal, 64, 512, 8192, 8192, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again.Shapes) != len(bs.Shapes) {
+		t.Fatalf("not deterministic: %d vs %d micro batches", len(again.Shapes), len(bs.Shapes))
+	}
+	for i := range bs.Shapes {
+		if bs.Shapes[i] != again.Shapes[i] {
+			t.Fatalf("shape %d differs across runs", i)
+		}
+	}
+}
+
+func TestLengthDistByName(t *testing.T) {
+	for _, name := range []string{"uniform", "bimodal", "longtail"} {
+		d, ok := LengthDistByName(name)
+		if !ok || d.String() != name {
+			t.Errorf("LengthDistByName(%q) = %v, %v", name, d, ok)
+		}
+	}
+	if _, ok := LengthDistByName("zipf"); ok {
+		t.Error("unknown name resolved")
+	}
+}

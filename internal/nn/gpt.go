@@ -213,11 +213,19 @@ func SyntheticBatch(cfg model.Config, b, s int, seed uint64) MicroBatch {
 // forward and backward over every micro batch with per-micro-batch gradient
 // accumulation in canonical order. It is the ground truth the pipeline
 // executions are compared against.
+//
+// Gradients are buffered per micro batch and reduced in order at the end —
+// the same reduction the pipeline executor performs. Accumulating straight
+// into one shared buffer instead would reassociate the float additions of
+// micro batches with more than one row (b > 1) and break bit-parity on the
+// position-embedding gradient, where every row of a micro batch contributes
+// to the same table entries.
 func ReferenceStep(m *Model, batches []MicroBatch) (float64, *Grads) {
-	grads := NewGrads(m)
+	total := NewGrads(m)
 	lossScale := float32(1) / float32(len(batches))
 	var totalLoss float64
 	for _, mb := range batches {
+		grads := NewGrads(m)
 		x := EmbedForward(m.Embed, mb.Ids)
 		preCtxs := make([]*PreCtx, len(m.Layers))
 		attnCtxs := make([]*AttnCtx, len(m.Layers))
@@ -242,6 +250,7 @@ func ReferenceStep(m *Model, batches []MicroBatch) (float64, *Grads) {
 			PreBackwardW(lp, preW, grads.Layers[l])
 		}
 		EmbedBackwardW(m.Embed, mb.Ids, dx, grads.Embed)
+		total.Add(grads)
 	}
-	return totalLoss / float64(len(batches)), grads
+	return totalLoss / float64(len(batches)), total
 }

@@ -29,10 +29,32 @@ func AdaPipe(cfg Config, costs Costs, memBudgetBytes int64) (*Plan, error) {
 		return nil, err
 	}
 	p, L := cfg.Stages, cfg.Layers
-	fullLayerStash := costs.SegStash[model.SegPre] + costs.SegStash[model.SegAttn] + costs.SegStash[model.SegPost]
-	layerFBW := costs.LayerDur(KForward) + costs.LayerDur(KBackwardB) +
-		costs.SegDur(model.SegPre, KBackwardW) + costs.SegDur(model.SegPost, KBackwardW)
-	recomputeDur := costs.SegRecompute[model.SegPre] + costs.SegRecompute[model.SegAttn] + costs.SegRecompute[model.SegPost]
+	// The DP reasons about the partition with aggregates: per-micro-batch
+	// mean durations for the bottleneck objective, and the worst (largest)
+	// micro batch's stash for memory feasibility, so a variable-length
+	// iteration never admits a partition its longest micro batches overflow.
+	mean := costs.MeanMB(cfg.MicroBatches)
+	// On a variable-length book the embedded fallback is costed at the
+	// per-axis maximum shape — a phantom micro batch no real iteration
+	// contains — so the worst case must be scanned from the actual per-MB
+	// books, not seeded with the fallback.
+	worst := costs.MBCosts
+	if len(costs.PerMB) > 0 {
+		layerStash := func(c MBCosts) int64 {
+			return c.SegStash[model.SegPre] + c.SegStash[model.SegAttn] + c.SegStash[model.SegPost]
+		}
+		worst = costs.PerMB[0]
+		for mb := 1; mb < cfg.MicroBatches && mb < len(costs.PerMB); mb++ {
+			if layerStash(costs.PerMB[mb]) > layerStash(worst) {
+				worst = costs.PerMB[mb]
+			}
+		}
+	}
+	fullLayerStash := worst.SegStash[model.SegPre] + worst.SegStash[model.SegAttn] + worst.SegStash[model.SegPost]
+	inputStash := worst.InputStash
+	layerFBW := mean.LayerDur(KForward) + mean.LayerDur(KBackwardB) +
+		mean.SegDur(model.SegPre, KBackwardW) + mean.SegDur(model.SegPost, KBackwardW)
+	recomputeDur := mean.SegRecompute[model.SegPre] + mean.SegRecompute[model.SegAttn] + mean.SegRecompute[model.SegPost]
 
 	// minRecompute returns the minimal number of recomputed layers for a
 	// stage holding `c` layers with `outstanding` resident micro batches,
@@ -45,7 +67,7 @@ func AdaPipe(cfg Config, costs Costs, memBudgetBytes int64) (*Plan, error) {
 		if full <= memBudgetBytes {
 			return 0, true
 		}
-		perLayerSaving := int64(outstanding) * (fullLayerStash - costs.InputStash)
+		perLayerSaving := int64(outstanding) * (fullLayerStash - inputStash)
 		if perLayerSaving <= 0 {
 			return c + 1, false
 		}
@@ -61,10 +83,10 @@ func AdaPipe(cfg Config, costs Costs, memBudgetBytes int64) (*Plan, error) {
 	stageTime := func(stage, c, r int) float64 {
 		t := float64(c)*layerFBW + float64(r)*recomputeDur
 		if stage == 0 {
-			t += costs.EmbedF + costs.EmbedW
+			t += mean.EmbedF + mean.EmbedW
 		}
 		if stage == p-1 {
-			t += costs.HeadFB + costs.HeadW
+			t += mean.HeadFB + mean.HeadW
 		}
 		return t
 	}

@@ -1,14 +1,17 @@
 package sched
 
 import (
+	"math"
+
 	"repro/internal/costmodel"
 	"repro/internal/model"
 )
 
-// Costs is the cost book a generator annotates a plan with: compute
-// durations, stash byte deltas, and communication volumes/link parameters.
-// All durations are seconds, all sizes node- or GPU-local bytes as noted.
-type Costs struct {
+// MBCosts is the cost book of one micro batch: compute durations, stash byte
+// deltas, and communication volumes, all derived from that micro batch's own
+// (b, s) shape. All durations are seconds, all sizes node- or GPU-local bytes
+// as noted.
+type MBCosts struct {
 	// Seg holds the per-segment compute durations indexed [segment][pass].
 	Seg [3][3]float64
 	// SegRecompute is the duration of re-running a segment forward.
@@ -17,8 +20,8 @@ type Costs struct {
 	// durations; the embedding has no backward-B (nothing below it).
 	EmbedF, EmbedW float64
 	// HeadFB is the fused LM-head forward + loss + backward-B duration: the
-	// paper's section 4.6 defers the head forward into the backward pass,
-	// so plans execute it as one backward-time unit.
+	// paper's section 4.6 defers the head forward into the backward pass, so
+	// plans execute it as one backward-time unit.
 	HeadFB float64
 	// HeadW is the LM-head weight-gradient duration.
 	HeadW float64
@@ -42,14 +45,40 @@ type Costs struct {
 	// BoundBytes holds the node-aggregate message volume per boundary kind,
 	// indexed by Boundary.
 	BoundBytes [3]int64
-	// P2PLatency and P2PBytesPerSec parameterize inter-stage links.
+}
+
+// Costs is the cost book a generator annotates a plan with. The embedded
+// MBCosts is the uniform cost book every micro batch shares on fixed-length
+// workloads; PerMB overrides it per micro batch on variable-length workloads,
+// where each micro batch's durations, stashes and message volumes follow its
+// own shape.
+type Costs struct {
+	MBCosts
+	// PerMB holds per-micro-batch cost books for variable-length workloads;
+	// index is the micro batch. Empty means every micro batch uses the
+	// embedded uniform book.
+	PerMB []MBCosts
+	// P2PLatency and P2PBytesPerSec parameterize inter-stage links (shared by
+	// all micro batches; the hardware does not change per message).
 	P2PLatency     float64
 	P2PBytesPerSec float64
 }
 
-// NewCosts builds the cost book for a workload.
-func NewCosts(w costmodel.Workload) Costs {
-	var c Costs
+// MB returns the cost book of one micro batch: the per-micro-batch override
+// when present, the uniform book otherwise.
+func (c Costs) MB(mb int) MBCosts {
+	if mb >= 0 && mb < len(c.PerMB) {
+		return c.PerMB[mb]
+	}
+	return c.MBCosts
+}
+
+// Variable reports whether the cost book carries per-micro-batch overrides.
+func (c Costs) Variable() bool { return len(c.PerMB) > 0 }
+
+// newMBCosts fills one micro batch's cost book from a cost-model workload.
+func newMBCosts(w costmodel.Workload) MBCosts {
+	var c MBCosts
 	for _, seg := range model.Segments {
 		i := int(seg)
 		c.Seg[i][model.Forward] = w.SegmentTime(seg, model.Forward)
@@ -71,8 +100,42 @@ func NewCosts(w costmodel.Workload) Costs {
 	c.BoundBytes[BoundAct] = w.ActivationP2PBytes()
 	c.BoundBytes[BoundPreAttn] = w.HelixPreAttnBytes()
 	c.BoundBytes[BoundAttnPost] = w.HelixAttnPostBytes()
-	c.P2PLatency = w.Cluster.InterNodeLatency
-	c.P2PBytesPerSec = w.Cluster.InterNodeGBps * 1e9
+	return c
+}
+
+// NewCosts builds the cost book for a fixed-shape workload: every micro batch
+// shares the workload's single (b, s) shape.
+func NewCosts(w costmodel.Workload) Costs {
+	return Costs{
+		MBCosts:        newMBCosts(w),
+		P2PLatency:     w.Cluster.InterNodeLatency,
+		P2PBytesPerSec: w.Cluster.InterNodeGBps * 1e9,
+	}
+}
+
+// NewBatchCosts builds the cost book for a variable-length workload: micro
+// batch i is costed at spec.Shapes[i], so every generator emits durations,
+// stash deltas and message volumes that follow each micro batch's own shape.
+// The uniform fallback book is costed at the per-axis maximum shape, keeping
+// out-of-range lookups conservative.
+func NewBatchCosts(w costmodel.Workload, spec model.BatchSpec) Costs {
+	wMax := w
+	wMax.Shape = spec.MaxShape()
+	c := Costs{
+		MBCosts:        newMBCosts(wMax),
+		P2PLatency:     w.Cluster.InterNodeLatency,
+		P2PBytesPerSec: w.Cluster.InterNodeGBps * 1e9,
+	}
+	if _, uniform := spec.Uniform(); uniform {
+		// One shape: the embedded book already covers every micro batch.
+		return c
+	}
+	c.PerMB = make([]MBCosts, len(spec.Shapes))
+	for i, sh := range spec.Shapes {
+		wi := w
+		wi.Shape = sh
+		c.PerMB[i] = newMBCosts(wi)
+	}
 	return c
 }
 
@@ -84,7 +147,7 @@ func seqParOf(w costmodel.Workload) int64 {
 }
 
 // SegDur returns the compute duration of a segment op of the given kind.
-func (c Costs) SegDur(seg model.Segment, kind OpKind) float64 {
+func (c MBCosts) SegDur(seg model.Segment, kind OpKind) float64 {
 	switch kind {
 	case KForward:
 		return c.Seg[seg][model.Forward]
@@ -100,7 +163,7 @@ func (c Costs) SegDur(seg model.Segment, kind OpKind) float64 {
 }
 
 // LayerDur returns the whole-layer duration for a compute kind.
-func (c Costs) LayerDur(kind OpKind) float64 {
+func (c MBCosts) LayerDur(kind OpKind) float64 {
 	var d float64
 	for _, seg := range model.Segments {
 		d += c.SegDur(seg, kind)
@@ -117,6 +180,57 @@ func (c Costs) P2PTime(bytes int64) float64 {
 	return c.P2PLatency + float64(bytes)/c.P2PBytesPerSec
 }
 
+// MeanMB returns the cost book averaged over the plan's m micro batches —
+// the aggregate book partition heuristics (AdaPipe's DP) reason with when
+// per-micro-batch shapes differ. With no per-micro-batch overrides it is the
+// uniform book itself.
+func (c Costs) MeanMB(m int) MBCosts {
+	if len(c.PerMB) == 0 || m <= 0 {
+		return c.MBCosts
+	}
+	var out MBCosts
+	for mb := 0; mb < m; mb++ {
+		b := c.MB(mb)
+		for i := 0; i < 3; i++ {
+			for p := 0; p < 3; p++ {
+				out.Seg[i][p] += b.Seg[i][p]
+			}
+			out.SegRecompute[i] += b.SegRecompute[i]
+			out.SegStash[i] += b.SegStash[i]
+			out.SegStashBFree[i] += b.SegStashBFree[i]
+			out.SegStashWFree[i] += b.SegStashWFree[i]
+			out.HelixSegStash[i] += b.HelixSegStash[i]
+			out.BoundBytes[i] += b.BoundBytes[i]
+		}
+		out.EmbedF += b.EmbedF
+		out.EmbedW += b.EmbedW
+		out.HeadFB += b.HeadFB
+		out.HeadW += b.HeadW
+		out.InputStash += b.InputStash
+		out.EmbedGradStash += b.EmbedGradStash
+	}
+	div := int64(m)
+	fdiv := float64(m)
+	for i := 0; i < 3; i++ {
+		for p := 0; p < 3; p++ {
+			out.Seg[i][p] /= fdiv
+		}
+		out.SegRecompute[i] /= fdiv
+		out.SegStash[i] /= div
+		out.SegStashBFree[i] /= div
+		out.SegStashWFree[i] /= div
+		out.HelixSegStash[i] /= div
+		out.BoundBytes[i] /= div
+	}
+	out.EmbedF /= fdiv
+	out.EmbedW /= fdiv
+	out.HeadFB /= fdiv
+	out.HeadW /= fdiv
+	out.InputStash /= div
+	out.EmbedGradStash /= div
+	return out
+}
+
 // ZeroCommCosts returns a copy of the cost book with free communication
 // (zero latency and infinite bandwidth is approximated by pricing every
 // transfer at the latency floor of zero). Used by experiments isolating
@@ -128,7 +242,55 @@ func (c Costs) ZeroCommCosts() Costs {
 	for i := range out.BoundBytes {
 		out.BoundBytes[i] = 0
 	}
+	if len(c.PerMB) > 0 {
+		out.PerMB = append([]MBCosts(nil), c.PerMB...)
+		for mb := range out.PerMB {
+			for i := range out.PerMB[mb].BoundBytes {
+				out.PerMB[mb].BoundBytes[i] = 0
+			}
+		}
+	}
 	return out
+}
+
+// unitMBCosts builds the didactic per-segment book with every duration,
+// stash and message volume multiplied by scale. Byte fields round to the
+// nearest integer, and composite stashes derive from their rounded parts so
+// the alloc/free conservation the validator enforces survives fractional
+// scales.
+func unitMBCosts(scale float64, commTime float64) MBCosts {
+	var c MBCosts
+	bytes := func(base float64) int64 { return int64(math.Round(base * scale)) }
+	ratio := [3]float64{1, 3, 2}
+	for i := 0; i < 3; i++ {
+		c.Seg[i][model.Forward] = ratio[i] * scale
+		// The figures draw backward time equal to forward "for brevity";
+		// splitting it as B=2/3 and W=1/3 of the segment keeps F+B+W = 2F
+		// per segment while exercising the B/W decoupling. Attention has no
+		// W, so its backward-B carries the full backward time.
+		if model.Segment(i) == model.SegAttn {
+			c.Seg[i][model.BackwardB] = ratio[i] * scale
+			c.Seg[i][model.BackwardW] = 0
+		} else {
+			c.Seg[i][model.BackwardB] = ratio[i] * scale * 2 / 3
+			c.Seg[i][model.BackwardW] = ratio[i] * scale / 3
+		}
+		c.SegRecompute[i] = ratio[i] * scale
+		c.SegStashBFree[i] = bytes(8)
+		c.SegStashWFree[i] = bytes(8)
+		c.SegStash[i] = c.SegStashBFree[i] + c.SegStashWFree[i]
+		c.HelixSegStash[i] = bytes(4)
+	}
+	// Attention stash is entirely released by backward-B (no parameters).
+	c.SegStashBFree[model.SegAttn] = c.SegStash[model.SegAttn]
+	c.SegStashWFree[model.SegAttn] = 0
+	c.InputStash = bytes(2)
+	c.EmbedGradStash = bytes(8)
+	c.BoundBytes = [3]int64{bytes(1), bytes(2), bytes(2)}
+	if commTime > 0 {
+		c.BoundBytes = [3]int64{bytes(1), bytes(1), bytes(1)}
+	}
+	return c
 }
 
 // UnitCosts returns a synthetic cost book with the paper's didactic
@@ -137,37 +299,33 @@ func (c Costs) ZeroCommCosts() Costs {
 // stashes, and the given per-message communication time. Used by the
 // figure-reproduction experiments and schedule unit tests.
 func UnitCosts(commTime float64) Costs {
-	var c Costs
-	ratio := [3]float64{1, 3, 2}
-	for i := 0; i < 3; i++ {
-		c.Seg[i][model.Forward] = ratio[i]
-		// The figures draw backward time equal to forward "for brevity";
-		// splitting it as B=2/3 and W=1/3 of the segment keeps F+B+W = 2F
-		// per segment while exercising the B/W decoupling. Attention has no
-		// W, so its backward-B carries the full backward time.
-		if model.Segment(i) == model.SegAttn {
-			c.Seg[i][model.BackwardB] = ratio[i]
-			c.Seg[i][model.BackwardW] = 0
-		} else {
-			c.Seg[i][model.BackwardB] = ratio[i] * 2 / 3
-			c.Seg[i][model.BackwardW] = ratio[i] / 3
-		}
-		c.SegRecompute[i] = ratio[i]
-		c.SegStash[i] = 16
-		c.SegStashBFree[i] = 8
-		c.SegStashWFree[i] = 8
-		c.HelixSegStash[i] = 4
-	}
-	// Attention stash is entirely released by backward-B (no parameters).
-	c.SegStashBFree[model.SegAttn] = 16
-	c.SegStashWFree[model.SegAttn] = 0
-	c.InputStash = 2
-	c.EmbedGradStash = 8
-	c.BoundBytes = [3]int64{1, 2, 2}
+	c := Costs{MBCosts: unitMBCosts(1, commTime)}
 	if commTime > 0 {
 		c.P2PLatency = 0
 		c.P2PBytesPerSec = 1 / commTime // 1 byte message units
-		c.BoundBytes = [3]int64{1, 1, 1}
+	}
+	return c
+}
+
+// UnitBatchCosts returns the didactic cost book with per-micro-batch scale
+// factors: micro batch i's durations, stashes and message volumes are the
+// unit book times scales[i]. It drives variable-length schedule unit tests
+// without a cost model.
+func UnitBatchCosts(commTime float64, scales []float64) Costs {
+	c := UnitCosts(commTime)
+	if len(scales) == 0 {
+		return c
+	}
+	maxScale := scales[0]
+	for _, s := range scales[1:] {
+		if s > maxScale {
+			maxScale = s
+		}
+	}
+	c.MBCosts = unitMBCosts(maxScale, commTime)
+	c.PerMB = make([]MBCosts, len(scales))
+	for i, s := range scales {
+		c.PerMB[i] = unitMBCosts(s, commTime)
 	}
 	return c
 }

@@ -50,9 +50,10 @@ func Interleaved(cfg Config, costs Costs, chunks int) (*Plan, error) {
 	lw := newLayerwise(cfg, costs, evenChunks(cfg.Layers, p)) // chunk table unused; ops emitted manually
 
 	emitVF := func(vs, mb int) {
+		c := costs.MB(mb)
 		phys := physOf(vs)
 		if vs == 0 {
-			lw.emit(phys, Op{Kind: KForward, MB: mb, Layer: LayerEmbed, Dur: costs.EmbedF})
+			lw.emit(phys, Op{Kind: KForward, MB: mb, Layer: LayerEmbed, Dur: c.EmbedF})
 		} else {
 			lw.emit(phys, Op{Kind: KRecv, MB: mb, Peer: physOf(vs - 1),
 				Tag: Tag{MB: mb, Layer: firstLayer(vs), Bound: BoundAct, Chunk: vs}})
@@ -61,20 +62,21 @@ func Interleaved(cfg Config, costs Costs, chunks int) (*Plan, error) {
 			layer := firstLayer(vs) + i
 			for _, seg := range segsFwd {
 				lw.emit(phys, Op{Kind: KForward, MB: mb, Layer: layer, Seg: seg,
-					Dur: costs.SegDur(seg, KForward), Alloc: costs.SegStash[seg]})
+					Dur: c.SegDur(seg, KForward), Alloc: c.SegStash[seg]})
 			}
 		}
 		if vs < v-1 {
 			lw.emit(phys, Op{Kind: KSend, MB: mb, Peer: physOf(vs + 1),
 				Tag:   Tag{MB: mb, Layer: firstLayer(vs + 1), Bound: BoundAct, Chunk: vs + 1},
-				Bytes: costs.BoundBytes[BoundAct]})
+				Bytes: c.BoundBytes[BoundAct]})
 		}
 	}
 	emitVB := func(vs, mb int) {
+		c := costs.MB(mb)
 		phys := physOf(vs)
 		if vs == v-1 {
-			lw.emit(phys, Op{Kind: KBackwardB, MB: mb, Layer: LayerHead, Dur: costs.HeadFB, Alloc: costs.EmbedGradStash})
-			lw.emit(phys, Op{Kind: KBackwardW, MB: mb, Layer: LayerHead, Dur: costs.HeadW, Free: costs.EmbedGradStash})
+			lw.emit(phys, Op{Kind: KBackwardB, MB: mb, Layer: LayerHead, Dur: c.HeadFB, Alloc: c.EmbedGradStash})
+			lw.emit(phys, Op{Kind: KBackwardW, MB: mb, Layer: LayerHead, Dur: c.HeadW, Free: c.EmbedGradStash})
 		} else {
 			lw.emit(phys, Op{Kind: KRecv, MB: mb, Peer: physOf(vs + 1),
 				Tag: Tag{MB: mb, Layer: firstLayer(vs + 1), Bound: BoundAct, Back: true, Chunk: vs + 1}})
@@ -84,36 +86,38 @@ func Interleaved(cfg Config, costs Costs, chunks int) (*Plan, error) {
 			for s := len(segsFwd) - 1; s >= 0; s-- {
 				seg := segsFwd[s]
 				lw.emit(phys, Op{Kind: KBackwardB, MB: mb, Layer: layer, Seg: seg,
-					Dur: costs.SegDur(seg, KBackwardB), Free: costs.SegStashBFree[seg]})
+					Dur: c.SegDur(seg, KBackwardB), Free: c.SegStashBFree[seg]})
 				if seg != segAttn {
 					lw.emit(phys, Op{Kind: KBackwardW, MB: mb, Layer: layer, Seg: seg,
-						Dur: costs.SegDur(seg, KBackwardW), Free: costs.SegStashWFree[seg]})
+						Dur: c.SegDur(seg, KBackwardW), Free: c.SegStashWFree[seg]})
 				}
 			}
 		}
 		if vs == 0 {
-			lw.emit(phys, Op{Kind: KBackwardW, MB: mb, Layer: LayerEmbed, Dur: costs.EmbedW})
+			lw.emit(phys, Op{Kind: KBackwardW, MB: mb, Layer: LayerEmbed, Dur: c.EmbedW})
 		} else {
 			lw.emit(phys, Op{Kind: KSend, MB: mb, Peer: physOf(vs - 1),
 				Tag:   Tag{MB: mb, Layer: firstLayer(vs), Bound: BoundAct, Back: true, Chunk: vs},
-				Bytes: costs.BoundBytes[BoundAct]})
+				Bytes: c.BoundBytes[BoundAct]})
 		}
 	}
 
-	vfDur := func(vs int) float64 {
-		d := float64(layersPer) * costs.LayerDur(KForward)
+	vfDur := func(vs, mb int) float64 {
+		c := costs.MB(mb)
+		d := float64(layersPer) * c.LayerDur(KForward)
 		if vs == 0 {
-			d += costs.EmbedF
+			d += c.EmbedF
 		}
 		return d
 	}
-	vbDur := func(vs int) float64 {
-		d := float64(layersPer) * (costs.LayerDur(KBackwardB) + costs.SegDur(segPre, KBackwardW) + costs.SegDur(segPost, KBackwardW))
+	vbDur := func(vs, mb int) float64 {
+		c := costs.MB(mb)
+		d := float64(layersPer) * (c.LayerDur(KBackwardB) + c.SegDur(segPre, KBackwardW) + c.SegDur(segPost, KBackwardW))
 		if vs == v-1 {
-			d += costs.HeadFB + costs.HeadW
+			d += c.HeadFB + c.HeadW
 		}
 		if vs == 0 {
-			d += costs.EmbedW
+			d += c.EmbedW
 		}
 		return d
 	}
@@ -193,20 +197,20 @@ func Interleaved(cfg Config, costs Costs, chunks int) (*Plan, error) {
 		vs := best.vs
 		if best.back {
 			j := bNext[vs]
-			end := best.start + vbDur(vs)
+			end := best.start + vbDur(vs, j)
 			emitVB(vs, j)
 			if vs > 0 {
-				bArr[vs-1][j] = end + costs.P2PTime(costs.BoundBytes[BoundAct])
+				bArr[vs-1][j] = end + costs.P2PTime(costs.MB(j).BoundBytes[BoundAct])
 			}
 			bNext[vs]++
 			clock[bestPhys] = end
 		} else {
 			j := fNext[vs]
-			end := best.start + vfDur(vs)
+			end := best.start + vfDur(vs, j)
 			emitVF(vs, j)
 			fDone[vs][j] = end
 			if vs < v-1 {
-				fArr[vs+1][j] = end + costs.P2PTime(costs.BoundBytes[BoundAct])
+				fArr[vs+1][j] = end + costs.P2PTime(costs.MB(j).BoundBytes[BoundAct])
 			}
 			fNext[vs]++
 			clock[bestPhys] = end

@@ -209,6 +209,10 @@ type Plan struct {
 	// Costs is the cost book the plan was built with; the simulator uses
 	// its link parameters to time communication.
 	Costs Costs
+	// Batch holds the per-micro-batch shapes of a variable-length workload.
+	// Empty Shapes mean the legacy fixed-shape iteration. When set, its
+	// length must equal MicroBatches (enforced by Validate).
+	Batch model.BatchSpec
 }
 
 // NumOps returns the total operation count across all stages.
@@ -256,6 +260,12 @@ type Config struct {
 	MicroBatches int
 	// Layers is the transformer layer count; must be divisible by Stages.
 	Layers int
+	// Batch optionally records the per-micro-batch shapes of a
+	// variable-length workload; generators copy it onto the plan. When set,
+	// its length must equal MicroBatches. The shapes themselves do not steer
+	// scheduling — the per-micro-batch cost book does — but engines and
+	// reports read them off the plan.
+	Batch model.BatchSpec
 }
 
 // Validate reports an error when the configuration cannot be scheduled.
@@ -269,6 +279,14 @@ func (c Config) Validate() error {
 		return fmt.Errorf("sched: Layers must be positive, got %d", c.Layers)
 	case c.Layers%c.Stages != 0:
 		return fmt.Errorf("sched: Layers (%d) must be divisible by Stages (%d)", c.Layers, c.Stages)
+	}
+	if n := len(c.Batch.Shapes); n > 0 {
+		if n != c.MicroBatches {
+			return fmt.Errorf("sched: batch spec has %d shapes for %d micro batches", n, c.MicroBatches)
+		}
+		if err := c.Batch.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

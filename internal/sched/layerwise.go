@@ -68,9 +68,11 @@ func (lw *layerwise) inBoundaryLayer(stage int) int { return lw.chunks[stage][0]
 
 // emitFStep emits the full forward step of one micro batch on one stage:
 // receive the boundary activation (or embed on stage 0), run every chunk
-// layer segment by segment, and forward the result downstream.
+// layer segment by segment, and forward the result downstream. Costs come
+// from the micro batch's own book, so variable-length micro batches get
+// shape-correct durations, stashes and message volumes.
 func (lw *layerwise) emitFStep(stage, mb int) {
-	c := lw.costs
+	c := lw.costs.MB(mb)
 	if stage == 0 {
 		lw.emit(stage, Op{Kind: KForward, MB: mb, Layer: LayerEmbed, Dur: c.EmbedF})
 	} else {
@@ -106,7 +108,7 @@ func (lw *layerwise) emitFStep(stage, mb int) {
 // upstream. With withW false the caller is responsible for scheduling the
 // corresponding W ops later (ZB1P).
 func (lw *layerwise) emitBStep(stage, mb int, withW bool) {
-	c := lw.costs
+	c := lw.costs.MB(mb)
 	last := lw.cfg.Stages - 1
 	if stage == last {
 		// Section 4.6: the LM-head forward and loss run inside the backward
@@ -159,34 +161,33 @@ func (lw *layerwise) emitBStep(stage, mb int, withW bool) {
 // emitWStep emits the deferred weight-gradient ops of one (micro batch,
 // layer) unit: post then pre, in the order ZB1P fills bubbles with.
 func (lw *layerwise) emitWStep(stage, mb, layer int) {
-	c := lw.costs
+	c := lw.costs.MB(mb)
 	for _, seg := range []model.Segment{model.SegPost, model.SegPre} {
 		lw.emit(stage, Op{Kind: KBackwardW, MB: mb, Layer: layer, Seg: seg,
 			Dur: c.SegDur(seg, KBackwardW), Free: c.SegStashWFree[seg]})
 	}
 }
 
-// wStepDur returns the duration of one emitWStep.
-func (lw *layerwise) wStepDur() float64 {
-	return lw.costs.SegDur(model.SegPost, KBackwardW) + lw.costs.SegDur(model.SegPre, KBackwardW)
+// wStepDur returns the duration of one emitWStep for one micro batch.
+func (lw *layerwise) wStepDur(mb int) float64 {
+	c := lw.costs.MB(mb)
+	return c.SegDur(model.SegPost, KBackwardW) + c.SegDur(model.SegPre, KBackwardW)
 }
 
 // fStepDur returns the duration of one emitFStep's compute on a stage.
-func (lw *layerwise) fStepDur(stage int) float64 {
+func (lw *layerwise) fStepDur(stage, mb int) float64 {
+	c := lw.costs.MB(mb)
 	d := 0.0
 	if stage == 0 {
-		d += lw.costs.EmbedF
+		d += c.EmbedF
 	}
-	for _, layer := range lw.chunks[stage] {
-		_ = layer
-		d += lw.costs.LayerDur(KForward)
-	}
+	d += float64(len(lw.chunks[stage])) * c.LayerDur(KForward)
 	return d
 }
 
 // bStepDur returns the duration of one emitBStep's compute on a stage.
-func (lw *layerwise) bStepDur(stage int, withW bool) float64 {
-	c := lw.costs
+func (lw *layerwise) bStepDur(stage, mb int, withW bool) float64 {
+	c := lw.costs.MB(mb)
 	d := 0.0
 	if stage == lw.cfg.Stages-1 {
 		d += c.HeadFB
@@ -217,6 +218,7 @@ func (lw *layerwise) plan(method Method) *Plan {
 		Layers:       lw.cfg.Layers,
 		Ops:          lw.ops,
 		Costs:        lw.costs,
+		Batch:        lw.cfg.Batch,
 	}
 }
 

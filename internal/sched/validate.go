@@ -144,6 +144,9 @@ func Validate(p *Plan) error {
 }
 
 func validateStructure(p *Plan) error {
+	if n := len(p.Batch.Shapes); n > 0 && n != p.MicroBatches {
+		return fmt.Errorf("sched: plan batch spec has %d shapes for %d micro batches", n, p.MicroBatches)
+	}
 	for s, ops := range p.Ops {
 		for i, op := range ops {
 			if op.Kind.IsCompute() && op.Dur < 0 {

@@ -69,21 +69,23 @@ func zeroBubble(cfg Config, costs Costs, inflightCap int, method Method) (*Plan,
 	wQ := make([][]wUnit, p)
 
 	wUnitDur := func(u wUnit) float64 {
+		c := costs.MB(u.mb)
 		switch u.layer {
 		case LayerHead:
-			return costs.HeadW
+			return c.HeadW
 		case LayerEmbed:
-			return costs.EmbedW
+			return c.EmbedW
 		default:
-			return lw.wStepDur()
+			return lw.wStepDur(u.mb)
 		}
 	}
 	emitWUnit := func(s int, u wUnit) {
+		c := costs.MB(u.mb)
 		switch u.layer {
 		case LayerHead:
-			lw.emit(s, Op{Kind: KBackwardW, MB: u.mb, Layer: LayerHead, Dur: costs.HeadW, Free: costs.EmbedGradStash})
+			lw.emit(s, Op{Kind: KBackwardW, MB: u.mb, Layer: LayerHead, Dur: c.HeadW, Free: c.EmbedGradStash})
 		case LayerEmbed:
-			lw.emit(s, Op{Kind: KBackwardW, MB: u.mb, Layer: LayerEmbed, Dur: costs.EmbedW})
+			lw.emit(s, Op{Kind: KBackwardW, MB: u.mb, Layer: LayerEmbed, Dur: c.EmbedW})
 		default:
 			lw.emitWStep(s, u.mb, u.layer)
 		}
@@ -140,20 +142,20 @@ func zeroBubble(cfg Config, costs Costs, inflightCap int, method Method) (*Plan,
 		switch bestAct {
 		case actF:
 			j := fNext[s]
-			end := bestStart + lw.fStepDur(s)
+			end := bestStart + lw.fStepDur(s, j)
 			lw.emitFStep(s, j)
 			fDone[s][j] = end
 			if s < p-1 {
-				fArr[s+1][j] = end + costs.P2PTime(costs.BoundBytes[BoundAct])
+				fArr[s+1][j] = end + costs.P2PTime(costs.MB(j).BoundBytes[BoundAct])
 			}
 			fNext[s]++
 			clock[s] = end
 		case actB:
 			j := bNext[s]
-			end := bestStart + lw.bStepDur(s, false)
+			end := bestStart + lw.bStepDur(s, j, false)
 			lw.emitBStep(s, j, false)
 			if s > 0 {
-				bArr[s-1][j] = end + costs.P2PTime(costs.BoundBytes[BoundAct])
+				bArr[s-1][j] = end + costs.P2PTime(costs.MB(j).BoundBytes[BoundAct])
 			}
 			bNext[s]++
 			clock[s] = end

@@ -62,8 +62,12 @@ type Result struct {
 }
 
 // BubbleSeconds returns the mean per-stage idle time — the quantity the
-// paper's Table 2 bubble formulas describe.
+// paper's Table 2 bubble formulas describe. A degenerate result with no
+// per-stage breakdown has no bubble (0), not a NaN.
 func (r *Result) BubbleSeconds() float64 {
+	if len(r.IdleSeconds) == 0 {
+		return 0
+	}
 	var sum float64
 	for _, v := range r.IdleSeconds {
 		sum += v
@@ -71,7 +75,8 @@ func (r *Result) BubbleSeconds() float64 {
 	return sum / float64(len(r.IdleSeconds))
 }
 
-// MaxPeakStashBytes returns the largest per-stage stash peak.
+// MaxPeakStashBytes returns the largest per-stage stash peak (0 on a
+// degenerate result with no per-stage breakdown).
 func (r *Result) MaxPeakStashBytes() int64 {
 	var peak int64
 	for _, v := range r.PeakStashBytes {
@@ -83,7 +88,8 @@ func (r *Result) MaxPeakStashBytes() int64 {
 }
 
 // Throughput returns tokens-per-second given the tokens processed per
-// iteration (batch size x sequence length x micro batches).
+// iteration (the per-micro-batch token sum on variable-length workloads).
+// A degenerate result with a non-positive makespan yields 0, not an Inf/NaN.
 func (r *Result) Throughput(tokensPerIteration int64) float64 {
 	if r.IterationSeconds <= 0 {
 		return 0
@@ -106,11 +112,34 @@ type Options struct {
 }
 
 // Run simulates one training iteration of the plan and returns the result.
+//
+// With a non-zero SMPenalty the simulation runs twice: a penalty-free pass
+// first records the complete NIC transfer timeline, then the reported pass
+// stretches compute ops against that final interval set. Resolving overlap
+// against the final set (instead of whatever transfers happened to be
+// recorded before a compute op in the engine's global pick order) makes the
+// penalty order-independent: identical plans always stretch identically,
+// whatever the tie-breaking.
 func Run(plan *sched.Plan, opt Options) (*Result, error) {
 	if err := sched.Validate(plan); err != nil {
 		return nil, fmt.Errorf("sim: invalid plan: %w", err)
 	}
+	return runEngine(plan, opt)
+}
+
+// runEngine executes the (already validated) plan, including the SMPenalty
+// pre-pass.
+func runEngine(plan *sched.Plan, opt Options) (*Result, error) {
 	e := newEngine(plan, opt)
+	if opt.SMPenalty > 0 {
+		pre := newEngine(plan, opt)
+		pre.opt.SMPenalty = 0
+		pre.opt.Trace = false
+		if err := pre.run(); err != nil {
+			return nil, err
+		}
+		e.nicOracle = pre.nicBusy
+	}
 	if err := e.run(); err != nil {
 		return nil, err
 	}
@@ -134,6 +163,10 @@ type engine struct {
 	sendFree []float64 // NIC send-direction availability per stage
 	recvFree []float64 // NIC recv-direction availability per stage
 	nicBusy  [][]interval
+	// nicOracle, when set, is the complete per-stage NIC interval set of a
+	// penalty-free pre-pass; SMPenalty overlap is resolved against it so the
+	// stretch does not depend on the engine's pick order.
+	nicOracle [][]interval
 
 	inflight map[msgKey]message
 
@@ -202,7 +235,7 @@ func (e *engine) run() error {
 			if blockedAll {
 				return nil // all programs complete
 			}
-			return fmt.Errorf("sim: deadlock — every remaining stage waits on an uninitiated message")
+			return e.deadlockError()
 		}
 		e.step(best)
 	}
@@ -272,11 +305,16 @@ func (e *engine) execSend(s int, op sched.Op, start float64) {
 	e.record(s, op, start, start+launch)
 }
 
-// nicOverlap returns the total overlap of [start, end] with this stage's
-// recorded NIC transfer intervals.
+// nicOverlap returns the total overlap of [start, end] with this stage's NIC
+// transfer intervals: the penalty-free pre-pass oracle when one exists (the
+// order-independent final set), the intervals recorded so far otherwise.
 func (e *engine) nicOverlap(s int, start, end float64) float64 {
+	busy := e.nicBusy[s]
+	if e.nicOracle != nil {
+		busy = e.nicOracle[s]
+	}
 	var total float64
-	for _, iv := range e.nicBusy[s] {
+	for _, iv := range busy {
 		lo := math.Max(start, iv.start)
 		hi := math.Min(end, iv.end)
 		if hi > lo {
@@ -284,6 +322,28 @@ func (e *engine) nicOverlap(s int, start, end float64) float64 {
 		}
 	}
 	return total
+}
+
+// deadlockError names every blocked stage and the (tag, peer) it waits on, so
+// a bad generator can be debugged from the error alone.
+func (e *engine) deadlockError() error {
+	var b []byte
+	for s := 0; s < e.plan.Stages; s++ {
+		if e.pc[s] >= len(e.plan.Ops[s]) {
+			continue
+		}
+		op := e.plan.Ops[s][e.pc[s]]
+		if len(b) > 0 {
+			b = append(b, "; "...)
+		}
+		b = fmt.Appendf(b, "stage %d blocked at op %d/%d", s, e.pc[s], len(e.plan.Ops[s]))
+		if op.Kind == sched.KRecv {
+			b = fmt.Appendf(b, " waiting for tag %v from stage %d (send never initiated)", op.Tag, op.Peer)
+		} else {
+			b = fmt.Appendf(b, " (%v)", op)
+		}
+	}
+	return fmt.Errorf("sim: deadlock — %s", b)
 }
 
 func (e *engine) record(s int, op sched.Op, start, end float64) {

@@ -23,10 +23,10 @@ func (r *Result) Summary() string {
 	return b.String()
 }
 
-// BestTable renders the best-throughput pick per sequence length as an
-// aligned ASCII table.
+// BestTable renders the best-throughput pick per scenario (sequence length
+// or variable-length workload) as an aligned ASCII table.
 func (r *Result) BestTable() string {
-	return pointTable("best configuration per sequence length", r.Best)
+	return pointTable("best configuration per scenario", r.Best)
 }
 
 // FrontierTable renders the throughput-versus-peak-memory Pareto frontier
@@ -42,11 +42,15 @@ func pointTable(title string, points []Point) string {
 		b.WriteString("(no feasible points)\n")
 		return b.String()
 	}
-	fmt.Fprintf(&b, "%-22s %-8s %-4s %-4s %-3s %-12s %-10s %-10s %-12s\n",
-		"method", "seq", "pp", "m", "b", "tokens/s", "bubble %", "peak GB", "est peak GB")
+	fmt.Fprintf(&b, "%-22s %-14s %-4s %-4s %-3s %-12s %-10s %-10s %-12s\n",
+		"method", "scenario", "pp", "m", "b", "tokens/s", "bubble %", "peak GB", "est peak GB")
 	for _, p := range points {
-		fmt.Fprintf(&b, "%-22s %-8d %-4d %-4d %-3d %-12.0f %-10.1f %-10.1f %-12.1f\n",
-			p.Method, p.SeqLen, p.Stages, p.MicroBatches, p.MicroBatchSize,
+		scenario := fmt.Sprintf("seq=%d", p.SeqLen)
+		if p.Workload != "" {
+			scenario = p.Workload
+		}
+		fmt.Fprintf(&b, "%-22s %-14s %-4d %-4d %-3d %-12.0f %-10.1f %-10.1f %-12.1f\n",
+			p.Method, scenario, p.Stages, p.MicroBatches, p.MicroBatchSize,
 			p.TokensPerSecond, p.BubbleFraction*100, gb(p.PeakBytes), gb(p.EstimatedPeakBytes))
 	}
 	return b.String()
@@ -57,7 +61,7 @@ func gb(bytes int64) float64 { return float64(bytes) / (1 << 30) }
 // CSVHeader returns the column names of Point.CSVRow.
 func CSVHeader() []string {
 	return []string{
-		"method", "seq_len", "stages", "micro_batches", "micro_batch_size",
+		"method", "workload", "seq_len", "stages", "micro_batches", "micro_batch_size",
 		"tokens_per_second", "iteration_seconds", "bubble_fraction",
 		"peak_bytes", "estimated_peak_bytes",
 	}
@@ -66,7 +70,7 @@ func CSVHeader() []string {
 // CSVRow renders the point as one CSV row matching CSVHeader.
 func (p Point) CSVRow() []string {
 	return []string{
-		string(p.Method),
+		string(p.Method), p.Workload,
 		fmt.Sprintf("%d", p.SeqLen), fmt.Sprintf("%d", p.Stages),
 		fmt.Sprintf("%d", p.MicroBatches), fmt.Sprintf("%d", p.MicroBatchSize),
 		fmt.Sprintf("%g", p.TokensPerSecond), fmt.Sprintf("%g", p.IterationSeconds),

@@ -54,6 +54,19 @@ func Run(m model.Config, cl costmodel.ClusterSpec, spec Spec) (*Result, error) {
 	grid := spec.grid(methods)
 	res.GridSize = len(grid)
 
+	// Workload candidates carry only a name; resolve it to the batch spec.
+	workloads := map[string]model.BatchSpec{}
+	for _, w := range spec.Workloads {
+		workloads[w.Name] = w.Batch
+	}
+	batchOf := func(c Candidate) *model.BatchSpec {
+		if c.Workload == "" {
+			return nil
+		}
+		b := workloads[c.Workload]
+		return &b
+	}
+
 	// Phase 1: cheap pruning. Geometry first, then the memsim peak-memory
 	// estimate — no cost model, no plan building, no simulation.
 	type survivor struct {
@@ -68,7 +81,7 @@ func Run(m model.Config, cl costmodel.ClusterSpec, spec Spec) (*Result, error) {
 			continue
 		}
 		w := costmodel.NewWorkload(m, cl, model.Shape{B: c.MicroBatchSize, S: c.SeqLen})
-		est, err := estimatePeak(w, c, budget)
+		est, err := estimatePeak(w, c, batchOf(c), budget)
 		if err != nil || est > budget {
 			res.Pruned[PruneMemory]++
 			continue
@@ -77,18 +90,34 @@ func Run(m model.Config, cl costmodel.ClusterSpec, spec Spec) (*Result, error) {
 	}
 
 	// Phase 2: memoized cost books. Cost-model evaluation depends only on
-	// the micro-batch shape (b, s), so the whole method x stages x micro-
-	// batch cross product shares one evaluation per shape — this is what
-	// keeps CostModelEvals strictly below the naive grid size.
-	type shapeKey struct{ b, s int }
+	// the micro-batch shape (b, s) — or, for workload candidates, on the
+	// workload — so the whole method x stages x micro-batch cross product
+	// shares one evaluation per shape; this is what keeps CostModelEvals
+	// strictly below the naive grid size.
+	type shapeKey struct {
+		b, s     int
+		workload string
+	}
+	keyOf := func(c Candidate) shapeKey {
+		if c.Workload != "" {
+			return shapeKey{workload: c.Workload}
+		}
+		return shapeKey{b: c.MicroBatchSize, s: c.SeqLen}
+	}
 	costs := map[shapeKey]sched.Costs{}
 	for _, sv := range survivors {
-		key := shapeKey{sv.MicroBatchSize, sv.SeqLen}
+		key := keyOf(sv.Candidate)
 		if _, ok := costs[key]; ok {
 			continue
 		}
-		w := costmodel.NewWorkload(m, cl, model.Shape{B: key.b, S: key.s})
-		costs[key] = sched.NewCosts(w)
+		if key.workload != "" {
+			batch := workloads[key.workload]
+			w := costmodel.NewWorkload(m, cl, batch.MaxShape())
+			costs[key] = sched.NewBatchCosts(w, batch)
+		} else {
+			w := costmodel.NewWorkload(m, cl, model.Shape{B: key.b, S: key.s})
+			costs[key] = sched.NewCosts(w)
+		}
 		res.CostModelEvals++
 	}
 
@@ -112,8 +141,8 @@ func Run(m model.Config, cl costmodel.ClusterSpec, spec Spec) (*Result, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			point, reason, err := evaluate(m, cl, sv.Candidate, sv.estPeak, budget,
-				costs[shapeKey{sv.MicroBatchSize, sv.SeqLen}])
+			point, reason, err := evaluate(m, cl, sv.Candidate, batchOf(sv.Candidate),
+				sv.estPeak, budget, costs[keyOf(sv.Candidate)])
 			outcomes[i] = outcome{point: point, reason: reason, err: err}
 		}(i, sv)
 	}
@@ -128,16 +157,21 @@ func Run(m model.Config, cl costmodel.ClusterSpec, spec Spec) (*Result, error) {
 		res.Points = append(res.Points, o.point)
 	}
 	res.Evaluated = len(res.Points)
-	res.Best = bestPerSeqLen(spec.SeqLens, res.Points)
+	res.Best = bestPerScenario(spec, res.Points)
 	res.Frontier = paretoFrontier(res.Points)
 	return res, nil
 }
 
 // evaluate builds and simulates one surviving candidate. A non-empty reason
 // (PruneBuild or PruneSim) reports a discarded point.
-func evaluate(m model.Config, cl costmodel.ClusterSpec, c Candidate,
+func evaluate(m model.Config, cl costmodel.ClusterSpec, c Candidate, batch *model.BatchSpec,
 	estPeak, budget int64, costs sched.Costs) (Point, string, error) {
 	cfg := sched.Config{Stages: c.Stages, MicroBatches: c.MicroBatches, Layers: m.Layers}
+	tokens := int64(c.MicroBatchSize) * int64(c.SeqLen) * int64(c.MicroBatches)
+	if batch != nil {
+		cfg.Batch = *batch
+		tokens = batch.TotalTokens()
+	}
 	activationBudget := budget - stateBytes(m, cl, c.Method, c.Stages)
 	plan, err := sched.Build(c.Method, cfg, costs, sched.BuildParams{MemoryBudget: activationBudget})
 	if err != nil {
@@ -154,7 +188,6 @@ func evaluate(m model.Config, cl costmodel.ClusterSpec, c Candidate,
 		return Point{}, PruneMeasured, fmt.Errorf(
 			"%s: measured peak %d exceeds budget %d", c, peak, budget)
 	}
-	tokens := int64(c.MicroBatchSize) * int64(c.SeqLen) * int64(c.MicroBatches)
 	return Point{
 		Candidate:          c,
 		EstimatedPeakBytes: estPeak,
@@ -175,14 +208,16 @@ func bubbleFraction(r *sim.Result) float64 {
 // estimatePeak returns the candidate's per-GPU peak-memory estimate: the
 // memsim caching-allocator replay of the most loaded stage's activation
 // trace plus model states. The replay costs a few hundred allocator
-// operations — the "cheap" in cheap pruning.
-func estimatePeak(w costmodel.Workload, c Candidate, budget int64) (int64, error) {
+// operations — the "cheap" in cheap pruning. For workload candidates the
+// trace carries per-micro-batch stashes (largest first — the conservative
+// outstanding window).
+func estimatePeak(w costmodel.Workload, c Candidate, batch *model.BatchSpec, budget int64) (int64, error) {
 	states := stateBytes(w.Model, w.Cluster, c.Method, c.Stages)
 	if states >= budget {
 		// Model states alone exhaust the budget; no activation trace needed.
 		return states, nil
 	}
-	tr := stageTrace(w, c)
+	tr := stageTrace(w, c, batch)
 	cfg := memsim.DefaultConfig()
 	cfg.SegmentBytes = 64 << 20
 	st, err := memsim.EstimatePeak(cfg, tr)
@@ -192,55 +227,92 @@ func estimatePeak(w costmodel.Workload, c Candidate, budget int64) (int64, error
 	return st.PeakReservedBytes + states, nil
 }
 
+// stashProfile discriminates how much one layer stashes per method.
+type stashProfile int
+
+const (
+	stashFull  stashProfile = iota // every activation (16bsh per layer)
+	stashHelix                     // recomputation without attention (4bsh)
+	stashInput                     // full recomputation floor (1bsh)
+)
+
+// layerStashBytes returns one layer's per-GPU stash for a shape under a
+// profile.
+func layerStashBytes(w costmodel.Workload, sh model.Shape, p stashProfile) int64 {
+	seqPar := int64(w.Cluster.GPUsPerNode)
+	switch p {
+	case stashHelix:
+		return w.Model.HelixStashElems(sh) * model.FP16Bytes / seqPar
+	case stashInput:
+		return sh.Tokens() * int64(w.Model.Hidden) * model.FP16Bytes / seqPar
+	default:
+		return w.Model.LayerActivationElems(sh) * model.FP16Bytes / seqPar
+	}
+}
+
 // stageTrace maps a candidate onto the allocation trace of its most loaded
 // pipeline stage. The per-method profiles follow the paper's analysis
 // (Equations 2 and 4, Table 2): what varies between schedules is how much
-// one layer stashes and how many micro batches stay outstanding at once.
-func stageTrace(w costmodel.Workload, c Candidate) memsim.StageTrace {
+// one layer stashes and how many micro batches stay outstanding at once. On
+// a variable-length workload the outstanding window holds the workload's
+// largest micro batches — the worst case any pick order can reach.
+func stageTrace(w costmodel.Workload, c Candidate, batch *model.BatchSpec) memsim.StageTrace {
 	seqPar := int64(w.Cluster.GPUsPerNode)
-	perLayerFull := w.Model.LayerActivationElems(w.Shape) * model.FP16Bytes / seqPar
-	helixStash := w.Model.HelixStashElems(w.Shape) * model.FP16Bytes / seqPar
 	unit := w.Shape.Tokens() * int64(w.Model.Hidden) * model.FP16Bytes / seqPar
 
 	tr := memsim.StageTrace{
 		LayersPerStage: w.Model.Layers / c.Stages,
 		// The MLP working set of one layer: input, the two 4bsh
 		// intermediates, output — the buffers whose irregular sizes carve
-		// the pool (section 4.4.2).
+		// the pool (section 4.4.2). On variable-length workloads this is the
+		// largest micro batch's working set.
 		TransientBytes: []int64{unit, 4 * unit, 4 * unit, unit},
 	}
+	profile := stashFull
 	switch c.Method {
 	case sched.MethodGPipe:
 		// All forwards before any backward: every micro batch outstanding.
-		tr.StashBytes, tr.OutstandingMB = perLayerFull, c.MicroBatches
+		tr.OutstandingMB = c.MicroBatches
 	case sched.MethodInterleaved:
 		// Interleaving adds up to one extra in-flight micro batch at the
 		// first stage over plain 1F1B.
-		tr.StashBytes, tr.OutstandingMB = perLayerFull, min(c.Stages+1, c.MicroBatches)
+		tr.OutstandingMB = min(c.Stages+1, c.MicroBatches)
 	case sched.MethodZB1P:
 		// Equation 4: ZB1P's worst stage matches 1F1B's first stage, plus
 		// the last stage's fp32 embedding-gradient stash for deferred W.
-		tr.StashBytes, tr.OutstandingMB = perLayerFull, min(c.Stages, c.MicroBatches)
+		tr.OutstandingMB = min(c.Stages, c.MicroBatches)
 		tr.ResidentBytes = embedGradResidents(w, c.Stages-1)
 	case sched.MethodZB2P:
 		// ZB2P admits roughly a second pipeline's worth of warmup forwards
 		// for its smaller bubble, doubling ZB1P's outstanding count.
-		tr.StashBytes, tr.OutstandingMB = perLayerFull, min(2*c.Stages, c.MicroBatches)
+		tr.OutstandingMB = min(2*c.Stages, c.MicroBatches)
 		tr.ResidentBytes = embedGradResidents(w, c.Stages-1)
 	case sched.MethodAdaPipe:
 		// AdaPipe recomputes adaptively under the budget; its floor is full
 		// recomputation, which keeps only each layer's input.
-		tr.StashBytes, tr.OutstandingMB = w.InputStashBytes(), min(c.Stages, c.MicroBatches)
+		profile, tr.OutstandingMB = stashInput, min(c.Stages, c.MicroBatches)
 	case sched.MethodHelix, sched.MethodHelixNaive:
 		// Table 2: the FILO schedules stash all m micro batches, but
 		// recomputation without attention keeps only 4bsh per layer.
-		tr.StashBytes, tr.OutstandingMB = helixStash, c.MicroBatches
+		profile, tr.OutstandingMB = stashHelix, c.MicroBatches
 	case sched.MethodHelixNoRecompute:
-		tr.StashBytes, tr.OutstandingMB = perLayerFull, c.MicroBatches
+		tr.OutstandingMB = c.MicroBatches
 	default:
 		// Unknown registered methods get the 1F1B profile: the most common
 		// steady state, p outstanding micro batches of full layer stashes.
-		tr.StashBytes, tr.OutstandingMB = perLayerFull, min(c.Stages, c.MicroBatches)
+		tr.OutstandingMB = min(c.Stages, c.MicroBatches)
+	}
+	tr.StashBytes = layerStashBytes(w, w.Shape, profile)
+	if batch != nil {
+		perMB := make([]int64, 0, len(batch.Shapes))
+		for _, sh := range batch.Shapes {
+			perMB = append(perMB, layerStashBytes(w, sh, profile))
+		}
+		sort.Slice(perMB, func(i, j int) bool { return perMB[i] > perMB[j] })
+		if len(perMB) > tr.OutstandingMB {
+			perMB = perMB[:tr.OutstandingMB]
+		}
+		tr.StashBytesPerMB = perMB
 	}
 	return tr
 }
@@ -259,19 +331,31 @@ func embedGradResidents(w costmodel.Workload, warmup int) []int64 {
 	return out
 }
 
-// bestPerSeqLen picks the highest-throughput point per sequence length, in
-// the spec's sequence-length order.
-func bestPerSeqLen(seqLens []int, points []Point) []Point {
-	best := map[int]Point{}
+// bestPerScenario picks the highest-throughput point per scenario: one per
+// sequence length (fixed-length points only) in the spec's order, then one
+// per workload in the spec's order.
+func bestPerScenario(spec Spec, points []Point) []Point {
+	bestSeq := map[int]Point{}
+	bestWL := map[string]Point{}
 	for _, p := range points {
-		cur, ok := best[p.SeqLen]
-		if !ok || p.TokensPerSecond > cur.TokensPerSecond {
-			best[p.SeqLen] = p
+		if p.Workload != "" {
+			if cur, ok := bestWL[p.Workload]; !ok || p.TokensPerSecond > cur.TokensPerSecond {
+				bestWL[p.Workload] = p
+			}
+			continue
+		}
+		if cur, ok := bestSeq[p.SeqLen]; !ok || p.TokensPerSecond > cur.TokensPerSecond {
+			bestSeq[p.SeqLen] = p
 		}
 	}
-	out := make([]Point, 0, len(best))
-	for _, seq := range dedupe(seqLens) {
-		if p, ok := best[seq]; ok {
+	out := make([]Point, 0, len(bestSeq)+len(bestWL))
+	for _, seq := range dedupe(spec.SeqLens) {
+		if p, ok := bestSeq[seq]; ok {
+			out = append(out, p)
+		}
+	}
+	for _, w := range spec.Workloads {
+		if p, ok := bestWL[w.Name]; ok {
 			out = append(out, p)
 		}
 	}

@@ -42,6 +42,17 @@ const (
 	PruneMeasured = "memory-measured"
 )
 
+// WorkloadSpec names one variable-length workload candidate: a per-micro-
+// batch shape list the autotuner ranks methods on, next to the fixed-length
+// SeqLens axis.
+type WorkloadSpec struct {
+	// Name labels the workload in results ("bimodal-64k", ...).
+	Name string `json:"name"`
+	// Batch is the per-micro-batch shape list. Its length fixes the
+	// micro-batch count of every candidate built on the workload.
+	Batch model.BatchSpec `json:"batch"`
+}
+
 // Spec constrains the autotuner's search. Empty axes are rejected by
 // Validate — callers with a natural default (the Session front door, the
 // helixtune CLI) fill them in before calling Run.
@@ -49,8 +60,13 @@ type Spec struct {
 	// Methods are the schedules to consider; empty means every registered
 	// method.
 	Methods []sched.Method `json:"methods,omitempty"`
-	// SeqLens are the sequence lengths to tune for.
+	// SeqLens are the fixed sequence lengths to tune for. May be empty when
+	// Workloads is not.
 	SeqLens []int `json:"seq_lens"`
+	// Workloads are variable-length workloads to tune for: each crosses with
+	// Stages and Methods (the micro-batch axes come from the workload
+	// itself), and each gets its own best-method pick in Result.Best.
+	Workloads []WorkloadSpec `json:"workloads,omitempty"`
 	// Stages are the candidate pipeline sizes.
 	Stages []int `json:"stages"`
 	// MicroBatches are the candidate micro-batch counts per iteration; a 0
@@ -68,8 +84,8 @@ type Spec struct {
 // Validate reports an error when the spec cannot be searched.
 func (s Spec) Validate() error {
 	switch {
-	case len(s.SeqLens) == 0:
-		return fmt.Errorf("tune: no sequence lengths to search")
+	case len(s.SeqLens) == 0 && len(s.Workloads) == 0:
+		return fmt.Errorf("tune: no sequence lengths or workloads to search")
 	case len(s.Stages) == 0:
 		return fmt.Errorf("tune: no pipeline sizes to search")
 	case s.MemoryBudgetBytes < 0:
@@ -92,6 +108,19 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("tune: negative micro batch count %d", m)
 		}
 	}
+	names := map[string]bool{}
+	for i, w := range s.Workloads {
+		if w.Name == "" {
+			return fmt.Errorf("tune: workload %d has no name", i)
+		}
+		if names[w.Name] {
+			return fmt.Errorf("tune: duplicate workload name %q", w.Name)
+		}
+		names[w.Name] = true
+		if err := w.Batch.Validate(); err != nil {
+			return fmt.Errorf("tune: workload %q: %w", w.Name, err)
+		}
+	}
 	return nil
 }
 
@@ -99,17 +128,26 @@ func (s Spec) Validate() error {
 type Candidate struct {
 	// Method is the pipeline parallelism.
 	Method sched.Method `json:"method"`
-	// SeqLen is the sequence length of every micro batch.
+	// SeqLen is the sequence length of every micro batch; on a workload
+	// candidate it is the workload's longest sequence.
 	SeqLen int `json:"seq_len"`
 	// Stages is the pipeline size p.
 	Stages int `json:"stages"`
 	// MicroBatches is the micro-batch count m per iteration.
 	MicroBatches int `json:"micro_batches"`
-	// MicroBatchSize is the micro-batch size b.
+	// MicroBatchSize is the micro-batch size b; on a workload candidate it is
+	// the workload's largest micro batch.
 	MicroBatchSize int `json:"micro_batch_size"`
+	// Workload names the variable-length workload the candidate runs, empty
+	// on fixed-length candidates.
+	Workload string `json:"workload,omitempty"`
 }
 
 func (c Candidate) String() string {
+	if c.Workload != "" {
+		return fmt.Sprintf("%s workload=%s p=%d m=%d",
+			c.Method, c.Workload, c.Stages, c.MicroBatches)
+	}
 	return fmt.Sprintf("%s seq=%d p=%d m=%d b=%d",
 		c.Method, c.SeqLen, c.Stages, c.MicroBatches, c.MicroBatchSize)
 }
@@ -149,8 +187,9 @@ type Result struct {
 	// CostModelEvals counts the cost-model evaluations actually issued;
 	// memoization keeps it strictly below GridSize on any real grid.
 	CostModelEvals int `json:"cost_model_evals"`
-	// Best is the highest-throughput feasible point per sequence length, in
-	// Spec.SeqLens order; sequence lengths with no feasible point are absent.
+	// Best is the highest-throughput feasible point per scenario — one per
+	// sequence length in Spec.SeqLens order, then one per workload in
+	// Spec.Workloads order; scenarios with no feasible point are absent.
 	Best []Point `json:"best"`
 	// Frontier is the throughput-versus-peak-memory Pareto frontier over all
 	// evaluated points, ordered by ascending peak memory.
@@ -161,9 +200,11 @@ type Result struct {
 	Errors []string `json:"errors,omitempty"`
 }
 
-// grid enumerates the candidate grid in deterministic order (seqlen-major,
-// then stages, micro batches, micro batch size, method), resolving the
-// m = 2p default and deduplicating axis values while preserving order.
+// grid enumerates the candidate grid in deterministic order: the fixed-length
+// block first (seqlen-major, then stages, micro batches, micro batch size,
+// method — resolving the m = 2p default and deduplicating axis values while
+// preserving order), then one block per workload crossed with stages and
+// methods (a workload fixes its own micro-batch axes).
 func (s Spec) grid(methods []sched.Method) []Candidate {
 	seqLens := dedupe(s.SeqLens)
 	stages := dedupe(s.Stages)
@@ -197,6 +238,21 @@ func (s Spec) grid(methods []sched.Method) []Candidate {
 						out = append(out, c)
 					}
 				}
+			}
+		}
+	}
+	for _, w := range s.Workloads {
+		max := w.Batch.MaxShape()
+		for _, p := range stages {
+			for _, method := range methods {
+				c := Candidate{Method: method, Workload: w.Name,
+					SeqLen: max.S, Stages: p,
+					MicroBatches: w.Batch.MicroBatches(), MicroBatchSize: max.B}
+				if seen[c] {
+					continue
+				}
+				seen[c] = true
+				out = append(out, c)
 			}
 		}
 	}

@@ -310,7 +310,7 @@ func TestResultSerializationAndTables(t *testing.T) {
 	if len(lines) != len(res.Points)+1 {
 		t.Errorf("CSV rows = %d, want %d", len(lines), len(res.Points)+1)
 	}
-	if !strings.HasPrefix(lines[0], "method,seq_len") {
+	if !strings.HasPrefix(lines[0], "method,workload,seq_len") {
 		t.Errorf("CSV header = %q", lines[0])
 	}
 }
@@ -323,7 +323,7 @@ func TestStageTraceProfiles(t *testing.T) {
 	trace := func(m sched.Method) int64 {
 		c := base
 		c.Method = m
-		tr := stageTrace(w, c)
+		tr := stageTrace(w, c, nil)
 		return tr.StashBytes * int64(tr.OutstandingMB) * int64(tr.LayersPerStage)
 	}
 	// Table 2 ordering: HelixPipe's recomputation-without-attention stash is
@@ -340,7 +340,7 @@ func TestStageTraceProfiles(t *testing.T) {
 	// ZB1P carries the deferred embedding-gradient residents.
 	c := base
 	c.Method = sched.MethodZB1P
-	if tr := stageTrace(w, c); len(tr.ResidentBytes) != c.Stages-1 {
+	if tr := stageTrace(w, c, nil); len(tr.ResidentBytes) != c.Stages-1 {
 		t.Errorf("ZB1P residents = %d, want %d", len(tr.ResidentBytes), c.Stages-1)
 	}
 }

@@ -1,0 +1,113 @@
+package tune
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+func bimodalWorkload(t *testing.T) WorkloadSpec {
+	t.Helper()
+	batch, err := model.SyntheticBatchSpec(model.DistBimodal, 24, 8, 64, 64, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return WorkloadSpec{Name: "bimodal", Batch: batch}
+}
+
+func TestWorkloadSpecValidate(t *testing.T) {
+	wl := bimodalWorkload(t)
+	good := Spec{Workloads: []WorkloadSpec{wl}, Stages: []int{2}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("workload-only spec rejected: %v", err)
+	}
+	dup := Spec{Workloads: []WorkloadSpec{wl, wl}, Stages: []int{2}}
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate workload names accepted")
+	}
+	anon := Spec{Workloads: []WorkloadSpec{{Batch: wl.Batch}}, Stages: []int{2}}
+	if err := anon.Validate(); err == nil {
+		t.Error("unnamed workload accepted")
+	}
+	empty := Spec{Stages: []int{2}}
+	if err := empty.Validate(); err == nil {
+		t.Error("spec with neither seqlens nor workloads accepted")
+	}
+}
+
+func TestWorkloadGridAndRun(t *testing.T) {
+	wl := bimodalWorkload(t)
+	spec := Spec{
+		Methods:   []sched.Method{sched.Method1F1B, sched.MethodGPipe},
+		SeqLens:   []int{32},
+		Workloads: []WorkloadSpec{wl},
+		Stages:    []int{2},
+	}
+	res, err := Run(model.TinyTest(), costmodel.H20Cluster(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 methods x (1 seqlen + 1 workload) x 1 stages.
+	if res.GridSize != 4 {
+		t.Errorf("grid size = %d, want 4", res.GridSize)
+	}
+	if res.Evaluated == 0 {
+		t.Fatalf("nothing evaluated: pruned %v errors %v", res.Pruned, res.Errors)
+	}
+	// One best per scenario: the fixed seqlen first, the workload second.
+	if len(res.Best) != 2 {
+		t.Fatalf("best = %+v, want 2 scenarios", res.Best)
+	}
+	if res.Best[0].Workload != "" || res.Best[0].SeqLen != 32 {
+		t.Errorf("first best should be the fixed-length scenario: %+v", res.Best[0])
+	}
+	if res.Best[1].Workload != "bimodal" {
+		t.Errorf("second best should be the workload scenario: %+v", res.Best[1])
+	}
+	if res.Best[1].MicroBatches != wl.Batch.MicroBatches() {
+		t.Errorf("workload best m = %d, want %d", res.Best[1].MicroBatches, wl.Batch.MicroBatches())
+	}
+	// The workload's cost book is shared across its methods: one evaluation
+	// per shape key plus one per workload.
+	if res.CostModelEvals != 2 {
+		t.Errorf("cost model evals = %d, want 2 (one per scenario)", res.CostModelEvals)
+	}
+	// Rendering includes the workload name.
+	if table := res.BestTable(); !strings.Contains(table, "bimodal") {
+		t.Errorf("best table misses the workload name:\n%s", table)
+	}
+	for _, p := range res.Points {
+		if p.Workload == "bimodal" {
+			if row := p.CSVRow(); row[1] != "bimodal" {
+				t.Errorf("CSV workload column = %q", row[1])
+			}
+		}
+	}
+}
+
+// TestWorkloadStageTrace checks the variable-length trace carries the
+// largest per-micro-batch stashes, descending.
+func TestWorkloadStageTrace(t *testing.T) {
+	w := costmodel.NewWorkload(model.TinyTest(), costmodel.H20Cluster(), model.Shape{B: 1, S: 64})
+	batch := model.BatchSpec{Shapes: []model.Shape{
+		{B: 1, S: 16}, {B: 1, S: 64}, {B: 1, S: 32}, {B: 1, S: 64},
+	}}
+	c := Candidate{Method: sched.Method1F1B, Workload: "wl", SeqLen: 64,
+		Stages: 2, MicroBatches: 4, MicroBatchSize: 1}
+	tr := stageTrace(w, c, &batch)
+	if len(tr.StashBytesPerMB) != tr.OutstandingMB {
+		t.Fatalf("per-mb stashes = %d, want outstanding %d", len(tr.StashBytesPerMB), tr.OutstandingMB)
+	}
+	for i := 1; i < len(tr.StashBytesPerMB); i++ {
+		if tr.StashBytesPerMB[i] > tr.StashBytesPerMB[i-1] {
+			t.Error("per-mb stashes not descending")
+		}
+	}
+	// The conservative window starts with the longest micro batch's stash.
+	if tr.StashBytesPerMB[0] != layerStashBytes(w, model.Shape{B: 1, S: 64}, stashFull) {
+		t.Errorf("largest stash %d mismatch", tr.StashBytesPerMB[0])
+	}
+}

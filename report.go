@@ -85,6 +85,13 @@ type Report struct {
 	Layers       int `json:"layers"`
 	// TokensPerIteration is the token count one iteration processes.
 	TokensPerIteration int64 `json:"tokens_per_iteration,omitempty"`
+	// MicroBatchTokens lists the per-micro-batch token counts of a
+	// variable-length workload, in execution order (absent on fixed-shape
+	// runs, where every micro batch carries SeqLen*MicroBatchSize tokens).
+	MicroBatchTokens []int64 `json:"micro_batch_tokens,omitempty"`
+	// SeqLenHistogram summarises the micro-batch sequence-length distribution
+	// of a variable-length workload (absent on fixed-shape runs).
+	SeqLenHistogram []LengthBucket `json:"seq_len_histogram,omitempty"`
 	// Sim holds the simulator metrics (sim engine only).
 	Sim *SimMetrics `json:"sim,omitempty"`
 	// Numeric holds the numeric metrics (numeric engine only).
@@ -106,14 +113,14 @@ func (s *Session) reportMeta() reportMeta {
 	return reportMeta{
 		model:              s.model.Name,
 		cluster:            s.cluster.Name,
-		seqLen:             s.seqLen,
-		microBatch:         s.microBatch,
+		seqLen:             s.SeqLen(),
+		microBatch:         s.MicroBatchSize(),
 		tokensPerIteration: s.TokensPerIteration(),
 	}
 }
 
 func newReport(plan *sched.Plan, engine string, meta reportMeta) *Report {
-	return &Report{
+	r := &Report{
 		Method:             plan.Method,
 		Engine:             engine,
 		Model:              meta.model,
@@ -125,6 +132,19 @@ func newReport(plan *sched.Plan, engine string, meta reportMeta) *Report {
 		Layers:             plan.Layers,
 		TokensPerIteration: meta.tokensPerIteration,
 	}
+	// Variable-length plans carry their batch spec; read the per-micro-batch
+	// geometry off the plan so detached engines report it too.
+	if len(plan.Batch.Shapes) > 0 {
+		r.MicroBatchTokens = plan.Batch.TokensPerMB()
+		r.SeqLenHistogram = plan.Batch.Histogram(8)
+		if r.TokensPerIteration == 0 {
+			r.TokensPerIteration = plan.Batch.TotalTokens()
+		}
+		if r.SeqLen == 0 {
+			r.SeqLen = plan.Batch.MaxSeqLen()
+		}
+	}
+	return r
 }
 
 func newSimReport(plan *sched.Plan, res *sim.Result, meta reportMeta) *Report {
@@ -137,8 +157,8 @@ func newSimReport(plan *sched.Plan, res *sim.Result, meta reportMeta) *Report {
 	}
 	if res.IterationSeconds > 0 {
 		m.BubbleFraction = m.BubbleSeconds / res.IterationSeconds
-		if meta.tokensPerIteration > 0 {
-			m.TokensPerSecond = res.Throughput(meta.tokensPerIteration)
+		if r.TokensPerIteration > 0 {
+			m.TokensPerSecond = res.Throughput(r.TokensPerIteration)
 		}
 	}
 	for st := 0; st < res.Stages; st++ {
@@ -195,13 +215,16 @@ func ReportCSVHeader() []string {
 	return []string{
 		"method", "engine", "model", "cluster",
 		"seq_len", "micro_batch_size", "stages", "micro_batches", "layers",
+		"tokens_per_iteration", "mb_tokens", "seq_len_hist",
 		"iteration_seconds", "tokens_per_second", "bubble_fraction",
 		"max_peak_stash_bytes", "loss",
 	}
 }
 
 // CSVRow renders the report as one CSV row matching ReportCSVHeader.
-// Engine-specific columns are empty when they do not apply.
+// Engine-specific columns are empty when they do not apply; the
+// variable-length columns (mb_tokens, seq_len_hist) are empty on fixed-shape
+// runs.
 func (r *Report) CSVRow() []string {
 	iter, tput, bubble, stash, loss := "", "", "", "", ""
 	if r.Sim != nil {
@@ -213,11 +236,21 @@ func (r *Report) CSVRow() []string {
 	if r.Numeric != nil {
 		loss = fmt.Sprintf("%g", r.Numeric.Loss)
 	}
+	var mbTokens []string
+	for _, t := range r.MicroBatchTokens {
+		mbTokens = append(mbTokens, fmt.Sprintf("%d", t))
+	}
+	var hist []string
+	for _, b := range r.SeqLenHistogram {
+		hist = append(hist, fmt.Sprintf("%d-%d:%d", b.MinSeqLen, b.MaxSeqLen, b.MicroBatches))
+	}
 	return []string{
 		string(r.Method), r.Engine, r.Model, r.Cluster,
 		fmt.Sprintf("%d", r.SeqLen), fmt.Sprintf("%d", r.MicroBatchSize),
 		fmt.Sprintf("%d", r.Stages), fmt.Sprintf("%d", r.MicroBatches),
 		fmt.Sprintf("%d", r.Layers),
+		fmt.Sprintf("%d", r.TokensPerIteration),
+		strings.Join(mbTokens, ";"), strings.Join(hist, ";"),
 		iter, tput, bubble, stash, loss,
 	}
 }

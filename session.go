@@ -26,8 +26,9 @@ type Session struct {
 	seqLen       int
 	microBatch   int
 	stages       int
-	microBatches int  // 0 while unset: resolved to 2*stages
-	mbExplicit   bool // WithMicroBatches was applied (kept across Sweep cells)
+	microBatches int             // 0 while unset: resolved to 2*stages
+	mbExplicit   bool            // WithMicroBatches was applied (kept across Sweep cells)
+	batch        model.BatchSpec // per-micro-batch shapes; empty = uniform
 	memBudget    int64
 	memExplicit  bool
 	helix        *HelixOptions
@@ -41,8 +42,13 @@ type Session struct {
 type Option func(*Session)
 
 // WithSeqLen sets the sequence length of every micro batch (default 131072,
-// the paper's headline 128k configuration).
-func WithSeqLen(s int) Option { return func(ses *Session) { ses.seqLen = s } }
+// the paper's headline 128k configuration). Options apply in order: a
+// fixed-shape geometry option replaces any variable-length workload set
+// earlier, so sweeping SeqLens over a workload session sweeps fixed shapes
+// instead of silently ignoring the axis.
+func WithSeqLen(s int) Option {
+	return func(ses *Session) { ses.seqLen = s; ses.batch = BatchSpec{} }
+}
 
 // WithStages sets the pipeline size p (default 8; the paper maps one stage
 // to one node).
@@ -50,14 +56,19 @@ func WithStages(p int) Option { return func(ses *Session) { ses.stages = p } }
 
 // WithMicroBatches sets the number of micro batches m per iteration. The
 // default is the paper's m = 2p (section 5.1), recomputed per grid cell by
-// Sweep; an explicit value is kept as-is everywhere.
+// Sweep; an explicit value is kept as-is everywhere. Like WithSeqLen, it
+// replaces any variable-length workload set earlier (whose micro-batch count
+// is its number of shapes).
 func WithMicroBatches(m int) Option {
-	return func(ses *Session) { ses.microBatches = m; ses.mbExplicit = true }
+	return func(ses *Session) { ses.microBatches = m; ses.mbExplicit = true; ses.batch = BatchSpec{} }
 }
 
 // WithMicroBatchSize sets the micro batch size b (default 1, as in the
-// paper's evaluation).
-func WithMicroBatchSize(b int) Option { return func(ses *Session) { ses.microBatch = b } }
+// paper's evaluation). Like WithSeqLen, it replaces any variable-length
+// workload set earlier.
+func WithMicroBatchSize(b int) Option {
+	return func(ses *Session) { ses.microBatch = b; ses.batch = BatchSpec{} }
+}
 
 // WithMemoryBudget sets the per-GPU activation budget in bytes handed to
 // budget-aware schedules (AdaPipe). The default derives it from the cluster:
@@ -83,6 +94,18 @@ func WithSimOptions(opt SimOptions) Option {
 // WithTrace enables span tracing in the simulator so reports can render
 // ASCII and SVG timelines.
 func WithTrace() Option { return func(ses *Session) { ses.trace = true } }
+
+// WithWorkload sets a variable-length workload: one (b, s) shape per micro
+// batch. While set, it governs the geometry — MicroBatches reports the
+// spec's length and SeqLen/MicroBatchSize the per-axis maxima. Build the
+// spec by hand, with UniformWorkload, or by sampling a length distribution
+// and packing it (SampleLengths + PackLengths / SyntheticWorkload). An empty
+// spec clears the workload, restoring the session's fixed-shape geometry;
+// later fixed-shape options (WithSeqLen, WithMicroBatchSize,
+// WithMicroBatches) do the same.
+func WithWorkload(spec BatchSpec) Option {
+	return func(ses *Session) { ses.batch = spec }
+}
 
 // NewSession builds and eagerly validates a session. The defaults reproduce
 // the paper's headline configuration: sequence length 131072, 8 stages,
@@ -130,6 +153,11 @@ func (s *Session) validate() error {
 	if s.helix != nil && s.helix.Fold != 1 && s.helix.Fold != 2 {
 		return fmt.Errorf("helixpipe: helix fold must be 1 or 2, got %d", s.helix.Fold)
 	}
+	if len(s.batch.Shapes) > 0 {
+		if err := s.batch.Validate(); err != nil {
+			return fmt.Errorf("helixpipe: invalid workload: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -164,25 +192,55 @@ func (s *Session) Model() ModelConfig { return s.model }
 // Cluster returns the session's cluster spec.
 func (s *Session) Cluster() ClusterSpec { return s.cluster }
 
-// SeqLen returns the sequence length.
-func (s *Session) SeqLen() int { return s.seqLen }
+// SeqLen returns the sequence length — on a variable-length session, the
+// longest micro batch's.
+func (s *Session) SeqLen() int {
+	if len(s.batch.Shapes) > 0 {
+		return s.batch.MaxSeqLen()
+	}
+	return s.seqLen
+}
 
 // Stages returns the pipeline size p.
 func (s *Session) Stages() int { return s.stages }
 
-// MicroBatches returns the micro batches m per iteration.
-func (s *Session) MicroBatches() int { return s.microBatches }
-
-// MicroBatchSize returns the micro batch size b.
-func (s *Session) MicroBatchSize() int { return s.microBatch }
-
-// Workload returns the cost-model workload of the session.
-func (s *Session) Workload() Workload {
-	return costmodel.NewWorkload(s.model, s.cluster, model.Shape{B: s.microBatch, S: s.seqLen})
+// MicroBatches returns the micro batches m per iteration — on a
+// variable-length session, the workload's shape count.
+func (s *Session) MicroBatches() int {
+	if len(s.batch.Shapes) > 0 {
+		return len(s.batch.Shapes)
+	}
+	return s.microBatches
 }
 
-// Costs returns the cost book plans are annotated with.
-func (s *Session) Costs() Costs { return sched.NewCosts(s.Workload()) }
+// MicroBatchSize returns the micro batch size b — on a variable-length
+// session, the largest micro batch's.
+func (s *Session) MicroBatchSize() int {
+	if len(s.batch.Shapes) > 0 {
+		return s.batch.MaxShape().B
+	}
+	return s.microBatch
+}
+
+// Batch returns the session's variable-length workload spec; its Shapes are
+// empty on fixed-shape sessions.
+func (s *Session) Batch() BatchSpec { return s.batch }
+
+// Workload returns the cost-model workload of the session. On a
+// variable-length session the shape is the per-axis maximum — per-micro-batch
+// shapes live in Costs().
+func (s *Session) Workload() Workload {
+	return costmodel.NewWorkload(s.model, s.cluster, model.Shape{B: s.MicroBatchSize(), S: s.SeqLen()})
+}
+
+// Costs returns the cost book plans are annotated with: per-micro-batch on a
+// variable-length session, uniform otherwise.
+func (s *Session) Costs() Costs {
+	if len(s.batch.Shapes) > 0 {
+		return sched.NewBatchCosts(s.Workload(), s.batch)
+	}
+	return sched.NewCosts(s.Workload())
+}
 
 // MemoryBudget returns the per-GPU activation budget handed to budget-aware
 // schedules: the explicit WithMemoryBudget value, or the cluster-derived
@@ -194,9 +252,13 @@ func (s *Session) MemoryBudget() int64 {
 	return s.scenario().MemoryBudget()
 }
 
-// TokensPerIteration returns the tokens one iteration processes.
+// TokensPerIteration returns the tokens one iteration processes: the
+// per-micro-batch sum on a variable-length session.
 func (s *Session) TokensPerIteration() int64 {
-	return int64(s.microBatch) * int64(s.seqLen) * int64(s.microBatches)
+	if len(s.batch.Shapes) > 0 {
+		return s.batch.TotalTokens()
+	}
+	return int64(s.microBatch) * int64(s.seqLen) * int64(s.MicroBatches())
 }
 
 // SimOptions returns the simulator options the session runs with: the
@@ -219,10 +281,10 @@ func (s *Session) scenario() bench.Scenario {
 	return bench.Scenario{
 		Model:        s.model,
 		Cluster:      s.cluster,
-		SeqLen:       s.seqLen,
-		MicroBatch:   s.microBatch,
+		SeqLen:       s.SeqLen(),
+		MicroBatch:   s.MicroBatchSize(),
 		Stages:       s.stages,
-		MicroBatches: s.microBatches,
+		MicroBatches: s.MicroBatches(),
 	}
 }
 
@@ -244,7 +306,8 @@ func (s *Session) Plan(method Method) (*Plan, error) {
 	if !ok {
 		return nil, fmt.Errorf("helixpipe: unknown method %q (known: %v)", method, Methods())
 	}
-	cfg := sched.Config{Stages: s.stages, MicroBatches: s.microBatches, Layers: s.model.Layers}
+	cfg := sched.Config{Stages: s.stages, MicroBatches: s.MicroBatches(),
+		Layers: s.model.Layers, Batch: s.batch}
 	return reg.Build(cfg, s.Costs(), s.buildParams())
 }
 
@@ -308,11 +371,16 @@ func NewNumericEngine(m *NumericModel, batches []MicroBatch) *NumericEngine {
 
 // NumericEngine returns the session's numeric engine: a deterministically
 // initialized model of the session's configuration and synthetic micro
-// batches of the session's geometry, both derived from seed.
+// batches of the session's geometry, both derived from seed. On a
+// variable-length session every micro batch is generated at its own shape.
 func (s *Session) NumericEngine(seed uint64) *NumericEngine {
-	batches := make([]MicroBatch, s.microBatches)
+	batches := make([]MicroBatch, s.MicroBatches())
 	for i := range batches {
-		batches[i] = nn.SyntheticBatch(s.model, s.microBatch, s.seqLen, seed+uint64(i)+1)
+		b, sl := s.microBatch, s.seqLen
+		if i < len(s.batch.Shapes) {
+			b, sl = s.batch.Shapes[i].B, s.batch.Shapes[i].S
+		}
+		batches[i] = nn.SyntheticBatch(s.model, b, sl, seed+uint64(i)+1)
 	}
 	return &NumericEngine{
 		Model:   nn.NewModel(s.model, seed),
@@ -364,8 +432,13 @@ func (s *Session) Simulate(method Method) (*Report, error) {
 // individual grid points are counted in the result's pruning accounting, not
 // returned as errors.
 func (s *Session) Autotune(spec TuneSpec) (*TuneResult, error) {
-	if len(spec.SeqLens) == 0 {
-		spec.SeqLens = []int{s.seqLen}
+	if len(spec.SeqLens) == 0 && len(spec.Workloads) == 0 {
+		if len(s.batch.Shapes) > 0 {
+			// A variable-length session tunes its own workload by default.
+			spec.Workloads = []TuneWorkload{{Name: "session", Batch: s.batch}}
+		} else {
+			spec.SeqLens = []int{s.SeqLen()}
+		}
 	}
 	if len(spec.Stages) == 0 {
 		spec.Stages = []int{s.stages}
@@ -374,7 +447,7 @@ func (s *Session) Autotune(spec TuneSpec) (*TuneResult, error) {
 		spec.MicroBatches = []int{s.microBatches}
 	}
 	if len(spec.MicroBatchSizes) == 0 {
-		spec.MicroBatchSizes = []int{s.microBatch}
+		spec.MicroBatchSizes = []int{s.MicroBatchSize()}
 	}
 	return tune.Run(s.model, s.cluster, spec)
 }
@@ -407,7 +480,7 @@ func (s *Session) Sweep(sw Sweep) ([]*Report, error) {
 	}
 	seqLens := sw.SeqLens
 	if len(seqLens) == 0 {
-		seqLens = []int{s.seqLen}
+		seqLens = []int{s.SeqLen()}
 	}
 	stages := sw.Stages
 	if len(stages) == 0 {
@@ -441,7 +514,7 @@ func (s *Session) Sweep(sw Sweep) ([]*Report, error) {
 					r, err := cellSession.Run(engineOf(cellSession), method)
 					if err != nil {
 						cells[i].err = fmt.Errorf("seq=%d p=%d: %w",
-							cellSession.seqLen, cellSession.stages, err)
+							cellSession.SeqLen(), cellSession.stages, err)
 						return
 					}
 					cells[i].report = r
