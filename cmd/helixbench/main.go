@@ -11,6 +11,10 @@
 //	helixbench -out results/        # also write one .txt per experiment
 //	helixbench -method helixpipe,1f1b -json   # sweep reports as JSON
 //	helixbench -method help         # list the registered methods
+//	helixbench -diff prev/BENCH_baseline.json -against BENCH_baseline.json
+//	                                # perf trajectory: exit 1 on any >10%
+//	                                # throughput regression vs the previous
+//	                                # recorded baseline
 package main
 
 import (
@@ -40,9 +44,16 @@ func main() {
 		modelName   = flag.String("model", "7B", "model preset for -method sweeps")
 		clusterName = flag.String("cluster", "H20", "cluster preset for -method sweeps")
 		jsonOut     = flag.Bool("json", false, "emit machine-readable JSON on stdout")
+		diffPrev    = flag.String("diff", "", "previous BENCH_baseline.json to diff the perf trajectory against")
+		diffCur     = flag.String("against", "", "current BENCH_baseline.json for -diff")
+		diffLimit   = flag.Float64("threshold", 0.10, "throughput regression fraction -diff fails on")
 	)
 	flag.Parse()
 
+	if *diffPrev != "" || *diffCur != "" {
+		runDiff(*diffPrev, *diffCur, *diffLimit)
+		return
+	}
 	if *methodsFlag != "" {
 		runSweep(*methodsFlag, *modelName, *clusterName, *jsonOut)
 		return
@@ -87,6 +98,38 @@ func main() {
 		return
 	}
 	fmt.Printf("ran %d experiments\n", len(matched))
+}
+
+// runDiff enforces the perf trajectory: it diffs the previous recorded
+// baseline against the current one and exits non-zero on any throughput
+// regression beyond the threshold.
+func runDiff(prevPath, curPath string, threshold float64) {
+	if prevPath == "" || curPath == "" {
+		log.Fatal("-diff and -against must both be given")
+	}
+	read := func(path string) []helixpipe.BaselineConfig {
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		configs, err := helixpipe.ReadBaselineJSON(f)
+		if err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		return configs
+	}
+	prev, cur := read(prevPath), read(curPath)
+	regressions := helixpipe.CompareBaselines(prev, cur, threshold)
+	if len(regressions) == 0 {
+		fmt.Printf("perf trajectory ok: no throughput regression beyond %.0f%% across %d baseline configs\n",
+			threshold*100, len(prev))
+		return
+	}
+	for _, r := range regressions {
+		fmt.Fprintf(os.Stderr, "regression: %s\n", r)
+	}
+	os.Exit(1)
 }
 
 // runSweep fans the named methods across the paper's Figure 8 axes with

@@ -11,6 +11,13 @@
 //	                                   # variable-length workload: sample
 //	                                   # document lengths, pack under -seq
 //	                                   # tokens per micro batch, simulate
+//	helixsim -cluster DGX-A800x4 -pp 16 -placement greedy
+//	                                   # topology-aware: place 16 stages on a
+//	                                   # 4-node cluster, NVLink inside nodes,
+//	                                   # IB between them
+//	helixsim -cluster my-cluster.json -placement roundrobin -perturb slow=3x2.0,link=ibx0.5
+//	                                   # custom topology with a straggler and
+//	                                   # a degraded IB fabric
 package main
 
 import (
@@ -28,7 +35,7 @@ func main() {
 	log.SetPrefix("helixsim: ")
 	var (
 		modelName   = flag.String("model", "7B", "model preset: 1.3B, 3B, 7B, 13B, tiny")
-		clusterName = flag.String("cluster", "H20", "cluster preset: H20 or A800")
+		clusterName = flag.String("cluster", "H20", "cluster: flat preset (H20, A800), topology preset (DGX-A800x4, DGX-H20x2, PCIe-box), or a topology .json file")
 		seqLen      = flag.Int("seq", 131072, "sequence length")
 		stages      = flag.Int("pp", 8, "pipeline size (stages, one node each)")
 		microBatch  = flag.Int("b", 1, "micro batch size")
@@ -41,6 +48,10 @@ func main() {
 		docs        = flag.Int("docs", 64, "variable-length workload: documents to sample")
 		minSeq      = flag.Int("minseq", 0, "variable-length workload: shortest document (default seq/16)")
 		distSeed    = flag.Uint64("dist-seed", 42, "variable-length workload: sampling seed")
+		orderName   = flag.String("order", "", "variable-length workload: micro-batch order (packed, longest, shortest, balanced)")
+		placeName   = flag.String("placement", "", "topology clusters: placement strategy (contiguous, roundrobin, greedy; default contiguous)")
+		placeSeed   = flag.Uint64("place-seed", 1, "topology clusters: greedy placement search seed")
+		perturbSpec = flag.String("perturb", "", "topology clusters: fault injection, e.g. slow=3x2.0,link=ibx0.5,jitter=0.05,seed=7")
 	)
 	flag.Parse()
 
@@ -53,14 +64,27 @@ func main() {
 	if !ok {
 		log.Fatalf("unknown model %q", *modelName)
 	}
-	cl, ok := helixpipe.ClusterByName(*clusterName)
-	if !ok {
-		log.Fatalf("unknown cluster %q", *clusterName)
+	cl, topo, err := helixpipe.ResolveCluster(*clusterName)
+	if err != nil {
+		log.Fatal(err)
 	}
 	opts := []helixpipe.Option{
 		helixpipe.WithSeqLen(*seqLen),
 		helixpipe.WithStages(*stages),
 		helixpipe.WithMicroBatchSize(*microBatch),
+	}
+	if topo != nil {
+		opts = append(opts, helixpipe.WithCluster(*topo))
+	}
+	if *perturbSpec != "" {
+		if topo == nil {
+			log.Fatalf("-perturb requires a topology cluster (-cluster DGX-A800x4, ...)")
+		}
+		perturb, err := helixpipe.ParsePerturb(*perturbSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts = append(opts, helixpipe.WithPerturb(perturb))
 	}
 	if *numMB > 0 {
 		opts = append(opts, helixpipe.WithMicroBatches(*numMB))
@@ -86,7 +110,21 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		if *orderName != "" {
+			order, ok := helixpipe.MBOrderByName(*orderName)
+			if !ok {
+				log.Fatalf("unknown order %q (packed, longest, shortest, balanced)", *orderName)
+			}
+			if workload, err = workload.Ordered(order); err != nil {
+				log.Fatal(err)
+			}
+		}
 		opts = append(opts, helixpipe.WithWorkload(workload))
+	} else if *orderName != "" {
+		log.Fatalf("-order requires a variable-length workload (-dist)")
+	}
+	if *placeName != "" && topo == nil {
+		log.Fatalf("-placement requires a topology cluster (-cluster DGX-A800x4, ...)")
 	}
 	session, err := helixpipe.NewSession(mc, cl, opts...)
 	if err != nil {
@@ -95,7 +133,19 @@ func main() {
 
 	var reports []*helixpipe.Report
 	for _, method := range methods {
-		report, err := session.Simulate(method)
+		run := session
+		if *placeName != "" {
+			// Placement search uses the method's own traffic matrix, so each
+			// method derives its own placed session.
+			placement, err := session.PlacementFor(method, *placeName, *placeSeed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if run, err = session.With(helixpipe.WithPlacement(placement)); err != nil {
+				log.Fatal(err)
+			}
+		}
+		report, err := run.Simulate(method)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -171,6 +221,17 @@ func printReport(r *helixpipe.Report) {
 			fmt.Printf("  %d-%d x%d", b.MinSeqLen, b.MaxSeqLen, b.MicroBatches)
 		}
 		fmt.Println()
+	}
+	if r.PadFraction > 0 {
+		fmt.Printf("  padding: %d real of %d padded tokens (%.1f%% waste)\n",
+			r.RealTokens, r.TokensPerIteration, r.PadFraction*100)
+	}
+	if len(r.Placement) > 0 {
+		fmt.Printf("  topology %s, placement %s %v\n", r.Topology, r.PlacementStrategy, r.Placement)
+	}
+	for _, lt := range s.LinkTraffic {
+		fmt.Printf("  link %-8s %8.1f GB in %d transfers (%.2fs wire time)\n",
+			lt.Class, float64(lt.Bytes)/(1<<30), lt.Transfers, lt.Seconds)
 	}
 	for _, st := range s.PerStage {
 		fmt.Printf("  P%-2d busy %7.2fs  idle %6.2fs  recv-wait %6.2fs  comm-stall %6.2fs  stash %.1f GB  sent %.1f GB\n",

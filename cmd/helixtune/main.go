@@ -14,6 +14,13 @@
 //	helixtune -dist longtail -docs 64 -minseq 8192 -maxseq 131072
 //	                                    # also rank methods on a sampled
 //	                                    # variable-length workload
+//	helixtune -cluster DGX-A800x4 -pp 8,16,32
+//	                                    # topology-aware: search placements
+//	                                    # (contiguous, roundrobin, greedy) per
+//	                                    # config and report the best one
+//	helixtune -cluster DGX-A800x4 -perturb link=ibx0.5
+//	                                    # rank configurations under a degraded
+//	                                    # inter-node fabric
 package main
 
 import (
@@ -32,7 +39,7 @@ func main() {
 	log.SetPrefix("helixtune: ")
 	var (
 		modelName   = flag.String("model", "3B", "model preset: 1.3B, 3B, 7B, 13B, tiny")
-		clusterName = flag.String("cluster", "A800", "cluster preset: H20 or A800")
+		clusterName = flag.String("cluster", "A800", "cluster: flat preset (H20, A800), topology preset (DGX-A800x4, DGX-H20x2, PCIe-box), or a topology .json file")
 		seqList     = flag.String("seq", "32768,65536,131072", "comma-separated sequence lengths to tune for")
 		ppList      = flag.String("pp", "2,4,8", "comma-separated candidate pipeline sizes")
 		mbList      = flag.String("m", "0", "comma-separated candidate micro-batch counts (0 = 2*pp)")
@@ -47,6 +54,8 @@ func main() {
 		minSeq      = flag.Int("minseq", 8192, "variable-length workload: shortest document")
 		maxSeq      = flag.Int("maxseq", 131072, "variable-length workload: longest document and micro-batch token budget")
 		distSeed    = flag.Uint64("dist-seed", 42, "variable-length workload: sampling seed")
+		placeList   = flag.String("placement", "", "topology clusters: comma-separated placement strategies to search (default contiguous,roundrobin,greedy)")
+		perturbSpec = flag.String("perturb", "", "topology clusters: fault injection, e.g. slow=3x2.0,link=ibx0.5")
 	)
 	flag.Parse()
 
@@ -54,9 +63,9 @@ func main() {
 	if !ok {
 		log.Fatalf("unknown model %q", *modelName)
 	}
-	cl, ok := helixpipe.ClusterByName(*clusterName)
-	if !ok {
-		log.Fatalf("unknown cluster %q", *clusterName)
+	cl, topo, err := helixpipe.ResolveCluster(*clusterName)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	spec := helixpipe.TuneSpec{
@@ -67,6 +76,27 @@ func main() {
 		MicroBatchSizes:   parseInts("b", *bList),
 		MemoryBudgetBytes: int64(*budgetGB * float64(1<<30)),
 		Workers:           *workers,
+	}
+	spec.Cluster = topo
+	if *placeList != "" {
+		if topo == nil {
+			log.Fatalf("-placement requires a topology cluster (-cluster DGX-A800x4, ...)")
+		}
+		for _, part := range strings.Split(*placeList, ",") {
+			if part = strings.TrimSpace(part); part != "" {
+				spec.Placements = append(spec.Placements, part)
+			}
+		}
+	}
+	if *perturbSpec != "" {
+		if topo == nil {
+			log.Fatalf("-perturb requires a topology cluster (-cluster DGX-A800x4, ...)")
+		}
+		perturb, err := helixpipe.ParsePerturb(*perturbSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		spec.Perturb = &perturb
 	}
 	if *distName != "" {
 		dist, ok := helixpipe.LengthDistByName(*distName)

@@ -52,7 +52,12 @@
 package helixpipe
 
 import (
+	"fmt"
+	"io"
+	"strings"
+
 	"repro/internal/bench"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/costmodel"
 	"repro/internal/model"
@@ -89,6 +94,133 @@ const (
 	DistBimodal  = model.DistBimodal
 	DistLongTail = model.DistLongTail
 )
+
+// Cluster topology and placement types (internal/cluster). A ClusterTopology
+// describes nodes of devices with intra-node links and an inter-node fabric;
+// a Placement maps pipeline stages onto its devices; a Perturb injects
+// faults and stragglers. Set them on a session with WithCluster,
+// WithPlacement and WithPerturb.
+type (
+	// ClusterTopology is a physical cluster: nodes of devices, per-node intra
+	// links, one inter-node fabric.
+	ClusterTopology = cluster.Cluster
+	// ClusterNode is one machine of a ClusterTopology.
+	ClusterNode = cluster.Node
+	// ClusterLink is one link class instance (bandwidth + latency).
+	ClusterLink = cluster.Link
+	// LinkClass names an interconnect class ("nvlink", "pcie", "ib", ...).
+	LinkClass = cluster.LinkClass
+	// Placement maps pipeline stages onto cluster devices.
+	Placement = cluster.Placement
+	// PlacementSearchOptions tunes the greedy placement search.
+	PlacementSearchOptions = cluster.SearchOptions
+	// Perturb is a fault/straggler injection: a slow device, a degraded link
+	// class, per-iteration compute jitter.
+	Perturb = cluster.Perturb
+	// LinkTraffic is one link class's share of a simulated iteration's
+	// communication.
+	LinkTraffic = sim.LinkClassStats
+	// MBOrder names a micro-batch execution-order policy for variable-length
+	// workloads (BatchSpec.Ordered).
+	MBOrder = model.MBOrder
+)
+
+// The link classes of cluster topologies.
+const (
+	LinkNVLink   = cluster.ClassNVLink
+	LinkPCIe     = cluster.ClassPCIe
+	LinkIB       = cluster.ClassIB
+	LinkEthernet = cluster.ClassEthernet
+)
+
+// The placement strategies.
+const (
+	PlacementContiguous = cluster.StrategyContiguous
+	PlacementRoundRobin = cluster.StrategyRoundRobin
+	PlacementGreedy     = cluster.StrategyGreedy
+)
+
+// The micro-batch ordering policies.
+const (
+	OrderPacked        = model.OrderPacked
+	OrderLongestFirst  = model.OrderLongestFirst
+	OrderShortestFirst = model.OrderShortestFirst
+	OrderBalanced      = model.OrderBalanced
+)
+
+// Topologies returns the built-in cluster topology presets (DGX-A800x4,
+// DGX-H20x2, PCIe-box).
+func Topologies() []ClusterTopology { return cluster.Presets() }
+
+// TopologyByName resolves a built-in topology preset case-insensitively and
+// reports whether it exists.
+func TopologyByName(name string) (ClusterTopology, bool) { return cluster.PresetByName(name) }
+
+// TopologyListing renders the preset table as the command-line tools print
+// it.
+func TopologyListing() string { return cluster.PresetListing() }
+
+// TopologyFromJSON decodes and validates a custom cluster topology (see the
+// cluster JSON schema in the README).
+func TopologyFromJSON(r io.Reader) (ClusterTopology, error) { return cluster.FromJSON(r) }
+
+// LoadTopologyFile reads and validates a custom cluster topology from a
+// JSON file.
+func LoadTopologyFile(path string) (ClusterTopology, error) { return cluster.LoadFile(path) }
+
+// PlacementStrategies lists the built-in placement strategies in search
+// order: contiguous, roundrobin, greedy.
+func PlacementStrategies() []string { return cluster.Strategies() }
+
+// GeneratePlacement builds the named strategy's placement of stages onto the
+// topology's devices; greedy minimizes the modeled P2P cost of the traffic
+// matrix (Plan.TrafficMatrix) under a deterministic seeded local search.
+func GeneratePlacement(strategy string, c ClusterTopology, stages int, traffic [][]int64,
+	opt PlacementSearchOptions) (Placement, error) {
+	return cluster.Generate(strategy, c, stages, traffic, opt)
+}
+
+// ParsePerturb parses the -perturb flag syntax: comma-separated
+// "slow=<device>x<factor>", "link=<class>x<factor>", "jitter=<fraction>",
+// "seed=<n>" clauses.
+func ParsePerturb(s string) (Perturb, error) { return cluster.ParsePerturb(s) }
+
+// MBOrderByName resolves a micro-batch ordering policy name ("packed",
+// "longest", "shortest", "balanced") and reports whether it exists.
+func MBOrderByName(name string) (MBOrder, bool) { return model.OrderByName(name) }
+
+// ResolveCluster resolves a -cluster style argument: a flat cost-model
+// preset name ("H20", "A800"), a topology preset name ("DGX-A800x4",
+// "DGX-H20x2", "PCIe-box"), or a path to a topology JSON file. Flat presets
+// return a nil topology (the one-hop NIC model); topology arguments
+// additionally return the cost-model ClusterSpec named by the topology's
+// GPU field, which prices compute on its devices.
+func ResolveCluster(arg string) (ClusterSpec, *ClusterTopology, error) {
+	if cl, ok := costmodel.ClusterByName(arg); ok {
+		return cl, nil, nil
+	}
+	var topo ClusterTopology
+	if t, ok := cluster.PresetByName(arg); ok {
+		topo = t
+	} else if strings.HasSuffix(arg, ".json") {
+		t, err := cluster.LoadFile(arg)
+		if err != nil {
+			return ClusterSpec{}, nil, err
+		}
+		topo = t
+	} else {
+		return ClusterSpec{}, nil, fmt.Errorf(
+			"helixpipe: unknown cluster %q (flat presets: H20, A800; topologies:\n%s  or a topology .json file)",
+			arg, cluster.PresetListing())
+	}
+	cl, ok := costmodel.ClusterByName(topo.GPU)
+	if !ok {
+		return ClusterSpec{}, nil, fmt.Errorf(
+			"helixpipe: topology %s names GPU %q, not a cost-model cluster preset (H20, A800)",
+			topo.Name, topo.GPU)
+	}
+	return cl, &topo, nil
+}
 
 // UniformWorkload returns the classic fixed-shape iteration as a BatchSpec:
 // m micro batches of shape (b, s).
@@ -151,11 +283,12 @@ type (
 
 // The autotuner's "why pruned" constraint names (TuneResult.Pruned keys).
 const (
-	TunePruneGeometry = tune.PruneGeometry
-	TunePruneMemory   = tune.PruneMemory
-	TunePruneBuild    = tune.PruneBuild
-	TunePruneSim      = tune.PruneSim
-	TunePruneMeasured = tune.PruneMeasured
+	TunePruneGeometry  = tune.PruneGeometry
+	TunePruneMemory    = tune.PruneMemory
+	TunePruneBuild     = tune.PruneBuild
+	TunePruneSim       = tune.PruneSim
+	TunePruneMeasured  = tune.PruneMeasured
+	TunePrunePlacement = tune.PrunePlacement
 )
 
 // Simulation types.
@@ -247,6 +380,20 @@ func AttnStage(layer, mb, stages int) int { return core.AttnStage(layer, mb, sta
 
 // AllExperiments regenerates every paper table and figure.
 func AllExperiments() ([]*ExperimentTable, error) { return bench.All() }
+
+// BaselineConfig is one configuration of the recorded perf baseline
+// (BENCH_baseline.json).
+type BaselineConfig = bench.BaselineConfig
+
+// ReadBaselineJSON decodes a recorded perf baseline artifact.
+func ReadBaselineJSON(r io.Reader) ([]BaselineConfig, error) { return bench.ReadBaselineJSON(r) }
+
+// CompareBaselines diffs a previous perf baseline against the current one
+// and returns one line per throughput regression beyond the threshold (0.10
+// = fail on a >10% drop). Configs or methods on only one side never count.
+func CompareBaselines(prev, cur []BaselineConfig, threshold float64) []string {
+	return bench.CompareBaselines(prev, cur, threshold)
+}
 
 // Deprecated free-function shims over the Session/Engine API.
 

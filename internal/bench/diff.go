@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// ReadBaselineJSON decodes a recorded perf baseline (the BENCH_baseline.json
+// artifact CI uploads per run).
+func ReadBaselineJSON(r io.Reader) ([]BaselineConfig, error) {
+	var configs []BaselineConfig
+	if err := json.NewDecoder(r).Decode(&configs); err != nil {
+		return nil, fmt.Errorf("bench: decoding baseline JSON: %w", err)
+	}
+	return configs, nil
+}
+
+// CompareBaselines diffs a previously recorded baseline against the current
+// one and returns one line per throughput regression beyond the threshold
+// (0.10 = fail on a >10% drop). Configs or methods present on only one side
+// are not regressions — they are new or retired work, not slowdowns — so the
+// first recorded run trivially passes.
+func CompareBaselines(prev, cur []BaselineConfig, threshold float64) []string {
+	curByName := map[string]BaselineConfig{}
+	for _, c := range cur {
+		curByName[c.Name] = c
+	}
+	var regressions []string
+	for _, p := range prev {
+		c, ok := curByName[p.Name]
+		if !ok {
+			continue
+		}
+		methods := make([]string, 0, len(p.Throughput))
+		for method := range p.Throughput {
+			methods = append(methods, method)
+		}
+		sort.Strings(methods)
+		for _, method := range methods {
+			was := p.Throughput[method]
+			now, ok := c.Throughput[method]
+			if !ok || was <= 0 {
+				continue
+			}
+			if drop := 1 - now/was; drop > threshold {
+				regressions = append(regressions, fmt.Sprintf(
+					"%s/%s: %.0f -> %.0f tokens/s (-%.1f%%, threshold %.0f%%)",
+					p.Name, method, was, now, drop*100, threshold*100))
+			}
+		}
+	}
+	return regressions
+}

@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCompareBaselines(t *testing.T) {
+	prev := []BaselineConfig{
+		{Name: "a", Throughput: map[string]float64{"1F1B": 1000, "HelixPipe": 2000}},
+		{Name: "gone", Throughput: map[string]float64{"1F1B": 500}},
+	}
+	cur := []BaselineConfig{
+		{Name: "a", Throughput: map[string]float64{"1F1B": 950, "HelixPipe": 1700}},
+		{Name: "new", Throughput: map[string]float64{"1F1B": 10}},
+	}
+	// 1F1B dropped 5% (within the 10% threshold), HelixPipe 15% (beyond);
+	// "gone" and "new" are not regressions.
+	regs := CompareBaselines(prev, cur, 0.10)
+	if len(regs) != 1 || !strings.Contains(regs[0], "a/HelixPipe") {
+		t.Fatalf("regressions = %v, want exactly a/HelixPipe", regs)
+	}
+	if regs := CompareBaselines(prev, cur, 0.20); len(regs) != 0 {
+		t.Errorf("20%% threshold flagged %v", regs)
+	}
+	if regs := CompareBaselines(nil, cur, 0.10); len(regs) != 0 {
+		t.Errorf("first run (no previous baseline) flagged %v", regs)
+	}
+}
+
+func TestReadBaselineJSON(t *testing.T) {
+	src := `[{"name":"a","tokens_per_iteration":10,"throughput":{"1F1B":123.5}}]`
+	configs, err := ReadBaselineJSON(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(configs) != 1 || configs[0].Throughput["1F1B"] != 123.5 {
+		t.Fatalf("decoded %+v", configs)
+	}
+	if _, err := ReadBaselineJSON(strings.NewReader("{not json")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}

@@ -1,0 +1,322 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/rng"
+)
+
+// Placement maps pipeline stages onto cluster devices: Devices[stage] is the
+// global device id the stage executes on. Devices are exclusive — two stages
+// never share one.
+type Placement struct {
+	// Strategy names the generator that produced the placement ("contiguous",
+	// "roundrobin", "greedy", or "custom" for hand-built ones).
+	Strategy string `json:"strategy,omitempty"`
+	// Devices holds one global device id per pipeline stage.
+	Devices []int `json:"devices"`
+}
+
+// Placement strategy names accepted by Generate and the command-line flags.
+const (
+	// StrategyContiguous fills devices node by node: stages that are pipeline
+	// neighbours tend to share a node and its fast intra link.
+	StrategyContiguous = "contiguous"
+	// StrategyRoundRobin deals stages across nodes like cards: stage i lands
+	// on node i mod n. Maximally spreads load, maximally crosses the fabric.
+	StrategyRoundRobin = "roundrobin"
+	// StrategyGreedy places the most communication-heavy stages first, each
+	// onto the device minimizing the modeled P2P cost to its already-placed
+	// peers, then improves the result with a seeded swap local search.
+	StrategyGreedy = "greedy"
+)
+
+// Strategies lists the built-in placement strategies in search order.
+func Strategies() []string {
+	return []string{StrategyContiguous, StrategyRoundRobin, StrategyGreedy}
+}
+
+// StrategyByName resolves a strategy name case-insensitively and reports
+// whether it exists.
+func StrategyByName(name string) (string, bool) {
+	for _, s := range Strategies() {
+		if strings.EqualFold(s, name) {
+			return s, true
+		}
+	}
+	return "", false
+}
+
+// Stages returns the pipeline size the placement maps.
+func (p Placement) Stages() int { return len(p.Devices) }
+
+// Validate reports an error when the placement cannot run on the cluster:
+// out-of-range device ids or two stages sharing one device.
+func (p Placement) Validate(c Cluster) error {
+	if len(p.Devices) == 0 {
+		return fmt.Errorf("cluster: placement maps no stages")
+	}
+	total := c.Devices()
+	used := map[int]int{}
+	for stage, dev := range p.Devices {
+		if dev < 0 || dev >= total {
+			return fmt.Errorf("cluster: placement stage %d on device %d, cluster %s has %d devices",
+				stage, dev, c.Name, total)
+		}
+		if prev, ok := used[dev]; ok {
+			return fmt.Errorf("cluster: placement stages %d and %d share device %d", prev, stage, dev)
+		}
+		used[dev] = stage
+	}
+	return nil
+}
+
+// String renders the placement as "strategy[dev0 dev1 ...]".
+func (p Placement) String() string {
+	strategy := p.Strategy
+	if strategy == "" {
+		strategy = "custom"
+	}
+	var b strings.Builder
+	b.WriteString(strategy)
+	b.WriteByte('[')
+	for i, d := range p.Devices {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d", d)
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// Contiguous places stages onto devices in global order: node 0 fills first,
+// then node 1, and so on, so pipeline neighbours share nodes wherever the
+// node size allows.
+func Contiguous(c Cluster, stages int) (Placement, error) {
+	if err := checkCapacity(c, stages); err != nil {
+		return Placement{}, err
+	}
+	p := Placement{Strategy: StrategyContiguous, Devices: make([]int, stages)}
+	for i := range p.Devices {
+		p.Devices[i] = i
+	}
+	return p, nil
+}
+
+// RoundRobin deals stages across nodes: stage i lands on node i mod n, taking
+// that node's next free device. Adjacent pipeline stages land on different
+// nodes, so every boundary crosses the inter-node fabric — the adversarial
+// baseline a topology-aware search must beat.
+func RoundRobin(c Cluster, stages int) (Placement, error) {
+	if err := checkCapacity(c, stages); err != nil {
+		return Placement{}, err
+	}
+	base := make([]int, len(c.Nodes)) // first global device id of each node
+	next := make([]int, len(c.Nodes)) // devices already taken per node
+	for i := 1; i < len(c.Nodes); i++ {
+		base[i] = base[i-1] + c.Nodes[i-1].Devices
+	}
+	p := Placement{Strategy: StrategyRoundRobin, Devices: make([]int, stages)}
+	node := 0
+	for stage := 0; stage < stages; stage++ {
+		// Skip full nodes; capacity was checked, so a free node exists.
+		for next[node] >= c.Nodes[node].Devices {
+			node = (node + 1) % len(c.Nodes)
+		}
+		p.Devices[stage] = base[node] + next[node]
+		next[node]++
+		node = (node + 1) % len(c.Nodes)
+	}
+	return p, nil
+}
+
+// SearchOptions tunes the greedy placement search.
+type SearchOptions struct {
+	// Seed drives the swap local search deterministically: the same seed on
+	// the same inputs always returns the same placement.
+	Seed uint64
+	// Sweeps bounds the local-search improvement sweeps over all stage pairs;
+	// zero picks a small default.
+	Sweeps int
+}
+
+// Greedy searches a placement minimizing the modeled P2P cost of the traffic
+// matrix: a constructive pass places the most communication-heavy stages
+// first, each onto the free device with the cheapest links to its placed
+// peers, then a seeded swap local search improves the result. traffic[i][j]
+// is the bytes stage i sends stage j over one iteration (sched's
+// Plan.TrafficMatrix); a nil matrix degenerates to Contiguous.
+func Greedy(c Cluster, stages int, traffic [][]int64, opt SearchOptions) (Placement, error) {
+	if err := checkCapacity(c, stages); err != nil {
+		return Placement{}, err
+	}
+	if len(traffic) == 0 {
+		p, err := Contiguous(c, stages)
+		p.Strategy = StrategyGreedy
+		return p, err
+	}
+	if len(traffic) != stages {
+		return Placement{}, fmt.Errorf("cluster: traffic matrix has %d rows for %d stages",
+			len(traffic), stages)
+	}
+	// Symmetric per-pair volume: links are full duplex, so what matters per
+	// pair is the heavier direction's share of both.
+	pair := func(i, j int) int64 { return traffic[i][j] + traffic[j][i] }
+
+	// Constructive pass: stages in descending total-traffic order, heaviest
+	// first, ties broken by stage index for determinism.
+	order := make([]int, stages)
+	for i := range order {
+		order[i] = i
+	}
+	totals := make([]int64, stages)
+	for i := 0; i < stages; i++ {
+		for j := 0; j < stages; j++ {
+			if j != i {
+				totals[i] += pair(i, j)
+			}
+		}
+	}
+	sort.SliceStable(order, func(a, b int) bool { return totals[order[a]] > totals[order[b]] })
+
+	devices := c.Devices()
+	devOf := make([]int, stages) // stage -> device
+	for i := range devOf {
+		devOf[i] = -1
+	}
+	free := make([]bool, devices)
+	for i := range free {
+		free[i] = true
+	}
+	for _, stage := range order {
+		bestDev, bestCost := -1, 0.0
+		for dev := 0; dev < devices; dev++ {
+			if !free[dev] {
+				continue
+			}
+			cost := 0.0
+			for peer := 0; peer < stages; peer++ {
+				if devOf[peer] < 0 || peer == stage {
+					continue
+				}
+				cost += linkCost(c.LinkBetween(dev, devOf[peer]), pair(stage, peer))
+			}
+			if bestDev < 0 || cost < bestCost {
+				bestDev, bestCost = dev, cost
+			}
+		}
+		devOf[stage] = bestDev
+		free[bestDev] = false
+	}
+
+	// Seeded swap local search: repeatedly try exchanging two stages' devices
+	// in a seeded random order, keeping strictly improving swaps.
+	sweeps := opt.Sweeps
+	if sweeps <= 0 {
+		sweeps = 4
+	}
+	stream := rng.New(opt.Seed)
+	cost := placementCost(c, devOf, pair)
+	for sweep := 0; sweep < sweeps; sweep++ {
+		improved := false
+		for _, ij := range shuffledPairs(stages, stream) {
+			i, j := ij[0], ij[1]
+			devOf[i], devOf[j] = devOf[j], devOf[i]
+			if next := placementCost(c, devOf, pair); next < cost {
+				cost = next
+				improved = true
+			} else {
+				devOf[i], devOf[j] = devOf[j], devOf[i]
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return Placement{Strategy: StrategyGreedy, Devices: devOf}, nil
+}
+
+// Generate builds the named strategy's placement. Greedy uses the traffic
+// matrix and search options; the others ignore them.
+func Generate(strategy string, c Cluster, stages int, traffic [][]int64, opt SearchOptions) (Placement, error) {
+	name, ok := StrategyByName(strategy)
+	if !ok {
+		return Placement{}, fmt.Errorf("cluster: unknown placement strategy %q (known: %s)",
+			strategy, strings.Join(Strategies(), ", "))
+	}
+	switch name {
+	case StrategyContiguous:
+		return Contiguous(c, stages)
+	case StrategyRoundRobin:
+		return RoundRobin(c, stages)
+	default:
+		return Greedy(c, stages, traffic, opt)
+	}
+}
+
+// Cost returns the modeled P2P communication cost of the placement under the
+// traffic matrix: per stage pair, transfer time at the joining link's
+// bandwidth plus its latency. It is the objective Greedy minimizes; lower is
+// better.
+func (p Placement) Cost(c Cluster, traffic [][]int64) float64 {
+	if len(traffic) != len(p.Devices) {
+		return 0
+	}
+	pair := func(i, j int) int64 { return traffic[i][j] + traffic[j][i] }
+	return placementCost(c, p.Devices, pair)
+}
+
+// linkCost prices one stage pair's traffic on a link: serialization time at
+// the link bandwidth plus one latency charge for the pair's existence.
+func linkCost(l Link, bytes int64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	cost := l.LatencySec
+	if bps := l.BytesPerSec(); bps > 0 {
+		cost += float64(bytes) / bps
+	}
+	return cost
+}
+
+func placementCost(c Cluster, devOf []int, pair func(i, j int) int64) float64 {
+	total := 0.0
+	for i := 0; i < len(devOf); i++ {
+		for j := i + 1; j < len(devOf); j++ {
+			total += linkCost(c.LinkBetween(devOf[i], devOf[j]), pair(i, j))
+		}
+	}
+	return total
+}
+
+// shuffledPairs returns all unordered stage pairs in a seeded random order
+// (Fisher-Yates on the deterministic stream).
+func shuffledPairs(stages int, stream *rng.Stream) [][2]int {
+	pairs := make([][2]int, 0, stages*(stages-1)/2)
+	for i := 0; i < stages; i++ {
+		for j := i + 1; j < stages; j++ {
+			pairs = append(pairs, [2]int{i, j})
+		}
+	}
+	for i := len(pairs) - 1; i > 0; i-- {
+		j := stream.Intn(i + 1)
+		pairs[i], pairs[j] = pairs[j], pairs[i]
+	}
+	return pairs
+}
+
+func checkCapacity(c Cluster, stages int) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	if stages <= 0 {
+		return fmt.Errorf("cluster: need a positive stage count, got %d", stages)
+	}
+	if total := c.Devices(); stages > total {
+		return fmt.Errorf("cluster: %d stages exceed the %d devices of %s", stages, total, c.Name)
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// Topology is a resolved view of (cluster, placement, perturbation) for one
+// pipeline: per-stage-pair link parameters and per-stage compute factors,
+// ready for the simulator's inner loop. Build one with Resolve.
+type Topology struct {
+	// Cluster and Placement are the inputs the view was resolved from.
+	Cluster   Cluster
+	Placement Placement
+	// Perturb is the applied perturbation (possibly the zero value).
+	Perturb Perturb
+
+	// bytesPerSec, latency and class are indexed [from][to] by stage.
+	bytesPerSec [][]float64
+	latency     [][]float64
+	class       [][]LinkClass
+	// computeFactor stretches stage compute durations (straggler + jitter).
+	computeFactor []float64
+}
+
+// Resolve validates the inputs and precomputes the per-stage-pair link
+// parameters and per-stage compute factors the simulator reads. The jitter
+// factors are drawn once per Resolve — one simulated iteration — from the
+// perturbation seed, so identical inputs always resolve identically.
+func Resolve(c Cluster, p Placement, pt Perturb) (*Topology, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(c); err != nil {
+		return nil, err
+	}
+	if err := pt.Validate(c); err != nil {
+		return nil, err
+	}
+	stages := p.Stages()
+	t := &Topology{
+		Cluster:       c,
+		Placement:     p,
+		Perturb:       pt,
+		bytesPerSec:   make([][]float64, stages),
+		latency:       make([][]float64, stages),
+		class:         make([][]LinkClass, stages),
+		computeFactor: make([]float64, stages),
+	}
+	for i := 0; i < stages; i++ {
+		t.bytesPerSec[i] = make([]float64, stages)
+		t.latency[i] = make([]float64, stages)
+		t.class[i] = make([]LinkClass, stages)
+		for j := 0; j < stages; j++ {
+			if j == i {
+				continue
+			}
+			l := c.LinkBetween(p.Devices[i], p.Devices[j])
+			bps := l.BytesPerSec()
+			if pt.DegradeClass != "" && l.Class == pt.DegradeClass {
+				bps *= pt.DegradeFactor
+			}
+			t.bytesPerSec[i][j] = bps
+			t.latency[i][j] = l.LatencySec
+			t.class[i][j] = l.Class
+		}
+	}
+	stream := rng.New(pt.Seed)
+	for i := 0; i < stages; i++ {
+		f := 1.0
+		if pt.SlowFactor > 1 && p.Devices[i] == pt.SlowDevice {
+			f = pt.SlowFactor
+		}
+		if pt.Jitter > 0 {
+			// One independent draw per stage per iteration, in stage order, so
+			// the iteration reproduces exactly from the seed.
+			f *= 1 + pt.Jitter*stream.Float64()
+		}
+		t.computeFactor[i] = f
+	}
+	return t, nil
+}
+
+// Stages returns the pipeline size the topology was resolved for.
+func (t *Topology) Stages() int { return len(t.computeFactor) }
+
+// Link returns the bandwidth (bytes/s), latency (seconds) and class of the
+// link between two stages' placed devices.
+func (t *Topology) Link(from, to int) (bytesPerSec, latencySec float64, class LinkClass) {
+	return t.bytesPerSec[from][to], t.latency[from][to], t.class[from][to]
+}
+
+// ComputeFactor returns the compute stretch of one stage under the
+// perturbation (1 when unperturbed).
+func (t *Topology) ComputeFactor(stage int) float64 { return t.computeFactor[stage] }
+
+// CheckStages reports an error when the topology was resolved for a
+// different pipeline size than the plan presents.
+func (t *Topology) CheckStages(stages int) error {
+	if stages != t.Stages() {
+		return fmt.Errorf("cluster: topology resolved for %d stages, plan has %d",
+			t.Stages(), stages)
+	}
+	return nil
+}

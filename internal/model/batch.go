@@ -18,6 +18,11 @@ import (
 type BatchSpec struct {
 	// Shapes holds one micro-batch shape per micro batch, in execution order.
 	Shapes []Shape `json:"shapes"`
+	// RealTokens is the unpadded token count of the documents behind the
+	// shapes, when known (PackLengths records it; hand-built specs leave it
+	// zero). TotalTokens minus RealTokens is the padding waste of the
+	// packing.
+	RealTokens int64 `json:"real_tokens,omitempty"`
 }
 
 // UniformBatch returns the classic fixed-shape iteration: m micro batches of
@@ -54,6 +59,17 @@ func (bs BatchSpec) TotalTokens() int64 {
 		total += sh.Tokens()
 	}
 	return total
+}
+
+// PadFraction returns the share of the iteration's padded tokens that are
+// padding: 1 - real/padded. Zero when the real token count is unknown (the
+// spec was built by hand rather than by PackLengths) or the spec is empty.
+func (bs BatchSpec) PadFraction() float64 {
+	padded := bs.TotalTokens()
+	if bs.RealTokens <= 0 || padded <= 0 {
+		return 0
+	}
+	return 1 - float64(bs.RealTokens)/float64(padded)
 }
 
 // TokensPerMB returns the per-micro-batch token counts in execution order.
@@ -289,7 +305,82 @@ func PackLengths(lengths []int, tokenBudget int64) (BatchSpec, error) {
 			shapes = append(shapes, Shape{B: 1, S: l})
 		}
 	}
-	return BatchSpec{Shapes: shapes}, nil
+	var real int64
+	for _, l := range lengths {
+		real += int64(l)
+	}
+	return BatchSpec{Shapes: shapes, RealTokens: real}, nil
+}
+
+// MBOrder names a micro-batch execution-order policy applied on top of a
+// packed BatchSpec. The per-micro-batch cost IR follows the spec's order, so
+// reordering is a free scheduling axis: warmup-heavy schedules (1F1B) prefer
+// their long micro batches early, while fold-paired schedules (HelixPipe)
+// prefer long and short micro batches interleaved so fold partners balance.
+type MBOrder string
+
+const (
+	// OrderPacked keeps the packer's order (first-fit-decreasing emits
+	// longest-first buckets; hand-built specs keep their given order).
+	OrderPacked MBOrder = "packed"
+	// OrderLongestFirst sorts micro batches by descending token count.
+	OrderLongestFirst MBOrder = "longest"
+	// OrderShortestFirst sorts micro batches by ascending token count.
+	OrderShortestFirst MBOrder = "shortest"
+	// OrderBalanced interleaves from both ends of the sorted list — longest,
+	// shortest, second longest, second shortest, ... — so any pairing of
+	// nearby or folded micro batches mixes heavy and light work.
+	OrderBalanced MBOrder = "balanced"
+)
+
+// Orders lists the micro-batch ordering policies.
+func Orders() []MBOrder {
+	return []MBOrder{OrderPacked, OrderLongestFirst, OrderShortestFirst, OrderBalanced}
+}
+
+// OrderByName resolves an ordering policy name and reports whether it
+// exists.
+func OrderByName(name string) (MBOrder, bool) {
+	for _, o := range Orders() {
+		if string(o) == name {
+			return o, true
+		}
+	}
+	return "", false
+}
+
+// Ordered returns a copy of the spec with its micro batches arranged under
+// the policy. Token totals (real and padded) are unchanged — only the
+// execution order moves. Sorting is stable, so equal-token micro batches
+// keep their packed relative order and the result is deterministic.
+func (bs BatchSpec) Ordered(order MBOrder) (BatchSpec, error) {
+	out := BatchSpec{RealTokens: bs.RealTokens,
+		Shapes: append([]Shape(nil), bs.Shapes...)}
+	switch order {
+	case OrderPacked, "":
+		return out, nil
+	case OrderLongestFirst, OrderBalanced:
+		sort.SliceStable(out.Shapes, func(i, j int) bool {
+			return out.Shapes[i].Tokens() > out.Shapes[j].Tokens()
+		})
+	case OrderShortestFirst:
+		sort.SliceStable(out.Shapes, func(i, j int) bool {
+			return out.Shapes[i].Tokens() < out.Shapes[j].Tokens()
+		})
+	default:
+		return BatchSpec{}, fmt.Errorf("model: unknown micro-batch order %q (known: %v)", order, Orders())
+	}
+	if order == OrderBalanced {
+		sorted := out.Shapes
+		out.Shapes = make([]Shape, 0, len(sorted))
+		for lo, hi := 0, len(sorted)-1; lo <= hi; lo, hi = lo+1, hi-1 {
+			out.Shapes = append(out.Shapes, sorted[lo])
+			if lo != hi {
+				out.Shapes = append(out.Shapes, sorted[hi])
+			}
+		}
+	}
+	return out, nil
 }
 
 // SyntheticBatchSpec samples n document lengths from the distribution and

@@ -1,0 +1,87 @@
+package model
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestPackLengthsRecordsRealTokens(t *testing.T) {
+	lengths := []int{1000, 900, 500, 100}
+	bs, err := PackLengths(lengths, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs.RealTokens != 2500 {
+		t.Errorf("RealTokens = %d, want 2500", bs.RealTokens)
+	}
+	padded := bs.TotalTokens()
+	if padded < bs.RealTokens {
+		t.Fatalf("padded %d below real %d", padded, bs.RealTokens)
+	}
+	want := 1 - float64(2500)/float64(padded)
+	if got := bs.PadFraction(); got != want {
+		t.Errorf("PadFraction = %g, want %g", got, want)
+	}
+	// Hand-built specs have no real-token record and report no waste.
+	if got := UniformBatch(4, 1, 128).PadFraction(); got != 0 {
+		t.Errorf("uniform PadFraction = %g, want 0", got)
+	}
+}
+
+func TestOrdered(t *testing.T) {
+	bs := BatchSpec{
+		RealTokens: 999,
+		Shapes: []Shape{
+			{B: 1, S: 100}, {B: 1, S: 400}, {B: 1, S: 200}, {B: 1, S: 300},
+		},
+	}
+	cases := []struct {
+		order MBOrder
+		want  []int // sequence lengths in expected order
+	}{
+		{OrderPacked, []int{100, 400, 200, 300}},
+		{"", []int{100, 400, 200, 300}},
+		{OrderLongestFirst, []int{400, 300, 200, 100}},
+		{OrderShortestFirst, []int{100, 200, 300, 400}},
+		{OrderBalanced, []int{400, 100, 300, 200}},
+	}
+	for _, tc := range cases {
+		got, err := bs.Ordered(tc.order)
+		if err != nil {
+			t.Errorf("Ordered(%q): %v", tc.order, err)
+			continue
+		}
+		var seqs []int
+		for _, sh := range got.Shapes {
+			seqs = append(seqs, sh.S)
+		}
+		if !reflect.DeepEqual(seqs, tc.want) {
+			t.Errorf("Ordered(%q) = %v, want %v", tc.order, seqs, tc.want)
+		}
+		if got.RealTokens != bs.RealTokens || got.TotalTokens() != bs.TotalTokens() {
+			t.Errorf("Ordered(%q) changed token totals", tc.order)
+		}
+	}
+	// The receiver must be untouched (Ordered copies).
+	if bs.Shapes[0].S != 100 {
+		t.Error("Ordered mutated its receiver")
+	}
+	if _, err := bs.Ordered("bogus"); err == nil {
+		t.Error("unknown order accepted")
+	}
+	// Odd-length balanced keeps every micro batch exactly once.
+	odd := BatchSpec{Shapes: []Shape{{B: 1, S: 1}, {B: 1, S: 2}, {B: 1, S: 3}}}
+	got, err := odd.Ordered(OrderBalanced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MicroBatches() != 3 || got.TotalTokens() != odd.TotalTokens() {
+		t.Errorf("balanced odd order broken: %+v", got.Shapes)
+	}
+	if _, ok := OrderByName("balanced"); !ok {
+		t.Error("OrderByName(balanced) failed")
+	}
+	if _, ok := OrderByName("nope"); ok {
+		t.Error("OrderByName(nope) resolved")
+	}
+}

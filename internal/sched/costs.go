@@ -65,12 +65,22 @@ type Costs struct {
 }
 
 // MB returns the cost book of one micro batch: the per-micro-batch override
-// when present, the uniform book otherwise.
+// when present, the uniform book otherwise. The uniform fallback is shared
+// with MeanMB: both answer "no overrides, or an out-of-range request" with
+// the embedded book.
 func (c Costs) MB(mb int) MBCosts {
-	if mb >= 0 && mb < len(c.PerMB) {
-		return c.PerMB[mb]
+	if book, ok := c.override(mb); ok {
+		return book
 	}
 	return c.MBCosts
+}
+
+// override returns the per-micro-batch book for an index covered by PerMB.
+func (c Costs) override(mb int) (MBCosts, bool) {
+	if mb < 0 || mb >= len(c.PerMB) {
+		return MBCosts{}, false
+	}
+	return c.PerMB[mb], true
 }
 
 // Variable reports whether the cost book carries per-micro-batch overrides.
@@ -183,52 +193,61 @@ func (c Costs) P2PTime(bytes int64) float64 {
 // MeanMB returns the cost book averaged over the plan's m micro batches —
 // the aggregate book partition heuristics (AdaPipe's DP) reason with when
 // per-micro-batch shapes differ. With no per-micro-batch overrides it is the
-// uniform book itself.
+// uniform book itself (the same fallback MB takes).
 func (c Costs) MeanMB(m int) MBCosts {
 	if len(c.PerMB) == 0 || m <= 0 {
 		return c.MBCosts
 	}
 	var out MBCosts
 	for mb := 0; mb < m; mb++ {
-		b := c.MB(mb)
-		for i := 0; i < 3; i++ {
-			for p := 0; p < 3; p++ {
-				out.Seg[i][p] += b.Seg[i][p]
-			}
-			out.SegRecompute[i] += b.SegRecompute[i]
-			out.SegStash[i] += b.SegStash[i]
-			out.SegStashBFree[i] += b.SegStashBFree[i]
-			out.SegStashWFree[i] += b.SegStashWFree[i]
-			out.HelixSegStash[i] += b.HelixSegStash[i]
-			out.BoundBytes[i] += b.BoundBytes[i]
-		}
-		out.EmbedF += b.EmbedF
-		out.EmbedW += b.EmbedW
-		out.HeadFB += b.HeadFB
-		out.HeadW += b.HeadW
-		out.InputStash += b.InputStash
-		out.EmbedGradStash += b.EmbedGradStash
+		out.add(c.MB(mb))
 	}
-	div := int64(m)
-	fdiv := float64(m)
+	out.divide(m)
+	return out
+}
+
+// add accumulates another book field by field.
+func (c *MBCosts) add(b MBCosts) {
 	for i := 0; i < 3; i++ {
 		for p := 0; p < 3; p++ {
-			out.Seg[i][p] /= fdiv
+			c.Seg[i][p] += b.Seg[i][p]
 		}
-		out.SegRecompute[i] /= fdiv
-		out.SegStash[i] /= div
-		out.SegStashBFree[i] /= div
-		out.SegStashWFree[i] /= div
-		out.HelixSegStash[i] /= div
-		out.BoundBytes[i] /= div
+		c.SegRecompute[i] += b.SegRecompute[i]
+		c.SegStash[i] += b.SegStash[i]
+		c.SegStashBFree[i] += b.SegStashBFree[i]
+		c.SegStashWFree[i] += b.SegStashWFree[i]
+		c.HelixSegStash[i] += b.HelixSegStash[i]
+		c.BoundBytes[i] += b.BoundBytes[i]
 	}
-	out.EmbedF /= fdiv
-	out.EmbedW /= fdiv
-	out.HeadFB /= fdiv
-	out.HeadW /= fdiv
-	out.InputStash /= div
-	out.EmbedGradStash /= div
-	return out
+	c.EmbedF += b.EmbedF
+	c.EmbedW += b.EmbedW
+	c.HeadFB += b.HeadFB
+	c.HeadW += b.HeadW
+	c.InputStash += b.InputStash
+	c.EmbedGradStash += b.EmbedGradStash
+}
+
+// divide scales every field down by m (durations in floating point, byte
+// fields by integer division).
+func (c *MBCosts) divide(m int) {
+	div, fdiv := int64(m), float64(m)
+	for i := 0; i < 3; i++ {
+		for p := 0; p < 3; p++ {
+			c.Seg[i][p] /= fdiv
+		}
+		c.SegRecompute[i] /= fdiv
+		c.SegStash[i] /= div
+		c.SegStashBFree[i] /= div
+		c.SegStashWFree[i] /= div
+		c.HelixSegStash[i] /= div
+		c.BoundBytes[i] /= div
+	}
+	c.EmbedF /= fdiv
+	c.EmbedW /= fdiv
+	c.HeadFB /= fdiv
+	c.HeadW /= fdiv
+	c.InputStash /= div
+	c.EmbedGradStash /= div
 }
 
 // ZeroCommCosts returns a copy of the cost book with free communication

@@ -213,6 +213,30 @@ type Plan struct {
 	// Empty Shapes mean the legacy fixed-shape iteration. When set, its
 	// length must equal MicroBatches (enforced by Validate).
 	Batch model.BatchSpec
+	// Placement optionally records the cluster device each stage was placed
+	// on (internal/cluster's Placement.Devices). Empty means unplaced (the
+	// flat one-hop NIC model). When set, its length must equal Stages and
+	// its entries must be distinct (enforced by Validate).
+	Placement []int
+}
+
+// TrafficMatrix returns the per-(stage, peer) communication volume of the
+// plan: m[s][p] is the bytes stage s sends stage p over one iteration,
+// summed over the plan's KSend ops. This is the input the topology-aware
+// placement search minimizes modeled P2P cost against.
+func (p *Plan) TrafficMatrix() [][]int64 {
+	m := make([][]int64, p.Stages)
+	for s := range m {
+		m[s] = make([]int64, p.Stages)
+	}
+	for s, ops := range p.Ops {
+		for _, op := range ops {
+			if op.Kind == KSend && op.Peer >= 0 && op.Peer < p.Stages {
+				m[s][op.Peer] += op.Bytes
+			}
+		}
+	}
+	return m
 }
 
 // NumOps returns the total operation count across all stages.

@@ -147,6 +147,21 @@ func validateStructure(p *Plan) error {
 	if n := len(p.Batch.Shapes); n > 0 && n != p.MicroBatches {
 		return fmt.Errorf("sched: plan batch spec has %d shapes for %d micro batches", n, p.MicroBatches)
 	}
+	if n := len(p.Placement); n > 0 {
+		if n != p.Stages {
+			return fmt.Errorf("sched: plan placement maps %d devices for %d stages", n, p.Stages)
+		}
+		seen := map[int]int{}
+		for stage, dev := range p.Placement {
+			if dev < 0 {
+				return fmt.Errorf("sched: plan placement stage %d on negative device %d", stage, dev)
+			}
+			if prev, ok := seen[dev]; ok {
+				return fmt.Errorf("sched: plan placement stages %d and %d share device %d", prev, stage, dev)
+			}
+			seen[dev] = stage
+		}
+	}
 	for s, ops := range p.Ops {
 		for i, op := range ops {
 			if op.Kind.IsCompute() && op.Dur < 0 {

@@ -15,6 +15,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/cluster"
 	"repro/internal/sched"
 )
 
@@ -57,8 +58,24 @@ type Result struct {
 	PeakStashBytes []int64
 	// BytesSent is the per-stage outbound traffic.
 	BytesSent []int64
+	// LinkClasses breaks the iteration's communication down per link class
+	// (nvlink, ib, ...), sorted by class name. Empty on runs without a
+	// topology, where every transfer crosses the one flat NIC.
+	LinkClasses []LinkClassStats
 	// Spans is the executed-op timeline (only when Options.Trace is set).
 	Spans []Span
+}
+
+// LinkClassStats aggregates the transfers that crossed one link class.
+type LinkClassStats struct {
+	// Class is the link class name ("nvlink", "ib", ...).
+	Class string `json:"class"`
+	// Bytes is the total volume carried by the class.
+	Bytes int64 `json:"bytes"`
+	// Seconds is the total wire (serialization) time spent on the class.
+	Seconds float64 `json:"seconds"`
+	// Transfers counts the messages.
+	Transfers int `json:"transfers"`
 }
 
 // BubbleSeconds returns the mean per-stage idle time — the quantity the
@@ -109,6 +126,13 @@ type Options struct {
 	// SendLaunchSeconds is the compute-stream cost of initiating an async
 	// send (kernel launch + NCCL bookkeeping).
 	SendLaunchSeconds float64
+	// Topology, when set, replaces the plan's single flat NIC model: each
+	// transfer's bandwidth and latency come from the link class between its
+	// endpoints' placed devices, and each stage's compute is stretched by the
+	// topology's perturbation factors (straggler, jitter). The SMPenalty
+	// pre-pass runs under the same topology, so the stretch stays
+	// order-independent.
+	Topology *cluster.Topology
 }
 
 // Run simulates one training iteration of the plan and returns the result.
@@ -123,6 +147,11 @@ type Options struct {
 func Run(plan *sched.Plan, opt Options) (*Result, error) {
 	if err := sched.Validate(plan); err != nil {
 		return nil, fmt.Errorf("sim: invalid plan: %w", err)
+	}
+	if opt.Topology != nil {
+		if err := opt.Topology.CheckStages(plan.Stages); err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
 	}
 	return runEngine(plan, opt)
 }
@@ -169,6 +198,8 @@ type engine struct {
 	nicOracle [][]interval
 
 	inflight map[msgKey]message
+	// classStats aggregates transfers per link class under a topology.
+	classStats map[cluster.LinkClass]*LinkClassStats
 
 	busy      []float64
 	commStall []float64
@@ -189,21 +220,22 @@ type msgKey struct {
 func newEngine(plan *sched.Plan, opt Options) *engine {
 	p := plan.Stages
 	e := &engine{
-		plan:      plan,
-		opt:       opt,
-		pc:        make([]int, p),
-		clock:     make([]float64, p),
-		sendFree:  make([]float64, p),
-		recvFree:  make([]float64, p),
-		nicBusy:   make([][]interval, p),
-		inflight:  map[msgKey]message{},
-		busy:      make([]float64, p),
-		commStall: make([]float64, p),
-		wait:      make([]float64, p),
-		linkBusy:  make([]float64, p),
-		sent:      make([]int64, p),
-		stash:     make([]int64, p),
-		peak:      make([]int64, p),
+		plan:       plan,
+		opt:        opt,
+		pc:         make([]int, p),
+		clock:      make([]float64, p),
+		sendFree:   make([]float64, p),
+		recvFree:   make([]float64, p),
+		nicBusy:    make([][]interval, p),
+		inflight:   map[msgKey]message{},
+		classStats: map[cluster.LinkClass]*LinkClassStats{},
+		busy:       make([]float64, p),
+		commStall:  make([]float64, p),
+		wait:       make([]float64, p),
+		linkBusy:   make([]float64, p),
+		sent:       make([]int64, p),
+		stash:      make([]int64, p),
+		peak:       make([]int64, p),
 	}
 	return e
 }
@@ -258,6 +290,10 @@ func (e *engine) step(s int) {
 		e.record(s, op, start, end)
 	default: // compute
 		dur := op.Dur
+		if t := e.opt.Topology; t != nil {
+			// Straggler and jitter perturbations stretch this stage's compute.
+			dur *= t.ComputeFactor(s)
+		}
 		if e.opt.SMPenalty > 0 {
 			overlap := e.nicOverlap(s, start, start+dur)
 			dur += overlap * e.opt.SMPenalty
@@ -279,15 +315,32 @@ func (e *engine) step(s int) {
 // sends additionally hold the compute stream until the message lands.
 func (e *engine) execSend(s int, op sched.Op, start float64) {
 	c := e.plan.Costs
+	// The flat NIC parameters of the cost book, unless a topology resolves
+	// this stage pair to a concrete link.
+	bytesPerSec, latency := c.P2PBytesPerSec, c.P2PLatency
+	if t := e.opt.Topology; t != nil {
+		var class cluster.LinkClass
+		bytesPerSec, latency, class = t.Link(s, op.Peer)
+		st, ok := e.classStats[class]
+		if !ok {
+			st = &LinkClassStats{Class: string(class)}
+			e.classStats[class] = st
+		}
+		st.Bytes += op.Bytes
+		st.Transfers++
+		if bytesPerSec > 0 {
+			st.Seconds += float64(op.Bytes) / bytesPerSec
+		}
+	}
 	launch := e.opt.SendLaunchSeconds
 	initiate := start + launch
 	xferStart := math.Max(initiate, math.Max(e.sendFree[s], e.recvFree[op.Peer]))
 	var wireDur float64
-	if c.P2PBytesPerSec > 0 {
-		wireDur = float64(op.Bytes) / c.P2PBytesPerSec
+	if bytesPerSec > 0 {
+		wireDur = float64(op.Bytes) / bytesPerSec
 	}
 	xferEnd := xferStart + wireDur
-	arrival := xferEnd + c.P2PLatency
+	arrival := xferEnd + latency
 	e.sendFree[s] = xferEnd
 	e.recvFree[op.Peer] = xferEnd
 	e.nicBusy[s] = append(e.nicBusy[s], interval{xferStart, xferEnd})
@@ -375,6 +428,11 @@ func (e *engine) result() *Result {
 			return e.spans[i].Stage < e.spans[j].Stage
 		})
 	}
+	var classes []LinkClassStats
+	for _, st := range e.classStats {
+		classes = append(classes, *st)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i].Class < classes[j].Class })
 	return &Result{
 		Method:           e.plan.Method,
 		Stages:           p,
@@ -386,6 +444,7 @@ func (e *engine) result() *Result {
 		LinkBusySeconds:  e.linkBusy,
 		PeakStashBytes:   e.peak,
 		BytesSent:        e.sent,
+		LinkClasses:      classes,
 		Spans:            e.spans,
 	}
 }

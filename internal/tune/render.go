@@ -15,7 +15,7 @@ func (r *Result) Summary() string {
 		r.Model, r.Cluster, gb(r.MemoryBudgetBytes))
 	fmt.Fprintf(&b, "grid %d points, evaluated %d, cost-model evaluations %d\n",
 		r.GridSize, r.Evaluated, r.CostModelEvals)
-	for _, reason := range []string{PruneGeometry, PruneMemory, PruneBuild, PruneSim, PruneMeasured} {
+	for _, reason := range []string{PruneGeometry, PruneMemory, PruneBuild, PruneSim, PruneMeasured, PrunePlacement} {
 		if n := r.Pruned[reason]; n > 0 {
 			fmt.Fprintf(&b, "pruned %d (%s)\n", n, reason)
 		}
@@ -42,16 +42,30 @@ func pointTable(title string, points []Point) string {
 		b.WriteString("(no feasible points)\n")
 		return b.String()
 	}
-	fmt.Fprintf(&b, "%-22s %-14s %-4s %-4s %-3s %-12s %-10s %-10s %-12s\n",
+	placed := false
+	for _, p := range points {
+		if p.Placement != "" {
+			placed = true
+		}
+	}
+	fmt.Fprintf(&b, "%-22s %-14s %-4s %-4s %-3s %-12s %-10s %-10s %-12s",
 		"method", "scenario", "pp", "m", "b", "tokens/s", "bubble %", "peak GB", "est peak GB")
+	if placed {
+		fmt.Fprintf(&b, " %-10s", "placement")
+	}
+	b.WriteByte('\n')
 	for _, p := range points {
 		scenario := fmt.Sprintf("seq=%d", p.SeqLen)
 		if p.Workload != "" {
 			scenario = p.Workload
 		}
-		fmt.Fprintf(&b, "%-22s %-14s %-4d %-4d %-3d %-12.0f %-10.1f %-10.1f %-12.1f\n",
+		fmt.Fprintf(&b, "%-22s %-14s %-4d %-4d %-3d %-12.0f %-10.1f %-10.1f %-12.1f",
 			p.Method, scenario, p.Stages, p.MicroBatches, p.MicroBatchSize,
 			p.TokensPerSecond, p.BubbleFraction*100, gb(p.PeakBytes), gb(p.EstimatedPeakBytes))
+		if placed {
+			fmt.Fprintf(&b, " %-10s", p.Placement)
+		}
+		b.WriteByte('\n')
 	}
 	return b.String()
 }
@@ -62,17 +76,29 @@ func gb(bytes int64) float64 { return float64(bytes) / (1 << 30) }
 func CSVHeader() []string {
 	return []string{
 		"method", "workload", "seq_len", "stages", "micro_batches", "micro_batch_size",
+		"placement", "placement_devices", "pad_fraction",
 		"tokens_per_second", "iteration_seconds", "bubble_fraction",
 		"peak_bytes", "estimated_peak_bytes",
 	}
 }
 
-// CSVRow renders the point as one CSV row matching CSVHeader.
+// CSVRow renders the point as one CSV row matching CSVHeader. The placement
+// columns are empty without a cluster topology, pad_fraction on fixed-length
+// candidates.
 func (p Point) CSVRow() []string {
+	var devices []string
+	for _, d := range p.PlacementDevices {
+		devices = append(devices, fmt.Sprintf("%d", d))
+	}
+	padFraction := ""
+	if p.PadFraction > 0 {
+		padFraction = fmt.Sprintf("%g", p.PadFraction)
+	}
 	return []string{
 		string(p.Method), p.Workload,
 		fmt.Sprintf("%d", p.SeqLen), fmt.Sprintf("%d", p.Stages),
 		fmt.Sprintf("%d", p.MicroBatches), fmt.Sprintf("%d", p.MicroBatchSize),
+		p.Placement, strings.Join(devices, ";"), padFraction,
 		fmt.Sprintf("%g", p.TokensPerSecond), fmt.Sprintf("%g", p.IterationSeconds),
 		fmt.Sprintf("%g", p.BubbleFraction),
 		fmt.Sprintf("%d", p.PeakBytes), fmt.Sprintf("%d", p.EstimatedPeakBytes),

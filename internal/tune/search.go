@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/cluster"
 	"repro/internal/costmodel"
 	"repro/internal/memsim"
 	"repro/internal/model"
@@ -50,6 +51,9 @@ func Run(m model.Config, cl costmodel.ClusterSpec, spec Spec) (*Result, error) {
 		Cluster:           cl.Name,
 		MemoryBudgetBytes: budget,
 		Pruned:            map[string]int{},
+	}
+	if spec.Cluster != nil {
+		res.Topology = spec.Cluster.Name
 	}
 	grid := spec.grid(methods)
 	res.GridSize = len(grid)
@@ -141,7 +145,7 @@ func Run(m model.Config, cl costmodel.ClusterSpec, spec Spec) (*Result, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			point, reason, err := evaluate(m, cl, sv.Candidate, batchOf(sv.Candidate),
+			point, reason, err := evaluate(m, cl, spec, sv.Candidate, batchOf(sv.Candidate),
 				sv.estPeak, budget, costs[keyOf(sv.Candidate)])
 			outcomes[i] = outcome{point: point, reason: reason, err: err}
 		}(i, sv)
@@ -163,23 +167,45 @@ func Run(m model.Config, cl costmodel.ClusterSpec, spec Spec) (*Result, error) {
 }
 
 // evaluate builds and simulates one surviving candidate. A non-empty reason
-// (PruneBuild or PruneSim) reports a discarded point.
-func evaluate(m model.Config, cl costmodel.ClusterSpec, c Candidate, batch *model.BatchSpec,
+// (PruneBuild, PruneSim, PrunePlacement or PruneMeasured) reports a
+// discarded point. Under a cluster topology the candidate searches the
+// spec's placement strategies and keeps the best placement's result.
+func evaluate(m model.Config, cl costmodel.ClusterSpec, spec Spec, c Candidate, batch *model.BatchSpec,
 	estPeak, budget int64, costs sched.Costs) (Point, string, error) {
 	cfg := sched.Config{Stages: c.Stages, MicroBatches: c.MicroBatches, Layers: m.Layers}
 	tokens := int64(c.MicroBatchSize) * int64(c.SeqLen) * int64(c.MicroBatches)
+	padFraction := 0.0
 	if batch != nil {
 		cfg.Batch = *batch
 		tokens = batch.TotalTokens()
+		padFraction = batch.PadFraction()
 	}
 	activationBudget := budget - stateBytes(m, cl, c.Method, c.Stages)
 	plan, err := sched.Build(c.Method, cfg, costs, sched.BuildParams{MemoryBudget: activationBudget})
 	if err != nil {
 		return Point{}, PruneBuild, fmt.Errorf("%s: %w", c, err)
 	}
-	simRes, err := sim.Run(plan, sim.Options{SMPenalty: cl.CommSMPenalty})
-	if err != nil {
-		return Point{}, PruneSim, fmt.Errorf("%s: %w", c, err)
+
+	var simRes *sim.Result
+	var best cluster.Placement
+	if spec.Cluster != nil {
+		pt := cluster.Perturb{SlowDevice: -1}
+		if spec.Perturb != nil {
+			pt = *spec.Perturb
+		}
+		simRes, best, err = simulatePlacements(plan, *spec.Cluster, spec.Placements, pt, cl)
+		if err != nil {
+			reason := PruneSim
+			if c.Stages > spec.Cluster.Devices() {
+				reason = PrunePlacement
+			}
+			return Point{}, reason, fmt.Errorf("%s: %w", c, err)
+		}
+	} else {
+		simRes, err = sim.Run(plan, sim.Options{SMPenalty: cl.CommSMPenalty})
+		if err != nil {
+			return Point{}, PruneSim, fmt.Errorf("%s: %w", c, err)
+		}
 	}
 	peak := simRes.MaxPeakStashBytes() + stateBytes(m, cl, c.Method, c.Stages)
 	if peak > budget {
@@ -190,12 +216,59 @@ func evaluate(m model.Config, cl costmodel.ClusterSpec, c Candidate, batch *mode
 	}
 	return Point{
 		Candidate:          c,
+		Placement:          best.Strategy,
+		PlacementDevices:   best.Devices,
+		PadFraction:        padFraction,
 		EstimatedPeakBytes: estPeak,
 		PeakBytes:          peak,
 		IterationSeconds:   simRes.IterationSeconds,
 		TokensPerSecond:    simRes.Throughput(tokens),
 		BubbleFraction:     bubbleFraction(simRes),
 	}, "", nil
+}
+
+// simulatePlacements runs the plan once per placement strategy on the
+// topology and returns the fastest iteration's result and placement. The
+// greedy search seeds from zero, so results are deterministic.
+func simulatePlacements(plan *sched.Plan, topo cluster.Cluster, strategies []string,
+	pt cluster.Perturb, cl costmodel.ClusterSpec) (*sim.Result, cluster.Placement, error) {
+	if len(strategies) == 0 {
+		strategies = cluster.Strategies()
+	}
+	if plan.Stages > topo.Devices() {
+		return nil, cluster.Placement{}, fmt.Errorf(
+			"%d stages exceed the %d devices of %s", plan.Stages, topo.Devices(), topo.Name)
+	}
+	traffic := plan.TrafficMatrix()
+	var bestRes *sim.Result
+	var bestPlace cluster.Placement
+	var firstErr error
+	for _, strategy := range strategies {
+		place, err := cluster.Generate(strategy, topo, plan.Stages, traffic, cluster.SearchOptions{})
+		if err == nil {
+			var topoView *cluster.Topology
+			topoView, err = cluster.Resolve(topo, place, pt)
+			if err == nil {
+				plan.Placement = place.Devices
+				var res *sim.Result
+				res, err = sim.Run(plan, sim.Options{SMPenalty: cl.CommSMPenalty, Topology: topoView})
+				if err == nil {
+					if bestRes == nil || res.IterationSeconds < bestRes.IterationSeconds {
+						bestRes, bestPlace = res, place
+					}
+					continue
+				}
+			}
+		}
+		if firstErr == nil {
+			firstErr = fmt.Errorf("placement %s: %w", strategy, err)
+		}
+	}
+	if bestRes == nil {
+		return nil, cluster.Placement{}, firstErr
+	}
+	plan.Placement = bestPlace.Devices
+	return bestRes, bestPlace, nil
 }
 
 func bubbleFraction(r *sim.Result) float64 {

@@ -16,6 +16,7 @@ package tune
 import (
 	"fmt"
 
+	"repro/internal/cluster"
 	// Linked for its registry side effect: the HelixPipe variants register
 	// themselves into the sched method registry at init.
 	_ "repro/internal/core"
@@ -40,6 +41,9 @@ const (
 	// PruneMeasured counts survivors whose simulated (measured) peak memory
 	// exceeded the budget even though the cheap estimate admitted them.
 	PruneMeasured = "memory-measured"
+	// PrunePlacement counts survivors that could not be placed on the
+	// topology (more stages than devices).
+	PrunePlacement = "placement"
 )
 
 // WorkloadSpec names one variable-length workload candidate: a per-micro-
@@ -79,6 +83,20 @@ type Spec struct {
 	MemoryBudgetBytes int64 `json:"memory_budget_bytes,omitempty"`
 	// Workers bounds the simulation worker pool; zero picks a default.
 	Workers int `json:"workers,omitempty"`
+	// Cluster is an optional cluster topology. When set, every surviving
+	// grid point additionally searches the Placements strategies: each
+	// placement is simulated under the topology's link classes and the
+	// point keeps its best placement's result.
+	Cluster *cluster.Cluster `json:"cluster,omitempty"`
+	// Placements are the placement strategies to search per grid point
+	// ("contiguous", "roundrobin", "greedy"); empty means all three.
+	// Requires Cluster.
+	Placements []string `json:"placements,omitempty"`
+	// Perturb optionally injects a fault/straggler perturbation (slow
+	// device, degraded link class, compute jitter) into every placement
+	// simulation, ranking configurations under the degraded cluster.
+	// Requires Cluster.
+	Perturb *cluster.Perturb `json:"perturb,omitempty"`
 }
 
 // Validate reports an error when the spec cannot be searched.
@@ -106,6 +124,27 @@ func (s Spec) Validate() error {
 	for _, m := range s.MicroBatches {
 		if m < 0 {
 			return fmt.Errorf("tune: negative micro batch count %d", m)
+		}
+	}
+	if s.Cluster != nil {
+		if err := s.Cluster.Validate(); err != nil {
+			return err
+		}
+	}
+	if len(s.Placements) > 0 && s.Cluster == nil {
+		return fmt.Errorf("tune: placements given without a cluster topology")
+	}
+	if s.Perturb != nil {
+		if s.Cluster == nil {
+			return fmt.Errorf("tune: perturbation given without a cluster topology")
+		}
+		if err := s.Perturb.Validate(*s.Cluster); err != nil {
+			return err
+		}
+	}
+	for _, strategy := range s.Placements {
+		if _, ok := cluster.StrategyByName(strategy); !ok {
+			return fmt.Errorf("tune: unknown placement strategy %q", strategy)
 		}
 	}
 	names := map[string]bool{}
@@ -155,6 +194,14 @@ func (c Candidate) String() string {
 // Point is one evaluated (simulated) configuration.
 type Point struct {
 	Candidate
+	// Placement names the winning placement strategy of a topology-aware
+	// search and PlacementDevices its stage-to-device mapping (absent when
+	// the spec has no cluster topology).
+	Placement        string `json:"placement,omitempty"`
+	PlacementDevices []int  `json:"placement_devices,omitempty"`
+	// PadFraction is the padding share of a packed variable-length workload
+	// (zero on fixed-length candidates and unpacked workloads).
+	PadFraction float64 `json:"pad_fraction,omitempty"`
 	// EstimatedPeakBytes is the memsim per-GPU peak estimate the point was
 	// admitted under: peak reserved activation memory plus model states.
 	EstimatedPeakBytes int64 `json:"estimated_peak_bytes"`
@@ -174,6 +221,9 @@ type Result struct {
 	// Model and Cluster label the tuned configuration.
 	Model   string `json:"model"`
 	Cluster string `json:"cluster"`
+	// Topology names the cluster topology of a placement-aware search
+	// (empty on flat-NIC runs).
+	Topology string `json:"topology,omitempty"`
 	// MemoryBudgetBytes is the per-GPU budget the search ran under.
 	MemoryBudgetBytes int64 `json:"memory_budget_bytes"`
 	// GridSize is the naive grid size: the product of the axis lengths.

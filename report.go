@@ -53,6 +53,9 @@ type SimMetrics struct {
 	BubbleFraction float64 `json:"bubble_fraction"`
 	// MaxPeakStashBytes is the largest per-stage stash peak.
 	MaxPeakStashBytes int64 `json:"max_peak_stash_bytes"`
+	// LinkTraffic breaks the iteration's communication down per link class
+	// (nvlink, ib, ...), sorted by class name. Absent on flat-NIC runs.
+	LinkTraffic []LinkTraffic `json:"link_traffic,omitempty"`
 	// PerStage holds the per-stage breakdown.
 	PerStage []StageMetrics `json:"per_stage"`
 }
@@ -76,6 +79,14 @@ type Report struct {
 	// from engines detached from a session).
 	Model   string `json:"model,omitempty"`
 	Cluster string `json:"cluster,omitempty"`
+	// Topology names the cluster topology of a topology-aware run and
+	// Placement lists the device each stage was placed on (absent on
+	// flat-NIC runs).
+	Topology  string `json:"topology,omitempty"`
+	Placement []int  `json:"placement,omitempty"`
+	// PlacementStrategy names the generator of the placement ("contiguous",
+	// "roundrobin", "greedy", "custom").
+	PlacementStrategy string `json:"placement_strategy,omitempty"`
 	// SeqLen and MicroBatchSize are the micro-batch shape.
 	SeqLen         int `json:"seq_len,omitempty"`
 	MicroBatchSize int `json:"micro_batch_size,omitempty"`
@@ -92,6 +103,11 @@ type Report struct {
 	// SeqLenHistogram summarises the micro-batch sequence-length distribution
 	// of a variable-length workload (absent on fixed-shape runs).
 	SeqLenHistogram []LengthBucket `json:"seq_len_histogram,omitempty"`
+	// RealTokens is the unpadded token count behind a packed variable-length
+	// workload, and PadFraction the share of TokensPerIteration that is
+	// padding (absent when the workload was not packed from documents).
+	RealTokens  int64   `json:"real_tokens,omitempty"`
+	PadFraction float64 `json:"pad_fraction,omitempty"`
 	// Sim holds the simulator metrics (sim engine only).
 	Sim *SimMetrics `json:"sim,omitempty"`
 	// Numeric holds the numeric metrics (numeric engine only).
@@ -105,18 +121,29 @@ type Report struct {
 // reportMeta is the session-derived context an engine stamps onto reports.
 type reportMeta struct {
 	model, cluster     string
+	topology, strategy string
 	seqLen, microBatch int
 	tokensPerIteration int64
 }
 
 func (s *Session) reportMeta() reportMeta {
-	return reportMeta{
+	m := reportMeta{
 		model:              s.model.Name,
 		cluster:            s.cluster.Name,
 		seqLen:             s.SeqLen(),
 		microBatch:         s.MicroBatchSize(),
 		tokensPerIteration: s.TokensPerIteration(),
 	}
+	if topo, ok := s.Topology(); ok {
+		m.topology = topo.Name
+	}
+	if place, ok := s.Placement(); ok {
+		m.strategy = place.Strategy
+		if m.strategy == "" {
+			m.strategy = "custom"
+		}
+	}
+	return m
 }
 
 func newReport(plan *sched.Plan, engine string, meta reportMeta) *Report {
@@ -132,11 +159,20 @@ func newReport(plan *sched.Plan, engine string, meta reportMeta) *Report {
 		Layers:             plan.Layers,
 		TokensPerIteration: meta.tokensPerIteration,
 	}
+	r.Topology = meta.topology
+	r.PlacementStrategy = meta.strategy
+	// Placed plans carry their device mapping; read it off the plan so
+	// detached engines report it too.
+	if len(plan.Placement) > 0 {
+		r.Placement = append([]int(nil), plan.Placement...)
+	}
 	// Variable-length plans carry their batch spec; read the per-micro-batch
 	// geometry off the plan so detached engines report it too.
 	if len(plan.Batch.Shapes) > 0 {
 		r.MicroBatchTokens = plan.Batch.TokensPerMB()
 		r.SeqLenHistogram = plan.Batch.Histogram(8)
+		r.RealTokens = plan.Batch.RealTokens
+		r.PadFraction = plan.Batch.PadFraction()
 		if r.TokensPerIteration == 0 {
 			r.TokensPerIteration = plan.Batch.TotalTokens()
 		}
@@ -154,6 +190,7 @@ func newSimReport(plan *sched.Plan, res *sim.Result, meta reportMeta) *Report {
 		IterationSeconds:  res.IterationSeconds,
 		BubbleSeconds:     res.BubbleSeconds(),
 		MaxPeakStashBytes: res.MaxPeakStashBytes(),
+		LinkTraffic:       append([]LinkTraffic(nil), res.LinkClasses...),
 	}
 	if res.IterationSeconds > 0 {
 		m.BubbleFraction = m.BubbleSeconds / res.IterationSeconds
@@ -214,27 +251,41 @@ func (r *Report) TimelineSVG(width int) string {
 func ReportCSVHeader() []string {
 	return []string{
 		"method", "engine", "model", "cluster",
+		"topology", "placement_strategy", "placement",
 		"seq_len", "micro_batch_size", "stages", "micro_batches", "layers",
-		"tokens_per_iteration", "mb_tokens", "seq_len_hist",
+		"tokens_per_iteration", "pad_fraction", "mb_tokens", "seq_len_hist",
 		"iteration_seconds", "tokens_per_second", "bubble_fraction",
-		"max_peak_stash_bytes", "loss",
+		"max_peak_stash_bytes", "link_traffic", "loss",
 	}
 }
 
 // CSVRow renders the report as one CSV row matching ReportCSVHeader.
 // Engine-specific columns are empty when they do not apply; the
-// variable-length columns (mb_tokens, seq_len_hist) are empty on fixed-shape
-// runs.
+// variable-length columns (pad_fraction, mb_tokens, seq_len_hist) are empty
+// on fixed-shape runs, the topology columns (topology, placement_strategy,
+// placement, link_traffic) on flat-NIC runs.
 func (r *Report) CSVRow() []string {
 	iter, tput, bubble, stash, loss := "", "", "", "", ""
+	var linkTraffic []string
 	if r.Sim != nil {
 		iter = fmt.Sprintf("%g", r.Sim.IterationSeconds)
 		tput = fmt.Sprintf("%g", r.Sim.TokensPerSecond)
 		bubble = fmt.Sprintf("%g", r.Sim.BubbleFraction)
 		stash = fmt.Sprintf("%d", r.Sim.MaxPeakStashBytes)
+		for _, lt := range r.Sim.LinkTraffic {
+			linkTraffic = append(linkTraffic, fmt.Sprintf("%s:%d", lt.Class, lt.Bytes))
+		}
 	}
 	if r.Numeric != nil {
 		loss = fmt.Sprintf("%g", r.Numeric.Loss)
+	}
+	var placement []string
+	for _, d := range r.Placement {
+		placement = append(placement, fmt.Sprintf("%d", d))
+	}
+	padFraction := ""
+	if r.PadFraction > 0 {
+		padFraction = fmt.Sprintf("%g", r.PadFraction)
 	}
 	var mbTokens []string
 	for _, t := range r.MicroBatchTokens {
@@ -246,12 +297,13 @@ func (r *Report) CSVRow() []string {
 	}
 	return []string{
 		string(r.Method), r.Engine, r.Model, r.Cluster,
+		r.Topology, r.PlacementStrategy, strings.Join(placement, ";"),
 		fmt.Sprintf("%d", r.SeqLen), fmt.Sprintf("%d", r.MicroBatchSize),
 		fmt.Sprintf("%d", r.Stages), fmt.Sprintf("%d", r.MicroBatches),
 		fmt.Sprintf("%d", r.Layers),
-		fmt.Sprintf("%d", r.TokensPerIteration),
+		fmt.Sprintf("%d", r.TokensPerIteration), padFraction,
 		strings.Join(mbTokens, ";"), strings.Join(hist, ";"),
-		iter, tput, bubble, stash, loss,
+		iter, tput, bubble, stash, strings.Join(linkTraffic, ";"), loss,
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/bench"
+	"repro/internal/cluster"
 	"repro/internal/costmodel"
 	"repro/internal/exec"
 	"repro/internal/model"
@@ -35,6 +36,16 @@ type Session struct {
 	simOpt       sim.Options
 	simExplicit  bool
 	trace        bool
+
+	// Topology-aware communication: a cluster topology, the stage placement
+	// on its devices, and an optional fault/straggler perturbation. All nil /
+	// zero on flat-NIC sessions. resolvedTopo caches the validated Resolve
+	// result; it is recomputed by validate, so With-derived sessions never
+	// share a stale view.
+	topo         *cluster.Cluster
+	placement    *cluster.Placement
+	perturb      cluster.Perturb
+	resolvedTopo *cluster.Topology
 }
 
 // Option mutates a Session under construction. Options are applied in order;
@@ -94,6 +105,32 @@ func WithSimOptions(opt SimOptions) Option {
 // WithTrace enables span tracing in the simulator so reports can render
 // ASCII and SVG timelines.
 func WithTrace() Option { return func(ses *Session) { ses.trace = true } }
+
+// WithCluster sets a cluster topology: the simulator then resolves each
+// communication op's bandwidth and latency from the link class (NVLink,
+// PCIe, IB) between its endpoints' placed devices, instead of pricing every
+// hop at the flat inter-node NIC of the ClusterSpec. The topology must hold
+// at least as many devices as the session has stages (validated eagerly).
+// Stages are placed contiguously unless WithPlacement overrides; use
+// Session.PlacementFor to search a placement for a method's traffic.
+func WithCluster(topo ClusterTopology) Option {
+	return func(ses *Session) { t := topo; ses.topo = &t }
+}
+
+// WithPlacement pins the stage-to-device placement on the session's cluster
+// topology (set WithCluster first or in the same option list). The
+// placement's device count must equal the session's stage count (validated
+// eagerly).
+func WithPlacement(p Placement) Option {
+	return func(ses *Session) { q := p; ses.placement = &q }
+}
+
+// WithPerturb injects a fault/straggler perturbation — a slow device, a
+// degraded link class, per-iteration compute jitter — into the session's
+// cluster topology (requires WithCluster). The zero Perturb clears it.
+func WithPerturb(p Perturb) Option {
+	return func(ses *Session) { ses.perturb = p }
+}
 
 // WithWorkload sets a variable-length workload: one (b, s) shape per micro
 // batch. While set, it governs the geometry — MicroBatches reports the
@@ -158,6 +195,42 @@ func (s *Session) validate() error {
 			return fmt.Errorf("helixpipe: invalid workload: %w", err)
 		}
 	}
+	return s.resolveTopology()
+}
+
+// resolveTopology validates the topology options against the session
+// geometry and caches the resolved per-stage-pair link view the simulator
+// reads. Flat-NIC sessions (no WithCluster) resolve to nil.
+func (s *Session) resolveTopology() error {
+	s.resolvedTopo = nil
+	if s.topo == nil {
+		if s.placement != nil {
+			return fmt.Errorf("helixpipe: WithPlacement requires WithCluster")
+		}
+		if !s.perturb.Zero() {
+			return fmt.Errorf("helixpipe: WithPerturb requires WithCluster")
+		}
+		return nil
+	}
+	place := cluster.Placement{}
+	if s.placement != nil {
+		place = *s.placement
+		if place.Stages() != s.stages {
+			return fmt.Errorf("helixpipe: placement maps %d devices for %d stages",
+				place.Stages(), s.stages)
+		}
+	} else {
+		var err error
+		place, err = cluster.Contiguous(*s.topo, s.stages)
+		if err != nil {
+			return fmt.Errorf("helixpipe: %w", err)
+		}
+	}
+	resolved, err := cluster.Resolve(*s.topo, place, s.perturb)
+	if err != nil {
+		return fmt.Errorf("helixpipe: %w", err)
+	}
+	s.resolvedTopo = resolved
 	return nil
 }
 
@@ -226,6 +299,47 @@ func (s *Session) MicroBatchSize() int {
 // empty on fixed-shape sessions.
 func (s *Session) Batch() BatchSpec { return s.batch }
 
+// Topology returns the session's cluster topology and whether one was set
+// with WithCluster.
+func (s *Session) Topology() (ClusterTopology, bool) {
+	if s.topo == nil {
+		return ClusterTopology{}, false
+	}
+	return *s.topo, true
+}
+
+// Placement returns the stage placement the session simulates under: the
+// explicit WithPlacement value, or the contiguous default of a WithCluster
+// session. The second result is false on flat-NIC sessions.
+func (s *Session) Placement() (Placement, bool) {
+	if s.resolvedTopo == nil {
+		return Placement{}, false
+	}
+	return s.resolvedTopo.Placement, true
+}
+
+// PlacementFor searches a placement of the session's stages for one method:
+// it builds the method's plan, reads its per-(stage, peer) traffic matrix,
+// and generates the named strategy's placement on the session's topology
+// ("contiguous", "roundrobin", or "greedy", which minimizes the modeled P2P
+// cost; seed drives the greedy local search deterministically). Apply the
+// result with With(WithPlacement(p)).
+func (s *Session) PlacementFor(method Method, strategy string, seed uint64) (Placement, error) {
+	if s.topo == nil {
+		return Placement{}, fmt.Errorf("helixpipe: PlacementFor requires WithCluster")
+	}
+	plan, err := s.Plan(method)
+	if err != nil {
+		return Placement{}, err
+	}
+	p, err := cluster.Generate(strategy, *s.topo, s.stages, plan.TrafficMatrix(),
+		cluster.SearchOptions{Seed: seed})
+	if err != nil {
+		return Placement{}, fmt.Errorf("helixpipe: %w", err)
+	}
+	return p, nil
+}
+
 // Workload returns the cost-model workload of the session. On a
 // variable-length session the shape is the per-axis maximum — per-micro-batch
 // shapes live in Costs().
@@ -272,6 +386,9 @@ func (s *Session) SimOptions() SimOptions {
 	if s.trace {
 		opt.Trace = true
 	}
+	if s.resolvedTopo != nil {
+		opt.Topology = s.resolvedTopo
+	}
 	return opt
 }
 
@@ -308,7 +425,16 @@ func (s *Session) Plan(method Method) (*Plan, error) {
 	}
 	cfg := sched.Config{Stages: s.stages, MicroBatches: s.MicroBatches(),
 		Layers: s.model.Layers, Batch: s.batch}
-	return reg.Build(cfg, s.Costs(), s.buildParams())
+	plan, err := reg.Build(cfg, s.Costs(), s.buildParams())
+	if err != nil {
+		return nil, err
+	}
+	if s.resolvedTopo != nil {
+		// Stamp the session's placement so engines, validators and reports
+		// see where each stage runs.
+		plan.Placement = append([]int(nil), s.resolvedTopo.Placement.Devices...)
+	}
+	return plan, nil
 }
 
 // Engine runs plans and produces Reports. The simulator and the numeric
@@ -448,6 +574,16 @@ func (s *Session) Autotune(spec TuneSpec) (*TuneResult, error) {
 	}
 	if len(spec.MicroBatchSizes) == 0 {
 		spec.MicroBatchSizes = []int{s.MicroBatchSize()}
+	}
+	if spec.Cluster == nil && s.topo != nil {
+		// A topology-aware session tunes placements on its own topology by
+		// default — including its perturbation, so a degraded-fabric session
+		// ranks configurations under the degraded fabric.
+		spec.Cluster = s.topo
+		if spec.Perturb == nil && !s.perturb.Zero() {
+			p := s.perturb
+			spec.Perturb = &p
+		}
 	}
 	return tune.Run(s.model, s.cluster, spec)
 }
