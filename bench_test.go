@@ -120,13 +120,24 @@ func BenchmarkZB1PSensitivity(b *testing.B) {
 	benchTable(b, bench.ZB1PSensitivity)
 }
 
+// headlineSession builds the paper's headline configuration (7B, 128k, p=8)
+// for the micro-benchmarks.
+func headlineSession(b *testing.B) *Session {
+	b.Helper()
+	s, err := NewSession(Model7B(), H20Cluster(), WithSeqLen(131072), WithStages(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
 // BenchmarkBuildHelixPlan measures HelixPipe plan construction at the
 // headline scale (p=8, m=16, 32 layers).
 func BenchmarkBuildHelixPlan(b *testing.B) {
-	s := NewScenario(Model7B(), H20Cluster(), 131072, 8)
+	s := headlineSession(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := BuildPlan(s, MethodHelix); err != nil {
+		if _, err := s.Plan(MethodHelix); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -135,26 +146,27 @@ func BenchmarkBuildHelixPlan(b *testing.B) {
 // BenchmarkSimulateHelix measures one simulated headline iteration and
 // reports simulated tokens/s.
 func BenchmarkSimulateHelix(b *testing.B) {
-	s := NewScenario(Model7B(), H20Cluster(), 131072, 8)
-	plan, err := BuildPlan(s, MethodHelix)
+	s := headlineSession(b)
+	plan, err := s.Plan(MethodHelix)
 	if err != nil {
 		b.Fatal(err)
 	}
+	engine := NewSimEngine(SimOptions{})
 	var tput float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := Simulate(plan, SimOptions{})
+		report, err := engine.Run(plan)
 		if err != nil {
 			b.Fatal(err)
 		}
-		tput = res.Throughput(s.TokensPerIteration())
+		tput = report.SimResult().Throughput(s.TokensPerIteration())
 	}
 	b.ReportMetric(tput, "simulated-tokens/s")
 }
 
 // BenchmarkZB1PListScheduling measures the cost-driven ZB1P constructor.
 func BenchmarkZB1PListScheduling(b *testing.B) {
-	s := NewScenario(Model7B(), H20Cluster(), 131072, 8)
+	s := headlineSession(b)
 	costs := NewCosts(s.Workload())
 	cfg := ScheduleConfig{Stages: 8, MicroBatches: 16, Layers: 32}
 	b.ResetTimer()

@@ -11,6 +11,9 @@
 //	helixbench -out results/        # also write one .txt per experiment
 //	helixbench -method helixpipe,1f1b -json   # sweep reports as JSON
 //	helixbench -method help         # list the registered methods
+//	helixbench -spec sweep.json -emit-spec resolved.json
+//	                                # sweep an experiment spec (flags become
+//	                                # overrides), save the resolved spec
 //	helixbench -diff prev/BENCH_baseline.json -against BENCH_baseline.json
 //	                                # perf trajectory: exit 1 on any >10%
 //	                                # throughput regression vs the previous
@@ -26,6 +29,7 @@ import (
 	"strings"
 
 	helixpipe "repro"
+	"repro/internal/cliutil"
 )
 
 // The paper's Figure 8 sweep axes.
@@ -37,6 +41,7 @@ var (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("helixbench: ")
+	sf := cliutil.RegisterSpecFlags()
 	var (
 		exp         = flag.String("exp", "all", "experiment id prefix (all, table1, table2, table3, fig3, fig4, fig8, fig9, fig10, fig11, chunk, saturation, interleaved, zb1p-sensitivity)")
 		outDir      = flag.String("out", "", "directory to write one .txt per experiment")
@@ -54,9 +59,12 @@ func main() {
 		runDiff(*diffPrev, *diffCur, *diffLimit)
 		return
 	}
-	if *methodsFlag != "" {
-		runSweep(*methodsFlag, *modelName, *clusterName, *jsonOut)
+	if *methodsFlag != "" || sf.Path != "" {
+		runSweep(sf, *methodsFlag, *modelName, *clusterName, *jsonOut)
 		return
+	}
+	if sf.EmitPath != "" {
+		log.Fatal("-emit-spec needs a spec-driven sweep (-method or -spec); the experiment tables are not spec-driven")
 	}
 
 	tables, err := helixpipe.AllExperiments()
@@ -132,60 +140,63 @@ func runDiff(prevPath, curPath string, threshold float64) {
 	os.Exit(1)
 }
 
-// runSweep fans the named methods across the paper's Figure 8 axes with
-// Session.Sweep and prints the reports as text or JSON.
-func runSweep(methodsFlag, modelName, clusterName string, jsonOut bool) {
-	var methods []helixpipe.Method
-	for _, part := range strings.Split(methodsFlag, ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
+// runSweep fans the spec's methods across its sweep axes — the paper's
+// Figure 8 grid by default — streaming the reports row by row as cells
+// complete, or collecting them as JSON.
+func runSweep(sf *cliutil.SpecFlags, methodsFlag, modelName, clusterName string, jsonOut bool) {
+	spec := sf.Load()
+	if spec.Tune != nil {
+		log.Fatalf("the spec holds a tune grid; run it with helixtune -spec %s", sf.Path)
+	}
+	ov := cliutil.NewOverlay()
+	ov.String("model", modelName, &spec.Model)
+	ov.String("cluster", clusterName, &spec.Cluster)
+	if ov.Has("method") || len(spec.Methods) == 0 {
+		// An empty -method on a spec-driven sweep keeps the spec default:
+		// every registered method.
+		spec.Methods = cliutil.MethodsArg(methodsFlag)
+	}
+	if spec.Sweep == nil {
+		// A workload spec sweeps stages only: its per-micro-batch shapes
+		// replace the sequence-length axis.
+		sw := &helixpipe.SpecSweep{Stages: sweepStages}
+		if spec.Workload == nil {
+			sw.SeqLens = sweepSeqLens
 		}
-		m, ok := helixpipe.LookupMethod(part)
-		if !ok {
-			if !strings.EqualFold(part, "help") {
-				fmt.Fprintf(os.Stderr, "unknown method %q; the registered methods are:\n\n", part)
-			}
-			fmt.Fprint(os.Stderr, helixpipe.MethodListing())
-			os.Exit(2)
-		}
-		methods = append(methods, m)
+		spec.Sweep = sw
 	}
-	if len(methods) == 0 {
-		log.Fatal("no method given")
-	}
-
-	mc, ok := helixpipe.ModelByName(modelName)
-	if !ok {
-		log.Fatalf("unknown model %q", modelName)
-	}
-	cl, ok := helixpipe.ClusterByName(clusterName)
-	if !ok {
-		log.Fatalf("unknown cluster %q", clusterName)
-	}
-	session, err := helixpipe.NewSession(mc, cl)
-	if err != nil {
-		log.Fatal(err)
-	}
-	reports, err := session.Sweep(helixpipe.Sweep{
-		Methods: methods,
-		SeqLens: sweepSeqLens,
-		Stages:  sweepStages,
+	out := ov.Output(spec, func(out *helixpipe.SpecOutput) {
+		ov.Bool("json", jsonOut, &out.JSON)
 	})
+
+	sf.EmitResolved(spec)
+	session, runset, err := spec.Resolve()
 	if err != nil {
 		log.Fatal(err)
 	}
-	if jsonOut {
-		if err := helixpipe.WriteReportsJSON(os.Stdout, reports); err != nil {
+	if runset.Engine != helixpipe.EngineSim {
+		log.Fatalf("helixbench benchmarks the simulator; run %s-engine specs with helixtrain", runset.Engine)
+	}
+	var reports []*helixpipe.Report
+	if !out.JSON {
+		fmt.Printf("%-22s %-8s %-4s %-14s %-14s %-10s\n",
+			"method", "seq", "pp", "iteration (s)", "tokens/s", "bubble %")
+	}
+	for r, err := range session.Execute(spec) {
+		if err != nil {
 			log.Fatal(err)
 		}
-		return
-	}
-	fmt.Printf("%-22s %-8s %-4s %-14s %-14s %-10s\n",
-		"method", "seq", "pp", "iteration (s)", "tokens/s", "bubble %")
-	for _, r := range reports {
+		if out.JSON {
+			reports = append(reports, r)
+			continue
+		}
 		fmt.Printf("%-22s %-8d %-4d %-14.3f %-14.0f %-10.1f\n",
 			r.Method, r.SeqLen, r.Stages,
 			r.Sim.IterationSeconds, r.Sim.TokensPerSecond, r.Sim.BubbleFraction*100)
+	}
+	if out.JSON {
+		if err := helixpipe.WriteReportsJSON(os.Stdout, reports); err != nil {
+			log.Fatal(err)
+		}
 	}
 }

@@ -1,12 +1,19 @@
 // Command helixsim simulates one training iteration of a pipeline
 // parallelism on a simulated GPU cluster and prints the per-stage
-// utilization, memory and throughput summary.
+// utilization, memory and throughput summary. Every invocation is an
+// experiment spec under the hood: -spec loads a saved one (flags become
+// overrides layered onto it) and -emit-spec writes back the fully-resolved
+// spec for exact reproduction.
 //
 // Usage:
 //
 //	helixsim -model 7B -cluster H20 -seq 131072 -pp 8 -method HelixPipe [-timeline] [-svg out.svg]
 //	helixsim -method all -json         # every registered method, JSON reports
 //	helixsim -method help              # list the registered methods
+//	helixsim -spec examples/spec_driven/paper_128k.json
+//	                                   # reproduce a committed experiment
+//	helixsim -spec base.json -pp 4 -emit-spec resolved.json
+//	                                   # override one axis, save the result
 //	helixsim -dist bimodal -docs 64 -minseq 8192 -seq 131072 -method 1F1B
 //	                                   # variable-length workload: sample
 //	                                   # document lengths, pack under -seq
@@ -28,11 +35,13 @@ import (
 	"strings"
 
 	helixpipe "repro"
+	"repro/internal/cliutil"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("helixsim: ")
+	sf := cliutil.RegisterSpecFlags()
 	var (
 		modelName   = flag.String("model", "7B", "model preset: 1.3B, 3B, 7B, 13B, tiny")
 		clusterName = flag.String("cluster", "H20", "cluster: flat preset (H20, A800), topology preset (DGX-A800x4, DGX-H20x2, PCIe-box), or a topology .json file")
@@ -44,6 +53,7 @@ func main() {
 		timeline    = flag.Bool("timeline", false, "print an ASCII timeline")
 		svgPath     = flag.String("svg", "", "write an SVG timeline to this path")
 		jsonOut     = flag.Bool("json", false, "emit machine-readable JSON reports on stdout")
+		csvPath     = flag.String("csv", "", "also write the reports as CSV to this path")
 		distName    = flag.String("dist", "", "variable-length workload: document-length distribution (uniform, bimodal, longtail)")
 		docs        = flag.Int("docs", 64, "variable-length workload: documents to sample")
 		minSeq      = flag.Int("minseq", 0, "variable-length workload: shortest document (default seq/16)")
@@ -55,161 +65,110 @@ func main() {
 	)
 	flag.Parse()
 
-	methods, err := resolveMethods(*methodName)
-	if err != nil {
-		log.Fatal(err)
+	spec := sf.Load()
+	ov := cliutil.NewOverlay()
+	ov.String("model", *modelName, &spec.Model)
+	ov.String("cluster", *clusterName, &spec.Cluster)
+	ov.Int("seq", *seqLen, &spec.SeqLen)
+	ov.Int("pp", *stages, &spec.Stages)
+	ov.Int("b", *microBatch, &spec.MicroBatchSize)
+	if ov.Has("m") {
+		spec.MicroBatches = *numMB
 	}
-
-	mc, ok := helixpipe.ModelByName(*modelName)
-	if !ok {
-		log.Fatalf("unknown model %q", *modelName)
+	// The HelixPipe flag default applies to flag-only runs; a spec file
+	// that omits methods keeps the spec semantics (every registered
+	// method), the same as the library and the other tools.
+	if ov.Has("method") || (sf.Path == "" && len(spec.Methods) == 0) {
+		spec.Methods = cliutil.MethodsArg(*methodName)
 	}
-	cl, topo, err := helixpipe.ResolveCluster(*clusterName)
-	if err != nil {
-		log.Fatal(err)
-	}
-	opts := []helixpipe.Option{
-		helixpipe.WithSeqLen(*seqLen),
-		helixpipe.WithStages(*stages),
-		helixpipe.WithMicroBatchSize(*microBatch),
-	}
-	if topo != nil {
-		opts = append(opts, helixpipe.WithCluster(*topo))
-	}
-	if *perturbSpec != "" {
-		if topo == nil {
-			log.Fatalf("-perturb requires a topology cluster (-cluster DGX-A800x4, ...)")
-		}
-		perturb, err := helixpipe.ParsePerturb(*perturbSpec)
-		if err != nil {
-			log.Fatal(err)
-		}
-		opts = append(opts, helixpipe.WithPerturb(perturb))
-	}
-	if *numMB > 0 {
-		opts = append(opts, helixpipe.WithMicroBatches(*numMB))
-	}
-	if *timeline || *svgPath != "" {
-		opts = append(opts, helixpipe.WithTrace())
-	}
-	if *distName != "" {
-		dist, ok := helixpipe.LengthDistByName(*distName)
-		if !ok {
-			log.Fatalf("unknown distribution %q (uniform, bimodal, longtail)", *distName)
-		}
-		lo := *minSeq
-		if lo <= 0 {
-			lo = *seqLen / 16
-			if lo < 1 {
-				lo = 1
-			}
-		}
-		// -seq doubles as the longest document and the per-micro-batch token
-		// budget, so a full-length document fills one micro batch alone.
-		workload, err := helixpipe.SyntheticWorkload(dist, *docs, lo, *seqLen, int64(*seqLen), *distSeed)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if *orderName != "" {
-			order, ok := helixpipe.MBOrderByName(*orderName)
-			if !ok {
-				log.Fatalf("unknown order %q (packed, longest, shortest, balanced)", *orderName)
-			}
-			if workload, err = workload.Ordered(order); err != nil {
-				log.Fatal(err)
-			}
-		}
-		opts = append(opts, helixpipe.WithWorkload(workload))
-	} else if *orderName != "" {
+	if *orderName != "" && *distName == "" && spec.Workload == nil {
 		log.Fatalf("-order requires a variable-length workload (-dist)")
 	}
-	if *placeName != "" && topo == nil {
-		log.Fatalf("-placement requires a topology cluster (-cluster DGX-A800x4, ...)")
-	}
-	session, err := helixpipe.NewSession(mc, cl, opts...)
+	ov.Workload(spec, *distName, *docs, *minSeq, 0, *distSeed, *orderName)
+	ov.String("placement", *placeName, &spec.Placement)
+	ov.Uint64("place-seed", *placeSeed, &spec.PlacementSeed)
+	ov.String("perturb", *perturbSpec, &spec.Perturb)
+	out := ov.Output(spec, func(out *helixpipe.SpecOutput) {
+		ov.Bool("json", *jsonOut, &out.JSON)
+		ov.Bool("timeline", *timeline, &out.Timeline)
+		ov.String("svg", *svgPath, &out.SVG)
+		ov.String("csv", *csvPath, &out.CSV)
+	})
+
+	sf.EmitResolved(spec)
+	session, runset, err := spec.Resolve()
 	if err != nil {
 		log.Fatal(err)
 	}
+	if runset.Kind == helixpipe.RunKindTune {
+		log.Fatalf("the spec holds a tune grid; run it with helixtune -spec %s", sf.Path)
+	}
 
+	// Execute streams the reports in cell order; text output prints each as
+	// it lands, JSON and CSV collect the array.
 	var reports []*helixpipe.Report
-	for _, method := range methods {
-		run := session
-		if *placeName != "" {
-			// Placement search uses the method's own traffic matrix, so each
-			// method derives its own placed session.
-			placement, err := session.PlacementFor(method, *placeName, *placeSeed)
-			if err != nil {
-				log.Fatal(err)
-			}
-			if run, err = session.With(helixpipe.WithPlacement(placement)); err != nil {
-				log.Fatal(err)
-			}
-		}
-		report, err := run.Simulate(method)
+	multi := len(runset.Cells) > 1
+	for report, err := range session.Execute(spec) {
 		if err != nil {
 			log.Fatal(err)
 		}
-		reports = append(reports, report)
-	}
-
-	if *jsonOut {
-		if err := helixpipe.WriteReportsJSON(os.Stdout, reports); err != nil {
-			log.Fatal(err)
-		}
-	}
-	for _, report := range reports {
-		if !*jsonOut {
+		if !out.JSON {
 			printReport(report)
-			if *timeline {
+			if out.Timeline {
 				fmt.Println(report.TimelineASCII(140))
 			}
 		}
-		if *svgPath != "" {
-			path := *svgPath
-			if len(methods) > 1 {
-				path = strings.TrimSuffix(path, ".svg") + "_" + string(report.Method) + ".svg"
+		if out.SVG != "" {
+			path := out.SVG
+			if multi {
+				suffix := "_" + string(report.Method)
+				if runset.Kind == helixpipe.RunKindSweep {
+					// Sweep cells repeat methods; the geometry keeps every
+					// cell's file distinct.
+					suffix += fmt.Sprintf("_seq%d_p%d", report.SeqLen, report.Stages)
+				}
+				path = strings.TrimSuffix(path, ".svg") + suffix + ".svg"
 			}
 			if err := os.WriteFile(path, []byte(report.TimelineSVG(1400)), 0o644); err != nil {
 				log.Fatal(err)
 			}
-			if !*jsonOut {
+			if !out.JSON {
 				fmt.Printf("wrote %s\n", path)
 			}
 		}
-	}
-}
-
-// resolveMethods expands the -method flag into registry method names,
-// case-insensitively. "help" (or an unknown name) prints the registry's
-// method list.
-func resolveMethods(name string) ([]helixpipe.Method, error) {
-	if strings.EqualFold(name, "all") {
-		return helixpipe.Methods(), nil
-	}
-	var out []helixpipe.Method
-	for _, part := range strings.Split(name, ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
+		// Only the collected output modes need the slice; text mode stays
+		// streaming and holds nothing.
+		if out.JSON || out.CSV != "" {
+			reports = append(reports, report)
 		}
-		m, ok := helixpipe.LookupMethod(part)
-		if !ok {
-			if !strings.EqualFold(part, "help") {
-				fmt.Fprintf(os.Stderr, "unknown method %q; the registered methods are:\n\n", part)
-			}
-			fmt.Fprint(os.Stderr, helixpipe.MethodListing())
-			fmt.Fprintf(os.Stderr, "  %-22s run every registered method\n", "all")
-			os.Exit(2)
+	}
+	if out.JSON {
+		if err := helixpipe.WriteReportsJSON(os.Stdout, reports); err != nil {
+			log.Fatal(err)
 		}
-		out = append(out, m)
 	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("no method given")
+	if out.CSV != "" {
+		f, err := os.Create(out.CSV)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := helixpipe.WriteReportsCSV(f, reports); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
 	}
-	return out, nil
 }
 
 func printReport(r *helixpipe.Report) {
+	if r.Sim == nil {
+		// A numeric-engine spec run has no simulator metrics.
+		if r.Numeric != nil {
+			fmt.Printf("%-22s numeric loss %.6f\n", r.Method, r.Numeric.Loss)
+		}
+		return
+	}
 	s := r.Sim
 	fmt.Printf("%-22s iteration %8.3f s   %10.0f tokens/s   bubble %6.1f%%   peak stash %.1f GB\n",
 		r.Method, s.IterationSeconds, s.TokensPerSecond,

@@ -2,10 +2,17 @@
 // tiny GPT with a chosen pipeline parallelism (goroutines as GPUs, channels
 // as interconnect) and verifies gradient and loss parity against the
 // single-device reference — the paper's section 4.1 semantics claim, live.
+// The parity configuration is an experiment spec (engine "numeric"): -spec
+// loads a saved one and -emit-spec writes the resolved spec back. The
+// training-loop knobs (-steps, -lr) are runtime flags outside the spec —
+// the spec reproduces the model/schedule/geometry/seed configuration, not
+// the loop length.
 //
 // Usage:
 //
 //	helixtrain -method HelixPipe -steps 10 -pp 2
+//	helixtrain -emit-spec parity.json -steps 1
+//	helixtrain -spec parity.json       # reproduce a saved parity run
 //	helixtrain -method help            # list the registered methods
 package main
 
@@ -18,11 +25,13 @@ import (
 	"strings"
 
 	helixpipe "repro"
+	"repro/internal/cliutil"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("helixtrain: ")
+	sf := cliutil.RegisterSpecFlags()
 	var (
 		methodName = flag.String("method", "HelixPipe", "pipeline parallelism to train with (case-insensitive; 'help' lists)")
 		steps      = flag.Int("steps", 10, "optimizer steps")
@@ -34,27 +43,66 @@ func main() {
 	)
 	flag.Parse()
 
-	method, ok := helixpipe.LookupMethod(*methodName)
-	if !ok {
-		if !strings.EqualFold(*methodName, "help") {
-			fmt.Fprintf(os.Stderr, "unknown method %q; the registered methods are:\n\n", *methodName)
+	spec := sf.Load()
+	ov := cliutil.NewOverlay()
+	switch spec.Engine {
+	case "", helixpipe.SpecEngineNumeric:
+		spec.Engine = helixpipe.SpecEngineNumeric
+	default:
+		log.Fatalf("helixtrain runs the numeric engine; the spec names %q", spec.Engine)
+	}
+	if spec.Model == "" {
+		spec.Model = "tiny"
+	}
+	if spec.Cluster == "" {
+		spec.Cluster = "H20"
+	}
+	ov.Int("pp", *stages, &spec.Stages)
+	ov.Int("seq", *seqLen, &spec.SeqLen)
+	ov.Uint64("seed", *seed, &spec.Seed)
+	if ov.Has("method") || len(spec.Methods) == 0 {
+		if strings.EqualFold(*methodName, "all") {
+			log.Fatalf("helixtrain trains one method at a time; pick one of:\n%s",
+				helixpipe.MethodListing())
 		}
-		fmt.Fprint(os.Stderr, helixpipe.MethodListing())
-		os.Exit(2)
+		if strings.EqualFold(*methodName, "help") {
+			cliutil.FatalUnknownMethodSingle(*methodName)
+		}
+		spec.Methods = cliutil.MethodsArg(*methodName)
+	}
+	if spec.MicroBatches == 0 {
+		spec.MicroBatches = 2 * spec.Stages * 2 // two two-fold FILO loops
+	}
+	if ov.Has("json") {
+		if spec.Output == nil {
+			spec.Output = &helixpipe.SpecOutput{}
+		}
+		spec.Output.JSON = *jsonOut
 	}
 
+	sf.EmitResolved(spec)
+	session, runset, err := spec.Resolve()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(runset.Cells) != 1 {
+		log.Fatalf("helixtrain trains one method; the spec resolves to %d cells", len(runset.Cells))
+	}
+	method := runset.Cells[0].Method
+	useJSON := spec.Output != nil && spec.Output.JSON
+
 	cfg := helixpipe.TrainConfig{
-		Model:        helixpipe.TinyModel(),
+		Model:        session.Model(),
 		Method:       method,
-		Stages:       *stages,
-		MicroBatches: 2 * *stages * 2, // two two-fold FILO loops
-		Batch:        1,
-		SeqLen:       *seqLen,
+		Stages:       session.Stages(),
+		MicroBatches: session.MicroBatches(),
+		Batch:        session.MicroBatchSize(),
+		SeqLen:       session.SeqLen(),
 		Steps:        *steps,
 		LR:           *lr,
-		Seed:         *seed,
+		Seed:         runset.Seed,
 	}
-	if !*jsonOut {
+	if !useJSON {
 		fmt.Printf("training tiny GPT (%d layers, hidden %d) with %s on %d stages, %d micro batches\n",
 			cfg.Model.Layers, cfg.Model.Hidden, cfg.Method, cfg.Stages, cfg.MicroBatches)
 	}
@@ -63,7 +111,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if !*jsonOut {
+	if !useJSON {
 		for i, loss := range trainReport.Losses {
 			fmt.Printf("step %2d  loss %.6f\n", i, loss)
 		}
@@ -73,27 +121,20 @@ func main() {
 	}
 
 	// Single-iteration parity check against the single-device reference,
-	// through the Session/Engine API: the numeric engine and the reference
-	// share initialization seed and micro batches.
-	session, err := helixpipe.NewSession(cfg.Model, helixpipe.H20Cluster(),
-		helixpipe.WithSeqLen(cfg.SeqLen),
-		helixpipe.WithStages(cfg.Stages),
-		helixpipe.WithMicroBatches(cfg.MicroBatches))
-	if err != nil {
-		log.Fatal(err)
-	}
-	engine := session.NumericEngine(cfg.Seed)
+	// through the spec-resolved session: the numeric engine and the
+	// reference share initialization seed and micro batches.
+	engine := session.NumericEngine(runset.Seed)
 	report, err := session.Run(engine, method)
 	if err != nil {
 		log.Fatal(err)
 	}
-	ref := helixpipe.NewNumericModel(cfg.Model, cfg.Seed)
+	ref := helixpipe.NewNumericModel(cfg.Model, runset.Seed)
 	refLoss, refGrads := helixpipe.ReferenceStep(ref, engine.Batches)
 	res := report.NumericResult()
 	diff := helixpipe.GradDiff(res.Grads, refGrads)
 	identical := res.Loss == refLoss && diff == 0
 
-	if *jsonOut {
+	if useJSON {
 		out := struct {
 			Losses    []float64         `json:"losses"`
 			Parity    *helixpipe.Report `json:"parity"`
@@ -111,7 +152,7 @@ func main() {
 			res.Loss, refLoss, diff)
 	}
 	if identical {
-		if !*jsonOut {
+		if !useJSON {
 			fmt.Printf("%s preserves the computation semantics of single-device training (paper section 4.1)\n", method)
 		}
 	} else {

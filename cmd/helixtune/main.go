@@ -3,7 +3,9 @@
 // method x seqlen x stages x micro-batch grid, prunes memory-infeasible
 // points with cheap caching-allocator estimates before simulating, fans the
 // survivors across a worker pool, and prints the best schedule per sequence
-// length plus the throughput-vs-peak-memory Pareto frontier.
+// length plus the throughput-vs-peak-memory Pareto frontier. Like every
+// tool, the search is an experiment spec: -spec loads a saved one (flags
+// become overrides) and -emit-spec writes the fully-resolved grid back.
 //
 // Usage:
 //
@@ -11,9 +13,14 @@
 //	helixtune -seq 32768,65536,131072 -pp 2,4,8 -m 0,16 -json
 //	helixtune -method helixpipe,1f1b,zb1p -csv points.csv
 //	helixtune -method help              # list the registered methods
+//	helixtune -spec examples/spec_driven/tune_a800_64gb.json
 //	helixtune -dist longtail -docs 64 -minseq 8192 -maxseq 131072
 //	                                    # also rank methods on a sampled
 //	                                    # variable-length workload
+//	helixtune -dist longtail -orders packed,longest,shortest,balanced
+//	                                    # cross micro-batch execution orders
+//	                                    # with methods so order, method and
+//	                                    # placement rank jointly
 //	helixtune -cluster DGX-A800x4 -pp 8,16,32
 //	                                    # topology-aware: search placements
 //	                                    # (contiguous, roundrobin, greedy) per
@@ -28,15 +35,15 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"strconv"
-	"strings"
 
 	helixpipe "repro"
+	"repro/internal/cliutil"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("helixtune: ")
+	sf := cliutil.RegisterSpecFlags()
 	var (
 		modelName   = flag.String("model", "3B", "model preset: 1.3B, 3B, 7B, 13B, tiny")
 		clusterName = flag.String("cluster", "A800", "cluster: flat preset (H20, A800), topology preset (DGX-A800x4, DGX-H20x2, PCIe-box), or a topology .json file")
@@ -54,75 +61,60 @@ func main() {
 		minSeq      = flag.Int("minseq", 8192, "variable-length workload: shortest document")
 		maxSeq      = flag.Int("maxseq", 131072, "variable-length workload: longest document and micro-batch token budget")
 		distSeed    = flag.Uint64("dist-seed", 42, "variable-length workload: sampling seed")
+		ordersList  = flag.String("orders", "", "variable-length workload: comma-separated micro-batch orders to cross with methods (packed, longest, shortest, balanced)")
 		placeList   = flag.String("placement", "", "topology clusters: comma-separated placement strategies to search (default contiguous,roundrobin,greedy)")
 		perturbSpec = flag.String("perturb", "", "topology clusters: fault injection, e.g. slow=3x2.0,link=ibx0.5")
 	)
 	flag.Parse()
 
-	mc, ok := helixpipe.ModelByName(*modelName)
-	if !ok {
-		log.Fatalf("unknown model %q", *modelName)
+	spec := sf.Load()
+	ov := cliutil.NewOverlay()
+	ov.String("model", *modelName, &spec.Model)
+	ov.String("cluster", *clusterName, &spec.Cluster)
+	if ov.Has("method") || len(spec.Methods) == 0 {
+		spec.Methods = cliutil.MethodsArg(*methodsFlag)
 	}
-	cl, topo, err := helixpipe.ResolveCluster(*clusterName)
+	ov.Workload(spec, *distName, *docs, *minSeq, *maxSeq, *distSeed, "")
+	if spec.Tune == nil {
+		spec.Tune = &helixpipe.SpecTune{}
+	}
+	t := spec.Tune
+	// The default fixed-length axis applies on flag-driven runs (with
+	// -dist it ranks the workload *in addition* to the fixed grid, as
+	// documented); only a spec file's own workload keeps the search
+	// workload-only.
+	if ov.Has("seq") || (len(t.SeqLens) == 0 && (spec.Workload == nil || ov.Has("dist"))) {
+		t.SeqLens = cliutil.ParseInts("seq", *seqList)
+	}
+	ov.Ints("pp", *ppList, &t.Stages)
+	ov.Ints("m", *mbList, &t.MicroBatches)
+	ov.Ints("b", *bList, &t.MicroBatchSizes)
+	ov.Float64("budget", *budgetGB, &t.BudgetGB)
+	ov.Int("workers", *workers, &t.Workers)
+	if ov.Has("placement") {
+		t.Placements = cliutil.SplitList(*placeList)
+	}
+	if ov.Has("orders") {
+		t.Orders = cliutil.SplitList(*ordersList)
+	}
+	ov.String("perturb", *perturbSpec, &spec.Perturb)
+	out := ov.Output(spec, func(out *helixpipe.SpecOutput) {
+		ov.Bool("json", *jsonOut, &out.JSON)
+		ov.String("csv", *csvPath, &out.CSV)
+	})
+
+	sf.EmitResolved(spec)
+	session, runset, err := spec.Resolve()
+	if err != nil {
+		log.Fatal(err)
+	}
+	result, err := session.Autotune(*runset.Tune)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	spec := helixpipe.TuneSpec{
-		Methods:           resolveMethods(*methodsFlag),
-		SeqLens:           parseInts("seq", *seqList),
-		Stages:            parseInts("pp", *ppList),
-		MicroBatches:      parseInts("m", *mbList),
-		MicroBatchSizes:   parseInts("b", *bList),
-		MemoryBudgetBytes: int64(*budgetGB * float64(1<<30)),
-		Workers:           *workers,
-	}
-	spec.Cluster = topo
-	if *placeList != "" {
-		if topo == nil {
-			log.Fatalf("-placement requires a topology cluster (-cluster DGX-A800x4, ...)")
-		}
-		for _, part := range strings.Split(*placeList, ",") {
-			if part = strings.TrimSpace(part); part != "" {
-				spec.Placements = append(spec.Placements, part)
-			}
-		}
-	}
-	if *perturbSpec != "" {
-		if topo == nil {
-			log.Fatalf("-perturb requires a topology cluster (-cluster DGX-A800x4, ...)")
-		}
-		perturb, err := helixpipe.ParsePerturb(*perturbSpec)
-		if err != nil {
-			log.Fatal(err)
-		}
-		spec.Perturb = &perturb
-	}
-	if *distName != "" {
-		dist, ok := helixpipe.LengthDistByName(*distName)
-		if !ok {
-			log.Fatalf("unknown distribution %q (uniform, bimodal, longtail)", *distName)
-		}
-		workload, err := helixpipe.SyntheticWorkload(dist, *docs, *minSeq, *maxSeq, int64(*maxSeq), *distSeed)
-		if err != nil {
-			log.Fatal(err)
-		}
-		spec.Workloads = append(spec.Workloads, helixpipe.TuneWorkload{
-			Name: *distName, Batch: workload,
-		})
-	}
-
-	session, err := helixpipe.NewSession(mc, cl)
-	if err != nil {
-		log.Fatal(err)
-	}
-	result, err := session.Autotune(spec)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	if *csvPath != "" {
-		f, err := os.Create(*csvPath)
+	if out.CSV != "" {
+		f, err := os.Create(out.CSV)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -133,7 +125,7 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	if *jsonOut {
+	if out.JSON {
 		if err := helixpipe.WriteTuneResultJSON(os.Stdout, result); err != nil {
 			log.Fatal(err)
 		}
@@ -147,47 +139,4 @@ func main() {
 	for _, e := range result.Errors {
 		fmt.Fprintf(os.Stderr, "skipped: %s\n", e)
 	}
-}
-
-// resolveMethods expands the -method flag through the registry,
-// case-insensitively; empty keeps the autotuner's every-method default.
-// "help" (or an unknown name) prints the registry's method list.
-func resolveMethods(flagValue string) []helixpipe.Method {
-	if flagValue == "" {
-		return nil
-	}
-	var out []helixpipe.Method
-	for _, part := range strings.Split(flagValue, ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
-		}
-		m, ok := helixpipe.LookupMethod(part)
-		if !ok {
-			if !strings.EqualFold(part, "help") {
-				fmt.Fprintf(os.Stderr, "unknown method %q; the registered methods are:\n\n", part)
-			}
-			fmt.Fprint(os.Stderr, helixpipe.MethodListing())
-			os.Exit(2)
-		}
-		out = append(out, m)
-	}
-	return out
-}
-
-// parseInts parses a comma-separated integer list flag.
-func parseInts(name, s string) []int {
-	var out []int
-	for _, part := range strings.Split(s, ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
-		}
-		v, err := strconv.Atoi(part)
-		if err != nil {
-			log.Fatalf("-%s: %q is not an integer", name, part)
-		}
-		out = append(out, v)
-	}
-	return out
 }

@@ -1,7 +1,8 @@
 // Command helixviz renders the paper's schedule diagrams (Figures 2, 5, 6
 // and 7) from actual simulated executions, as ASCII timelines and optional
 // SVG files. The execution-time ratio pre:attention:post is the figures'
-// didactic 1:3:2.
+// didactic 1:3:2. With -spec it instead renders the timeline of an
+// arbitrary experiment spec's run (tracing forced), one panel per cell.
 //
 // Usage:
 //
@@ -11,6 +12,8 @@
 //	helixviz -figure 7          # naive vs two-fold FILO full schedules
 //	helixviz -figure 7 -svgdir out/
 //	helixviz -figure 7 -json    # the panel reports as JSON
+//	helixviz -spec examples/spec_driven/paper_128k.json -width 120
+//	                            # timeline of a committed experiment
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"path/filepath"
 
 	helixpipe "repro"
+	"repro/internal/cliutil"
 )
 
 // panel is one sub-diagram: a method under a configuration.
@@ -85,6 +89,7 @@ func buildPanel(p panel) (*helixpipe.Report, error) {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("helixviz: ")
+	sf := cliutil.RegisterSpecFlags()
 	var (
 		figure  = flag.Int("figure", 2, "paper figure to render: 2, 5, 6 or 7")
 		width   = flag.Int("width", 140, "ASCII timeline width")
@@ -92,6 +97,14 @@ func main() {
 		jsonOut = flag.Bool("json", false, "emit the panel reports as JSON on stdout")
 	)
 	flag.Parse()
+
+	if sf.Path != "" {
+		renderSpec(sf, *width, *svgDir, *jsonOut)
+		return
+	}
+	if sf.EmitPath != "" {
+		log.Fatal("-emit-spec requires -spec; the didactic figures are not spec-driven")
+	}
 
 	ps, err := panels(*figure)
 	if err != nil {
@@ -122,6 +135,63 @@ func main() {
 		}
 	}
 	if *jsonOut {
+		if err := helixpipe.WriteReportsJSON(os.Stdout, reports); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// renderSpec renders the timeline of an arbitrary experiment spec's run:
+// tracing is forced on, every cell of the spec becomes one panel, streamed
+// as each simulation completes.
+func renderSpec(sf *cliutil.SpecFlags, width int, svgDir string, jsonOut bool) {
+	spec := sf.Load()
+	spec.Trace = true
+	if spec.Engine == helixpipe.SpecEngineNumeric {
+		log.Fatal("the numeric engine records no simulator spans; use a sim-engine spec")
+	}
+	// The spec's output selection applies here too; the -json flag layers
+	// over it like every other tool's flags.
+	ov := cliutil.NewOverlay()
+	if !ov.Has("json") && spec.Output != nil {
+		jsonOut = spec.Output.JSON
+	}
+	sf.EmitResolved(spec)
+	session, runset, err := spec.Resolve()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if runset.Kind == helixpipe.RunKindTune {
+		log.Fatalf("the spec holds a tune grid; run it with helixtune -spec %s", sf.Path)
+	}
+	var reports []*helixpipe.Report
+	for report, err := range session.Execute(spec) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		name := fmt.Sprintf("%s seq=%d p=%d", report.Method, report.SeqLen, report.Stages)
+		if !jsonOut {
+			fmt.Println(name)
+			fmt.Println(report.TimelineASCII(width))
+		}
+		if svgDir != "" {
+			if err := os.MkdirAll(svgDir, 0o755); err != nil {
+				log.Fatal(err)
+			}
+			path := filepath.Join(svgDir, fmt.Sprintf("%s_seq%d_p%d.svg",
+				report.Method, report.SeqLen, report.Stages))
+			if err := os.WriteFile(path, []byte(report.TimelineSVG(1400)), 0o644); err != nil {
+				log.Fatal(err)
+			}
+			if !jsonOut {
+				fmt.Printf("wrote %s\n\n", path)
+			}
+		}
+		if jsonOut {
+			reports = append(reports, report)
+		}
+	}
+	if jsonOut {
 		if err := helixpipe.WriteReportsJSON(os.Stdout, reports); err != nil {
 			log.Fatal(err)
 		}

@@ -46,9 +46,20 @@
 //	})
 //	parity, err := s.Run(s.NumericEngine(42), helixpipe.MethodHelix)
 //
-// The free functions below (NewScenario, BuildPlan, Simulate, ...) are the
-// package's original surface, kept as thin deprecated shims over the
-// Session/Engine API.
+// Whole experiments are declarative: an ExperimentSpec is a JSON-round-
+// trippable description of everything a run needs (model, cluster, topology,
+// placement, perturbation, workload, methods, engine, sweep axes, tune grid,
+// output selection). ParseSpec reads one, Resolve validates it eagerly into a
+// Session plus a RunSet, and Session.Execute streams its Reports as an
+// iter.Seq2 so arbitrarily large sweeps never buffer:
+//
+//	spec, err := helixpipe.ParseSpecFile("examples/spec_driven/paper_128k.json")
+//	session, runset, err := spec.Resolve()
+//	for report, err := range session.Execute(spec) { ... }
+//
+// The command-line tools build on the same spec: every tool accepts
+// -spec file.json (flags become overrides layered onto the spec) and
+// -emit-spec to write back the fully-resolved spec for exact reproduction.
 package helixpipe
 
 import (
@@ -63,7 +74,6 @@ import (
 	"repro/internal/model"
 	"repro/internal/sched"
 	"repro/internal/sim"
-	"repro/internal/trace"
 	"repro/internal/tune"
 )
 
@@ -189,12 +199,36 @@ func ParsePerturb(s string) (Perturb, error) { return cluster.ParsePerturb(s) }
 // "longest", "shortest", "balanced") and reports whether it exists.
 func MBOrderByName(name string) (MBOrder, bool) { return model.OrderByName(name) }
 
+// FlatClusterNames lists the flat cost-model cluster presets ("H20",
+// "A800") in preset order.
+func FlatClusterNames() []string {
+	clusters := costmodel.Clusters()
+	names := make([]string, len(clusters))
+	for i, cl := range clusters {
+		names[i] = cl.Name
+	}
+	return names
+}
+
+// ClusterListing renders every resolvable -cluster argument — the flat
+// cost-model presets followed by the topology presets — as the command-line
+// tools print it on an unknown cluster name.
+func ClusterListing() string {
+	var b strings.Builder
+	for _, cl := range costmodel.Clusters() {
+		fmt.Fprintf(&b, "  %-12s flat %s testbed (one-hop NIC model)\n", cl.Name, cl.GPU.Name)
+	}
+	b.WriteString(cluster.PresetListing())
+	return b.String()
+}
+
 // ResolveCluster resolves a -cluster style argument: a flat cost-model
 // preset name ("H20", "A800"), a topology preset name ("DGX-A800x4",
 // "DGX-H20x2", "PCIe-box"), or a path to a topology JSON file. Flat presets
 // return a nil topology (the one-hop NIC model); topology arguments
 // additionally return the cost-model ClusterSpec named by the topology's
-// GPU field, which prices compute on its devices.
+// GPU field, which prices compute on its devices. An unknown name reports
+// the full ClusterListing.
 func ResolveCluster(arg string) (ClusterSpec, *ClusterTopology, error) {
 	if cl, ok := costmodel.ClusterByName(arg); ok {
 		return cl, nil, nil
@@ -210,14 +244,14 @@ func ResolveCluster(arg string) (ClusterSpec, *ClusterTopology, error) {
 		topo = t
 	} else {
 		return ClusterSpec{}, nil, fmt.Errorf(
-			"helixpipe: unknown cluster %q (flat presets: H20, A800; topologies:\n%s  or a topology .json file)",
-			arg, cluster.PresetListing())
+			"helixpipe: unknown cluster %q; the available clusters are:\n%s  (or a topology .json file)",
+			arg, ClusterListing())
 	}
 	cl, ok := costmodel.ClusterByName(topo.GPU)
 	if !ok {
 		return ClusterSpec{}, nil, fmt.Errorf(
-			"helixpipe: topology %s names GPU %q, not a cost-model cluster preset (H20, A800)",
-			topo.Name, topo.GPU)
+			"helixpipe: topology %s names GPU %q, not a flat cluster preset (%s)",
+			topo.Name, topo.GPU, strings.Join(FlatClusterNames(), ", "))
 	}
 	return cl, &topo, nil
 }
@@ -297,10 +331,6 @@ type (
 	SimResult = sim.Result
 	// SimOptions tunes the simulator.
 	SimOptions = sim.Options
-	// Scenario is a full experiment configuration.
-	//
-	// Deprecated: build a Session with NewSession instead.
-	Scenario = bench.Scenario
 	// ExperimentTable is a rendered experiment result.
 	ExperimentTable = bench.Table
 )
@@ -334,6 +364,17 @@ func ModelByName(name string) (ModelConfig, bool) {
 		return model.TinyTest(), true
 	}
 	return model.PresetByName(name)
+}
+
+// ModelNames lists every model preset name ModelByName resolves, paper
+// models first.
+func ModelNames() []string {
+	presets := model.Presets()
+	names := make([]string, 0, len(presets)+1)
+	for _, mc := range presets {
+		names = append(names, mc.Name)
+	}
+	return append(names, "tiny")
 }
 
 // Cluster presets (paper section 5.1 testbeds).
@@ -393,44 +434,4 @@ func ReadBaselineJSON(r io.Reader) ([]BaselineConfig, error) { return bench.Read
 // = fail on a >10% drop). Configs or methods on only one side never count.
 func CompareBaselines(prev, cur []BaselineConfig, threshold float64) []string {
 	return bench.CompareBaselines(prev, cur, threshold)
-}
-
-// Deprecated free-function shims over the Session/Engine API.
-
-// NewScenario builds a paper-default scenario: micro batch size 1 and
-// m = 2p micro batches per iteration (section 5.1).
-//
-// Deprecated: use NewSession with WithSeqLen and WithStages.
-func NewScenario(m ModelConfig, cl ClusterSpec, seqLen, stages int) Scenario {
-	return bench.NewScenario(m, cl, seqLen, stages)
-}
-
-// BuildPlan constructs the schedule plan for a method under a scenario.
-//
-// Deprecated: use Session.Plan.
-func BuildPlan(s Scenario, method Method) (*Plan, error) { return s.BuildPlan(method) }
-
-// Simulate runs one simulated training iteration of a plan.
-//
-// Deprecated: use Session.Simulate or SimEngine.Run for Report results;
-// this shim returns the raw simulator result.
-func Simulate(p *Plan, opt SimOptions) (*SimResult, error) { return sim.Run(p, opt) }
-
-// TimelineASCII renders a simulated (traced) result as text lanes.
-//
-// Deprecated: use Report.TimelineASCII.
-func TimelineASCII(res *SimResult, width int) string { return trace.ASCII(res, width) }
-
-// TimelineSVG renders a simulated (traced) result as an SVG document.
-//
-// Deprecated: use Report.TimelineSVG.
-func TimelineSVG(res *SimResult, width int) string { return trace.SVG(res, width) }
-
-// BuildBaseline constructs a baseline plan (GPipe, 1F1B, interleaved 1F1B,
-// ZB1P, ZB2P, AdaPipe) from an explicit schedule configuration and cost
-// book, with an unlimited memory budget.
-//
-// Deprecated: use BuildMethod, which reaches every registered method.
-func BuildBaseline(method Method, cfg ScheduleConfig, costs Costs) (*Plan, error) {
-	return sched.Build(method, cfg, costs, sched.BuildParams{})
 }

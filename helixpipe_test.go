@@ -7,26 +7,30 @@ import (
 
 // TestPublicAPISimulation exercises the simulation surface end to end.
 func TestPublicAPISimulation(t *testing.T) {
-	s := NewScenario(Model3B(), H20Cluster(), 65536, 4)
+	s, err := NewSession(Model3B(), H20Cluster(),
+		WithSeqLen(65536), WithStages(4), WithTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, m := range []Method{Method1F1B, MethodHelix} {
-		plan, err := BuildPlan(s, m)
+		plan, err := s.Plan(m)
 		if err != nil {
 			t.Fatalf("%s: %v", m, err)
 		}
 		if err := ValidatePlan(plan); err != nil {
 			t.Fatalf("%s: %v", m, err)
 		}
-		res, err := Simulate(plan, SimOptions{Trace: true})
+		report, err := s.Simulate(m)
 		if err != nil {
 			t.Fatalf("%s: %v", m, err)
 		}
-		if res.IterationSeconds <= 0 {
+		if report.Sim.IterationSeconds <= 0 {
 			t.Errorf("%s: non-positive iteration", m)
 		}
-		if out := TimelineASCII(res, 100); !strings.Contains(out, "P0") {
+		if out := report.TimelineASCII(100); !strings.Contains(out, "P0") {
 			t.Errorf("%s: timeline broken", m)
 		}
-		if out := TimelineSVG(res, 800); !strings.Contains(out, "<svg") {
+		if out := report.TimelineSVG(800); !strings.Contains(out, "<svg") {
 			t.Errorf("%s: SVG broken", m)
 		}
 	}
@@ -34,13 +38,20 @@ func TestPublicAPISimulation(t *testing.T) {
 
 // TestPublicAPIHelixWins checks the headline through the public API only.
 func TestPublicAPIHelixWins(t *testing.T) {
-	s := NewScenario(Model7B(), H20Cluster(), 131072, 8)
-	row, err := s.ThroughputRow()
+	s, err := NewSession(Model7B(), H20Cluster(), WithSeqLen(131072), WithStages(8))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if row[MethodHelix] <= row[Method1F1B] {
-		t.Errorf("HelixPipe (%f) should beat 1F1B (%f) at 128k", row[MethodHelix], row[Method1F1B])
+	tput := map[Method]float64{}
+	for _, m := range []Method{Method1F1B, MethodHelix} {
+		report, err := s.Simulate(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tput[m] = report.Sim.TokensPerSecond
+	}
+	if tput[MethodHelix] <= tput[Method1F1B] {
+		t.Errorf("HelixPipe (%f) should beat 1F1B (%f) at 128k", tput[MethodHelix], tput[Method1F1B])
 	}
 }
 
@@ -107,8 +118,11 @@ func TestPublicAPIMisc(t *testing.T) {
 	if H20Cluster().Validate() != nil || A800Cluster().Validate() != nil {
 		t.Error("cluster presets invalid")
 	}
-	w := NewScenario(Model3B(), A800Cluster(), 32768, 2).Workload()
-	if NewCosts(w).LayerDur(0) <= 0 {
+	s, err := NewSession(Model3B(), A800Cluster(), WithSeqLen(32768), WithStages(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if NewCosts(s.Workload()).LayerDur(0) <= 0 {
 		t.Error("cost book broken")
 	}
 }

@@ -1,0 +1,286 @@
+// Package cliutil is the shared front door of the command-line tools. Every
+// tool describes its run as one helixpipe.ExperimentSpec: -spec loads a
+// saved spec file, explicitly-set flags become overrides layered onto it
+// (flag defaults only fill fields the spec leaves unset), and -emit-spec
+// writes back the fully-resolved spec so the exact run can be reproduced
+// from one artifact. The package also centralizes the flag-value parsing the
+// tools used to duplicate — method lists with the registry "help" listing,
+// comma-separated integer lists — so errors are formatted one way
+// everywhere.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	helixpipe "repro"
+)
+
+// SpecFlags holds the shared -spec / -emit-spec flag values.
+type SpecFlags struct {
+	// Path is the -spec value: an experiment spec JSON file to load.
+	Path string
+	// EmitPath is the -emit-spec value: where to write the fully-resolved
+	// spec ("-" for stdout).
+	EmitPath string
+}
+
+// RegisterSpecFlags registers -spec and -emit-spec on the default flag set.
+// Call before flag.Parse.
+func RegisterSpecFlags() *SpecFlags {
+	sf := &SpecFlags{}
+	flag.StringVar(&sf.Path, "spec", "",
+		"experiment spec JSON file; explicitly-set flags override its fields")
+	flag.StringVar(&sf.EmitPath, "emit-spec", "",
+		"write the fully-resolved experiment spec to this path ('-' for stdout) for exact reproduction")
+	return sf
+}
+
+// Load parses the -spec file, or returns an empty spec when none was given.
+// Parse errors are fatal: a mistyped spec must not silently run defaults.
+func (sf *SpecFlags) Load() *helixpipe.ExperimentSpec {
+	if sf.Path == "" {
+		return &helixpipe.ExperimentSpec{}
+	}
+	spec, err := helixpipe.ParseSpecFile(sf.Path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return spec
+}
+
+// EmitResolved writes the fully-resolved spec to the -emit-spec path when
+// one was given: every default filled, every name canonicalized, so the
+// emitted file re-resolves to an identical RunSet. Call after layering the
+// flags onto the spec.
+func (sf *SpecFlags) EmitResolved(spec *helixpipe.ExperimentSpec) {
+	if sf.EmitPath == "" {
+		return
+	}
+	resolved, err := spec.Resolved()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if sf.EmitPath == "-" {
+		if err := helixpipe.WriteSpec(os.Stdout, resolved); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if err := helixpipe.WriteSpecFile(sf.EmitPath, resolved); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// Overlay layers explicitly-set command-line flags onto a loaded spec: a
+// flag the user typed always overrides the spec's field, and a flag default
+// only fills a field the spec leaves at its zero value. Construct it after
+// flag.Parse.
+type Overlay struct {
+	set map[string]bool
+}
+
+// NewOverlay records which flags were explicitly set on the command line.
+func NewOverlay() *Overlay {
+	o := &Overlay{set: map[string]bool{}}
+	flag.Visit(func(f *flag.Flag) { o.set[f.Name] = true })
+	return o
+}
+
+// Has reports whether the named flag was explicitly set.
+func (o *Overlay) Has(name string) bool { return o.set[name] }
+
+// String layers a string flag onto a spec field.
+func (o *Overlay) String(name, value string, dst *string) {
+	if o.set[name] || *dst == "" {
+		*dst = value
+	}
+}
+
+// Int layers an integer flag onto a spec field.
+func (o *Overlay) Int(name string, value int, dst *int) {
+	if o.set[name] || *dst == 0 {
+		*dst = value
+	}
+}
+
+// Uint64 layers a uint64 flag onto a spec field.
+func (o *Overlay) Uint64(name string, value uint64, dst *uint64) {
+	if o.set[name] || *dst == 0 {
+		*dst = value
+	}
+}
+
+// Float64 layers a float64 flag onto a spec field.
+func (o *Overlay) Float64(name string, value float64, dst *float64) {
+	if o.set[name] || *dst == 0 {
+		*dst = value
+	}
+}
+
+// Bool layers a boolean flag onto a spec field; only an explicitly-set flag
+// overrides (false is a meaningful spec value).
+func (o *Overlay) Bool(name string, value bool, dst *bool) {
+	if o.set[name] {
+		*dst = value
+	}
+}
+
+// Workload layers a tool's variable-length workload flags onto the spec.
+// Nothing happens unless -dist was given or the spec already carries a
+// workload. Only explicitly-set flags override — an unset -minseq/-maxseq
+// keeps the spec's own derivation (max_seq from seq_len, min_seq from
+// max_seq), which coincides with the tools' flag defaults on a flag-only
+// run. An explicit -dist replaces a spec's pinned shapes, which would
+// otherwise win over the distribution. Tools without one of these flags
+// pass its zero value; an unregistered flag is never "set", so the value
+// is ignored.
+func (o *Overlay) Workload(spec *helixpipe.ExperimentSpec,
+	dist string, docs, minSeq, maxSeq int, seed uint64, order string) {
+	if dist == "" && spec.Workload == nil {
+		return
+	}
+	if spec.Workload == nil {
+		spec.Workload = &helixpipe.SpecWorkload{}
+	}
+	w := spec.Workload
+	if o.Has("dist") {
+		w.Shapes = nil
+	}
+	o.String("dist", dist, &w.Dist)
+	if o.Has("docs") {
+		w.Docs = docs
+	}
+	if o.Has("minseq") {
+		w.MinSeq = minSeq
+	}
+	if o.Has("maxseq") {
+		w.MaxSeq = maxSeq
+	}
+	if o.Has("dist-seed") {
+		w.Seed = seed
+	}
+	if o.Has("order") {
+		w.Order = order
+	}
+}
+
+// Output hands the spec's output block (or a detached empty one) to the
+// tool to layer its output flags onto, then attaches it to the spec only
+// when any selection is set — so -emit-spec never writes an empty output
+// block. The returned block is what the tool should read its output
+// decisions from.
+func (o *Overlay) Output(spec *helixpipe.ExperimentSpec,
+	apply func(*helixpipe.SpecOutput)) *helixpipe.SpecOutput {
+	out := spec.Output
+	if out == nil {
+		out = &helixpipe.SpecOutput{}
+	}
+	apply(out)
+	if *out != (helixpipe.SpecOutput{}) {
+		spec.Output = out
+	}
+	return out
+}
+
+// Ints layers a comma-separated integer-list flag onto a spec axis.
+func (o *Overlay) Ints(name, value string, dst *[]int) {
+	if o.set[name] || len(*dst) == 0 {
+		*dst = ParseInts(name, value)
+	}
+}
+
+// Strings layers a comma-separated string-list flag onto a spec axis.
+func (o *Overlay) Strings(name, value string, dst *[]string) {
+	if o.set[name] || len(*dst) == 0 {
+		*dst = SplitList(value)
+	}
+}
+
+// ParseInts parses a comma-separated integer list flag; a malformed entry
+// is fatal with the flag's name.
+func ParseInts(name, s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			log.Fatalf("-%s: %q is not an integer", name, part)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// SplitList splits a comma-separated list flag, trimming blanks.
+func SplitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// MethodsArg expands a -method flag value into canonical registry method
+// names: a comma-separated list, with "all" passed through for the spec
+// layer to expand. "help" — or any unknown name — prints the registry's
+// method listing and exits 2. An empty value returns nil (the spec
+// default); a non-empty value that names nothing (e.g. "-method ,") is
+// fatal rather than silently meaning "all".
+func MethodsArg(arg string) []string {
+	if arg == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(arg, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if strings.EqualFold(part, "all") {
+			out = append(out, "all")
+			continue
+		}
+		m, ok := helixpipe.LookupMethod(part)
+		if !ok {
+			FatalUnknownMethod(part)
+		}
+		out = append(out, string(m))
+	}
+	if len(out) == 0 {
+		log.Fatal("-method: no method given")
+	}
+	return out
+}
+
+// FatalUnknownMethod prints the registry's method listing — the shared
+// "-method help" / unknown-method path of every tool — and exits 2.
+func FatalUnknownMethod(name string) {
+	fatalMethodListing(name, true)
+}
+
+// FatalUnknownMethodSingle is FatalUnknownMethod for tools that run
+// exactly one method: the listing omits the "all" row.
+func FatalUnknownMethodSingle(name string) {
+	fatalMethodListing(name, false)
+}
+
+func fatalMethodListing(name string, withAll bool) {
+	if !strings.EqualFold(name, "help") {
+		fmt.Fprintf(os.Stderr, "unknown method %q; the registered methods are:\n\n", name)
+	}
+	fmt.Fprint(os.Stderr, helixpipe.MethodListing())
+	if withAll {
+		fmt.Fprintf(os.Stderr, "  %-22s run every registered method\n", "all")
+	}
+	os.Exit(2)
+}

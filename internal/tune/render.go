@@ -58,6 +58,9 @@ func pointTable(title string, points []Point) string {
 		scenario := fmt.Sprintf("seq=%d", p.SeqLen)
 		if p.Workload != "" {
 			scenario = p.Workload
+			if p.Order != "" {
+				scenario += "/" + p.Order
+			}
 		}
 		fmt.Fprintf(&b, "%-22s %-14s %-4d %-4d %-3d %-12.0f %-10.1f %-10.1f %-12.1f",
 			p.Method, scenario, p.Stages, p.MicroBatches, p.MicroBatchSize,
@@ -75,7 +78,7 @@ func gb(bytes int64) float64 { return float64(bytes) / (1 << 30) }
 // CSVHeader returns the column names of Point.CSVRow.
 func CSVHeader() []string {
 	return []string{
-		"method", "workload", "seq_len", "stages", "micro_batches", "micro_batch_size",
+		"method", "workload", "order", "seq_len", "stages", "micro_batches", "micro_batch_size",
 		"placement", "placement_devices", "pad_fraction",
 		"tokens_per_second", "iteration_seconds", "bubble_fraction",
 		"peak_bytes", "estimated_peak_bytes",
@@ -95,7 +98,7 @@ func (p Point) CSVRow() []string {
 		padFraction = fmt.Sprintf("%g", p.PadFraction)
 	}
 	return []string{
-		string(p.Method), p.Workload,
+		string(p.Method), p.Workload, p.Order,
 		fmt.Sprintf("%d", p.SeqLen), fmt.Sprintf("%d", p.Stages),
 		fmt.Sprintf("%d", p.MicroBatches), fmt.Sprintf("%d", p.MicroBatchSize),
 		p.Placement, strings.Join(devices, ";"), padFraction,

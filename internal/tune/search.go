@@ -2,9 +2,9 @@ package tune
 
 import (
 	"fmt"
+	"iter"
 	"runtime"
 	"sort"
-	"sync"
 
 	"repro/internal/cluster"
 	"repro/internal/costmodel"
@@ -14,10 +14,63 @@ import (
 	"repro/internal/sim"
 )
 
-// Run searches the spec's grid for the given model on the given cluster.
-// Build and simulation failures of individual grid points are counted and
-// recorded, never fatal; Run errors only on an unusable spec or inputs.
-func Run(m model.Config, cl costmodel.ClusterSpec, spec Spec) (*Result, error) {
+// PruneError reports one discarded grid point of a streaming search: the
+// candidate, the constraint that discarded it (PruneBuild, PruneSim,
+// PrunePlacement or PruneMeasured), and the underlying cause.
+type PruneError struct {
+	// Candidate is the discarded grid point.
+	Candidate Candidate
+	// Reason is the Prune* constraint name.
+	Reason string
+	// Err is the underlying failure.
+	Err error
+}
+
+func (e *PruneError) Error() string { return fmt.Sprintf("pruned (%s): %v", e.Reason, e.Err) }
+
+// Unwrap exposes the underlying failure to errors.Is/As.
+func (e *PruneError) Unwrap() error { return e.Err }
+
+// survivor is a grid point that passed the cheap pruning phases.
+type survivor struct {
+	Candidate
+	estPeak int64 // memsim activation peak + model states
+}
+
+// shapeKey memoizes cost books: cost-model evaluation depends only on the
+// micro-batch shape (b, s) — or, for workload candidates, on the workload
+// and its order — so the whole method x stages x micro-batch cross product
+// shares one evaluation per shape.
+type shapeKey struct {
+	b, s     int
+	workload string
+	order    string
+}
+
+// Search is a prepared, streamable autotuner run. NewSearch validates the
+// spec and runs the cheap phases (grid enumeration, geometry and memory
+// pruning, cost-book memoization); Points streams the expensive phase — one
+// simulated Point or PruneError per surviving grid point, in deterministic
+// grid order, each yielded as soon as it is available; Result finalizes the
+// accounting and rankings over whatever Points has yielded so far. Run
+// wires the three together for callers that want the collected Result.
+type Search struct {
+	m      model.Config
+	cl     costmodel.ClusterSpec
+	spec   Spec
+	budget int64
+
+	res       *Result
+	survivors []survivor
+	costs     map[shapeKey]sched.Costs
+	workloads map[string]model.BatchSpec
+}
+
+// NewSearch validates the spec against the model and cluster and runs the
+// cheap pruning phases, returning a Search ready to stream. It errors only
+// on an unusable spec or inputs; prunable grid points are counted, never
+// fatal.
+func NewSearch(m model.Config, cl costmodel.ClusterSpec, spec Spec) (*Search, error) {
 	if err := m.Validate(); err != nil {
 		return nil, fmt.Errorf("tune: invalid model: %w", err)
 	}
@@ -46,124 +99,175 @@ func Run(m model.Config, cl costmodel.ClusterSpec, spec Spec) (*Result, error) {
 		budget = int64(cl.GPU.MemoryGB * float64(1<<30))
 	}
 
-	res := &Result{
-		Model:             m.Name,
-		Cluster:           cl.Name,
-		MemoryBudgetBytes: budget,
-		Pruned:            map[string]int{},
+	s := &Search{
+		m: m, cl: cl, spec: spec, budget: budget,
+		res: &Result{
+			Model:             m.Name,
+			Cluster:           cl.Name,
+			MemoryBudgetBytes: budget,
+			Pruned:            map[string]int{},
+		},
+		costs:     map[shapeKey]sched.Costs{},
+		workloads: map[string]model.BatchSpec{},
 	}
 	if spec.Cluster != nil {
-		res.Topology = spec.Cluster.Name
+		s.res.Topology = spec.Cluster.Name
 	}
 	grid := spec.grid(methods)
-	res.GridSize = len(grid)
-
-	// Workload candidates carry only a name; resolve it to the batch spec.
-	workloads := map[string]model.BatchSpec{}
+	s.res.GridSize = len(grid)
 	for _, w := range spec.Workloads {
-		workloads[w.Name] = w.Batch
-	}
-	batchOf := func(c Candidate) *model.BatchSpec {
-		if c.Workload == "" {
-			return nil
-		}
-		b := workloads[c.Workload]
-		return &b
+		s.workloads[w.Name] = w.Batch
 	}
 
 	// Phase 1: cheap pruning. Geometry first, then the memsim peak-memory
-	// estimate — no cost model, no plan building, no simulation.
-	type survivor struct {
-		Candidate
-		estPeak int64 // memsim activation peak + model states
-	}
-	var survivors []survivor
+	// estimate — no cost model, no plan building, no simulation. The
+	// estimate is order-independent (its outstanding window holds the
+	// largest micro batches), so ordered variants share the verdict.
 	for _, c := range grid {
 		if c.Stages <= 0 || c.MicroBatches <= 0 || c.MicroBatchSize <= 0 ||
 			c.SeqLen <= 0 || m.Layers%c.Stages != 0 {
-			res.Pruned[PruneGeometry]++
+			s.res.Pruned[PruneGeometry]++
 			continue
 		}
 		w := costmodel.NewWorkload(m, cl, model.Shape{B: c.MicroBatchSize, S: c.SeqLen})
-		est, err := estimatePeak(w, c, batchOf(c), budget)
+		est, err := estimatePeak(w, c, s.batchOf(c), budget)
 		if err != nil || est > budget {
-			res.Pruned[PruneMemory]++
+			s.res.Pruned[PruneMemory]++
 			continue
 		}
-		survivors = append(survivors, survivor{Candidate: c, estPeak: est})
+		s.survivors = append(s.survivors, survivor{Candidate: c, estPeak: est})
 	}
 
-	// Phase 2: memoized cost books. Cost-model evaluation depends only on
-	// the micro-batch shape (b, s) — or, for workload candidates, on the
-	// workload — so the whole method x stages x micro-batch cross product
-	// shares one evaluation per shape; this is what keeps CostModelEvals
-	// strictly below the naive grid size.
-	type shapeKey struct {
-		b, s     int
-		workload string
-	}
-	keyOf := func(c Candidate) shapeKey {
-		if c.Workload != "" {
-			return shapeKey{workload: c.Workload}
-		}
-		return shapeKey{b: c.MicroBatchSize, s: c.SeqLen}
-	}
-	costs := map[shapeKey]sched.Costs{}
-	for _, sv := range survivors {
+	// Phase 2: memoized cost books, one per distinct shape key; this is
+	// what keeps CostModelEvals strictly below the naive grid size.
+	for _, sv := range s.survivors {
 		key := keyOf(sv.Candidate)
-		if _, ok := costs[key]; ok {
+		if _, ok := s.costs[key]; ok {
 			continue
 		}
 		if key.workload != "" {
-			batch := workloads[key.workload]
+			batch := *s.batchOf(sv.Candidate)
 			w := costmodel.NewWorkload(m, cl, batch.MaxShape())
-			costs[key] = sched.NewBatchCosts(w, batch)
+			s.costs[key] = sched.NewBatchCosts(w, batch)
 		} else {
 			w := costmodel.NewWorkload(m, cl, model.Shape{B: key.b, S: key.s})
-			costs[key] = sched.NewCosts(w)
+			s.costs[key] = sched.NewCosts(w)
 		}
-		res.CostModelEvals++
+		s.res.CostModelEvals++
 	}
+	return s, nil
+}
 
-	// Phase 3: fan the survivors across a bounded worker pool, reusing the
-	// Session.Sweep goroutine pattern with a semaphore on top.
-	workers := spec.Workers
+func keyOf(c Candidate) shapeKey {
+	if c.Workload != "" {
+		return shapeKey{workload: c.Workload, order: c.Order}
+	}
+	return shapeKey{b: c.MicroBatchSize, s: c.SeqLen}
+}
+
+// batchOf resolves a candidate's workload name (and order) to its batch
+// spec; fixed-length candidates resolve to nil.
+func (s *Search) batchOf(c Candidate) *model.BatchSpec {
+	if c.Workload == "" {
+		return nil
+	}
+	b := s.workloads[c.Workload]
+	if c.Order != "" {
+		// Order names are validated by Spec.Validate, so Ordered cannot
+		// fail here.
+		b, _ = b.Ordered(model.MBOrder(c.Order))
+	}
+	return &b
+}
+
+// Points streams the expensive phase: the surviving grid points run on a
+// bounded worker pool (Spec.Workers wide; a launch window a few pool
+// widths ahead of the yield cursor caps buffered results) and are yielded
+// in deterministic grid order as soon as each simulation completes —
+// evaluated points as (Point, nil), discarded ones as (Point{},
+// *PruneError). A prune never aborts the remaining points. The stream
+// records everything it yields into the Search's accounting, so Result
+// after draining equals what Run returns; breaking early launches nothing
+// further and leaves a partial (but consistent) Result. Points may be
+// consumed once.
+func (s *Search) Points() iter.Seq2[Point, error] {
+	workers := s.spec.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	type outcome struct {
-		point  Point
-		reason string // empty on success
-		err    error
-	}
-	outcomes := make([]outcome, len(survivors))
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
-	for i, sv := range survivors {
-		wg.Add(1)
-		go func(i int, sv survivor) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			point, reason, err := evaluate(m, cl, spec, sv.Candidate, batchOf(sv.Candidate),
-				sv.estPeak, budget, costs[keyOf(sv.Candidate)])
-			outcomes[i] = outcome{point: point, reason: reason, err: err}
-		}(i, sv)
-	}
-	wg.Wait()
-
-	for _, o := range outcomes {
-		if o.reason != "" {
-			res.Pruned[o.reason]++
-			res.Errors = append(res.Errors, o.err.Error())
-			continue
+	return func(yield func(Point, error) bool) {
+		type outcome struct {
+			point  Point
+			reason string // empty on success
+			err    error
 		}
-		res.Points = append(res.Points, o.point)
+		window := 4 * workers
+		results := make([]chan outcome, len(s.survivors))
+		for i := range results {
+			results[i] = make(chan outcome, 1)
+		}
+		sem := make(chan struct{}, workers)
+		launch := func(i int) {
+			go func() {
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				sv := s.survivors[i]
+				point, reason, err := evaluate(s.m, s.cl, s.spec, sv.Candidate,
+					s.batchOf(sv.Candidate), sv.estPeak, s.budget, s.costs[keyOf(sv.Candidate)])
+				results[i] <- outcome{point: point, reason: reason, err: err}
+			}()
+		}
+		next := 0
+		for ; next < len(s.survivors) && next < window; next++ {
+			launch(next)
+		}
+		for i, sv := range s.survivors {
+			o := <-results[i]
+			if next < len(s.survivors) {
+				launch(next)
+				next++
+			}
+			if o.reason != "" {
+				s.res.Pruned[o.reason]++
+				s.res.Errors = append(s.res.Errors, o.err.Error())
+				if !yield(Point{}, &PruneError{Candidate: sv.Candidate, Reason: o.reason, Err: o.err}) {
+					return
+				}
+				continue
+			}
+			s.res.Points = append(s.res.Points, o.point)
+			if !yield(o.point, nil) {
+				return
+			}
+		}
 	}
-	res.Evaluated = len(res.Points)
-	res.Best = bestPerScenario(spec, res.Points)
-	res.Frontier = paretoFrontier(res.Points)
-	return res, nil
+}
+
+// Result finalizes the accounting — evaluated count, best-per-scenario
+// picks, Pareto frontier — over the points streamed so far and returns the
+// collected Result.
+func (s *Search) Result() *Result {
+	s.res.Evaluated = len(s.res.Points)
+	s.res.Best = bestPerScenario(s.spec, s.res.Points)
+	s.res.Frontier = paretoFrontier(s.res.Points)
+	return s.res
+}
+
+// Run searches the spec's grid for the given model on the given cluster: a
+// thin collector that drains the Search's point stream and returns the
+// ranked Result. Build and simulation failures of individual grid points
+// are counted and recorded, never fatal; Run errors only on an unusable
+// spec or inputs.
+func Run(m model.Config, cl costmodel.ClusterSpec, spec Spec) (*Result, error) {
+	search, err := NewSearch(m, cl, spec)
+	if err != nil {
+		return nil, err
+	}
+	for range search.Points() {
+		// Outcomes are recorded by the stream itself; draining it is all a
+		// collector does.
+	}
+	return search.Result(), nil
 }
 
 // evaluate builds and simulates one surviving candidate. A non-empty reason
@@ -219,6 +323,7 @@ func evaluate(m model.Config, cl costmodel.ClusterSpec, spec Spec, c Candidate, 
 		Placement:          best.Strategy,
 		PlacementDevices:   best.Devices,
 		PadFraction:        padFraction,
+		TokensPerIteration: tokens,
 		EstimatedPeakBytes: estPeak,
 		PeakBytes:          peak,
 		IterationSeconds:   simRes.IterationSeconds,

@@ -92,6 +92,11 @@ type Spec struct {
 	// ("contiguous", "roundrobin", "greedy"); empty means all three.
 	// Requires Cluster.
 	Placements []string `json:"placements,omitempty"`
+	// Orders are the micro-batch execution-order policies to cross with
+	// every workload candidate ("packed", "longest", "shortest",
+	// "balanced"), so order, method and placement rank jointly. Empty keeps
+	// each workload's own order. Requires Workloads.
+	Orders []string `json:"orders,omitempty"`
 	// Perturb optionally injects a fault/straggler perturbation (slow
 	// device, degraded link class, compute jitter) into every placement
 	// simulation, ranking configurations under the degraded cluster.
@@ -147,6 +152,14 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("tune: unknown placement strategy %q", strategy)
 		}
 	}
+	if len(s.Orders) > 0 && len(s.Workloads) == 0 {
+		return fmt.Errorf("tune: micro-batch orders given without workloads to reorder")
+	}
+	for _, order := range s.Orders {
+		if _, ok := model.OrderByName(order); !ok {
+			return fmt.Errorf("tune: unknown micro-batch order %q (known: %v)", order, model.Orders())
+		}
+	}
 	names := map[string]bool{}
 	for i, w := range s.Workloads {
 		if w.Name == "" {
@@ -180,12 +193,19 @@ type Candidate struct {
 	// Workload names the variable-length workload the candidate runs, empty
 	// on fixed-length candidates.
 	Workload string `json:"workload,omitempty"`
+	// Order is the micro-batch execution order of a workload candidate when
+	// the spec crosses Orders; empty keeps the workload's own order.
+	Order string `json:"order,omitempty"`
 }
 
 func (c Candidate) String() string {
 	if c.Workload != "" {
+		name := c.Workload
+		if c.Order != "" {
+			name += "/" + c.Order
+		}
 		return fmt.Sprintf("%s workload=%s p=%d m=%d",
-			c.Method, c.Workload, c.Stages, c.MicroBatches)
+			c.Method, name, c.Stages, c.MicroBatches)
 	}
 	return fmt.Sprintf("%s seq=%d p=%d m=%d b=%d",
 		c.Method, c.SeqLen, c.Stages, c.MicroBatches, c.MicroBatchSize)
@@ -202,6 +222,9 @@ type Point struct {
 	// PadFraction is the padding share of a packed variable-length workload
 	// (zero on fixed-length candidates and unpacked workloads).
 	PadFraction float64 `json:"pad_fraction,omitempty"`
+	// TokensPerIteration is the token count the candidate's iteration
+	// processes (padded; the throughput numerator).
+	TokensPerIteration int64 `json:"tokens_per_iteration"`
 	// EstimatedPeakBytes is the memsim per-GPU peak estimate the point was
 	// admitted under: peak reserved activation memory plus model states.
 	EstimatedPeakBytes int64 `json:"estimated_peak_bytes"`
@@ -291,18 +314,24 @@ func (s Spec) grid(methods []sched.Method) []Candidate {
 			}
 		}
 	}
+	orders := s.Orders
+	if len(orders) == 0 {
+		orders = []string{""}
+	}
 	for _, w := range s.Workloads {
 		max := w.Batch.MaxShape()
 		for _, p := range stages {
-			for _, method := range methods {
-				c := Candidate{Method: method, Workload: w.Name,
-					SeqLen: max.S, Stages: p,
-					MicroBatches: w.Batch.MicroBatches(), MicroBatchSize: max.B}
-				if seen[c] {
-					continue
+			for _, order := range orders {
+				for _, method := range methods {
+					c := Candidate{Method: method, Workload: w.Name, Order: order,
+						SeqLen: max.S, Stages: p,
+						MicroBatches: w.Batch.MicroBatches(), MicroBatchSize: max.B}
+					if seen[c] {
+						continue
+					}
+					seen[c] = true
+					out = append(out, c)
 				}
-				seen[c] = true
-				out = append(out, c)
 			}
 		}
 	}

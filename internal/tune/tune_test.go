@@ -310,7 +310,7 @@ func TestResultSerializationAndTables(t *testing.T) {
 	if len(lines) != len(res.Points)+1 {
 		t.Errorf("CSV rows = %d, want %d", len(lines), len(res.Points)+1)
 	}
-	if !strings.HasPrefix(lines[0], "method,workload,seq_len") {
+	if !strings.HasPrefix(lines[0], "method,workload,order,seq_len") {
 		t.Errorf("CSV header = %q", lines[0])
 	}
 }

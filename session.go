@@ -3,7 +3,8 @@ package helixpipe
 import (
 	"errors"
 	"fmt"
-	"sync"
+	"iter"
+	"runtime"
 
 	"repro/internal/bench"
 	"repro/internal/cluster"
@@ -556,8 +557,271 @@ func (s *Session) Simulate(method Method) (*Report, error) {
 // Empty spec axes fall back to the session's own geometry; a zero memory
 // budget means the GPU's full capacity. Build or simulation failures of
 // individual grid points are counted in the result's pruning accounting, not
-// returned as errors.
+// returned as errors. Autotune is a thin collector over the tuner's point
+// stream (tune.Search); Execute streams the same points report by report.
 func (s *Session) Autotune(spec TuneSpec) (*TuneResult, error) {
+	return tune.Run(s.model, s.cluster, s.fillTuneDefaults(spec))
+}
+
+// Sweep describes a grid of runs fanned out by Session.Sweep. Empty axes
+// fall back to the session's own value (or, for Methods, to every
+// registered method).
+type Sweep struct {
+	// Methods are the schedules to run; empty means every registered method.
+	Methods []Method
+	// SeqLens are the sequence lengths; empty means the session's.
+	SeqLens []int
+	// Stages are the pipeline sizes; empty means the session's.
+	Stages []int
+	// Engine builds the engine of one grid cell; nil means the cell
+	// session's SimEngine.
+	Engine func(cell *Session) Engine
+}
+
+// streamReports runs the jobs on a bounded worker pool and yields each
+// job's (report, error) in job order, as soon as it is available — the
+// first report arrives while later cells are still simulating. A
+// semaphore keeps the pool full even when the in-order head cell is the
+// slow one, while a launch window a few pool-widths ahead of the yield
+// cursor caps how many finished reports can pile up waiting their turn: a
+// 500-cell grid holds a bounded window of reports, not five hundred. A
+// job error is yielded as (nil, err) and never aborts the remaining jobs.
+// Breaking out of the iteration launches nothing further; in-flight jobs
+// finish into their buffered slots and are collected by the GC.
+func streamReports(jobs []func() (*Report, error)) iter.Seq2[*Report, error] {
+	return func(yield func(*Report, error) bool) {
+		type slot struct {
+			report *Report
+			err    error
+		}
+		workers := max(runtime.GOMAXPROCS(0), 1)
+		window := 4 * workers
+		results := make([]chan slot, len(jobs))
+		for i := range results {
+			results[i] = make(chan slot, 1)
+		}
+		sem := make(chan struct{}, workers)
+		launch := func(i int) {
+			go func() {
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				r, err := jobs[i]()
+				results[i] <- slot{r, err}
+			}()
+		}
+		next := 0
+		for ; next < len(jobs) && next < window; next++ {
+			launch(next)
+		}
+		for i := range jobs {
+			res := <-results[i]
+			if next < len(jobs) {
+				launch(next)
+				next++
+			}
+			if !yield(res.report, res.err) {
+				return
+			}
+		}
+	}
+}
+
+// Stream is the streaming core of Sweep: it derives one session per
+// (seqlen, stages) cell, runs every method on the cell's engine across a
+// bounded worker pool, and yields the reports in deterministic grid order
+// (seqlen-major, then stages, then method) as each becomes available. Cells
+// that fail — an invalid derived geometry or a build/run error — yield
+// (nil, err) and never abort the remaining cells. Sweep collects this
+// stream; iterate it directly when the grid is large enough that buffering
+// every report matters.
+func (s *Session) Stream(sw Sweep) iter.Seq2[*Report, error] {
+	methods := sw.Methods
+	if len(methods) == 0 {
+		methods = Methods()
+	}
+	seqLens := sw.SeqLens
+	if len(seqLens) == 0 {
+		seqLens = []int{s.SeqLen()}
+	}
+	stages := sw.Stages
+	if len(stages) == 0 {
+		stages = []int{s.stages}
+	}
+	engineOf := sw.Engine
+	if engineOf == nil {
+		engineOf = func(cell *Session) Engine { return cell.SimEngine() }
+	}
+
+	var jobs []func() (*Report, error)
+	for _, seq := range seqLens {
+		for _, p := range stages {
+			derived, derr := s.With(WithSeqLen(seq), WithStages(p))
+			for _, m := range methods {
+				seq, p, method := seq, p, m
+				if derr != nil {
+					jobs = append(jobs, func() (*Report, error) {
+						return nil, fmt.Errorf("seq=%d p=%d: %w", seq, p, derr)
+					})
+					continue
+				}
+				cell := derived
+				jobs = append(jobs, func() (*Report, error) {
+					r, err := cell.Run(engineOf(cell), method)
+					if err != nil {
+						return nil, fmt.Errorf("seq=%d p=%d: %w", cell.SeqLen(), cell.stages, err)
+					}
+					return r, nil
+				})
+			}
+		}
+	}
+	return streamReports(jobs)
+}
+
+// Sweep is a thin collector over Stream: it drains the stream and returns
+// the successful reports in grid order plus the joined error of every
+// failed cell.
+func (s *Session) Sweep(sw Sweep) ([]*Report, error) {
+	var reports []*Report
+	var errs []error
+	for r, err := range s.Stream(sw) {
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		reports = append(reports, r)
+	}
+	return reports, errors.Join(errs...)
+}
+
+// Execute runs a resolved experiment spec on the session, streaming its
+// reports as they become available — a 500-cell sweep holds at most a
+// worker-pool's worth of reports, not five hundred. The receiver is
+// normally the session returned by
+// spec.Resolve(); the spec's cells (method, seqlen, stages) derive from it
+// with With. Per-cell failures yield (nil, err) and never abort the
+// remaining cells; only an unresolvable spec ends the stream early (its one
+// yield is the resolution error). Execute re-resolves the spec rather than
+// trusting a caller-supplied RunSet — a deliberate tradeoff: resolution is
+// milliseconds against simulation seconds, it is deterministic, and it
+// keeps the iterator safe to build from a bare spec without a prior
+// Resolve call.
+//
+// A RunKindTune spec streams the autotuner's evaluated points as compact
+// sim reports (geometry plus iteration/throughput/bubble metrics) in grid
+// order; use Autotune when the ranked TuneResult is wanted instead.
+func (s *Session) Execute(spec *ExperimentSpec) iter.Seq2[*Report, error] {
+	return func(yield func(*Report, error) bool) {
+		n, err := spec.normalized()
+		if err != nil {
+			yield(nil, err)
+			return
+		}
+		p, err := n.resolveParts()
+		if err != nil {
+			yield(nil, err)
+			return
+		}
+		rs, err := n.runSet(p)
+		if err != nil {
+			yield(nil, err)
+			return
+		}
+		if rs.Kind == RunKindTune {
+			s.executeTune(*rs.Tune, yield)
+			return
+		}
+		jobs := make([]func() (*Report, error), 0, len(rs.Cells))
+		for _, c := range rs.Cells {
+			cell := c
+			jobs = append(jobs, func() (*Report, error) {
+				run := s
+				if rs.Kind == RunKindSweep {
+					// A workload spec sweeps stages only: re-deriving the
+					// sequence length would clear its per-micro-batch shapes.
+					opts := []Option{WithStages(cell.Stages)}
+					if n.Workload == nil {
+						opts = append(opts, WithSeqLen(cell.SeqLen))
+					}
+					var err error
+					if run, err = s.With(opts...); err != nil {
+						return nil, fmt.Errorf("seq=%d p=%d: %w", cell.SeqLen, cell.Stages, err)
+					}
+				}
+				if rs.Placement != "" {
+					// The placement search reads the method's own traffic
+					// matrix, so each cell derives its own placed session.
+					placement, err := run.PlacementFor(cell.Method, rs.Placement, rs.PlacementSeed)
+					if err != nil {
+						return nil, fmt.Errorf("%s: %w", cell.Method, err)
+					}
+					if run, err = run.With(WithPlacement(placement)); err != nil {
+						return nil, fmt.Errorf("%s: %w", cell.Method, err)
+					}
+				}
+				var engine Engine
+				if rs.Engine == EngineNumeric {
+					engine = run.NumericEngine(rs.Seed)
+				} else {
+					engine = run.SimEngine()
+				}
+				return run.Run(engine, cell.Method)
+			})
+		}
+		for r, err := range streamReports(jobs) {
+			if !yield(r, err) {
+				return
+			}
+		}
+	}
+}
+
+// executeTune streams a tune-kind run: each evaluated grid point becomes a
+// compact sim report, pruned points yield their prune error.
+func (s *Session) executeTune(spec TuneSpec, yield func(*Report, error) bool) {
+	search, err := tune.NewSearch(s.model, s.cluster, s.fillTuneDefaults(spec))
+	if err != nil {
+		yield(nil, err)
+		return
+	}
+	for point, err := range search.Points() {
+		if err != nil {
+			if !yield(nil, err) {
+				return
+			}
+			continue
+		}
+		r := &Report{
+			Method:             point.Method,
+			Engine:             EngineSim,
+			Model:              s.model.Name,
+			Cluster:            s.cluster.Name,
+			SeqLen:             point.SeqLen,
+			MicroBatchSize:     point.MicroBatchSize,
+			Stages:             point.Stages,
+			MicroBatches:       point.MicroBatches,
+			Layers:             s.model.Layers,
+			PlacementStrategy:  point.Placement,
+			Placement:          append([]int(nil), point.PlacementDevices...),
+			PadFraction:        point.PadFraction,
+			TokensPerIteration: point.TokensPerIteration,
+			Sim: &SimMetrics{
+				IterationSeconds: point.IterationSeconds,
+				TokensPerSecond:  point.TokensPerSecond,
+				BubbleFraction:   point.BubbleFraction,
+				BubbleSeconds:    point.BubbleFraction * point.IterationSeconds,
+			},
+		}
+		if !yield(r, nil) {
+			return
+		}
+	}
+}
+
+// fillTuneDefaults resolves a TuneSpec's empty axes against the session's
+// own geometry, topology and perturbation — shared by Autotune and the
+// tune-kind Execute path.
+func (s *Session) fillTuneDefaults(spec TuneSpec) TuneSpec {
 	if len(spec.SeqLens) == 0 && len(spec.Workloads) == 0 {
 		if len(s.batch.Shapes) > 0 {
 			// A variable-length session tunes its own workload by default.
@@ -585,89 +849,5 @@ func (s *Session) Autotune(spec TuneSpec) (*TuneResult, error) {
 			spec.Perturb = &p
 		}
 	}
-	return tune.Run(s.model, s.cluster, spec)
-}
-
-// Sweep describes a grid of runs fanned out by Session.Sweep. Empty axes
-// fall back to the session's own value (or, for Methods, to every
-// registered method).
-type Sweep struct {
-	// Methods are the schedules to run; empty means every registered method.
-	Methods []Method
-	// SeqLens are the sequence lengths; empty means the session's.
-	SeqLens []int
-	// Stages are the pipeline sizes; empty means the session's.
-	Stages []int
-	// Engine builds the engine of one grid cell; nil means the cell
-	// session's SimEngine.
-	Engine func(cell *Session) Engine
-}
-
-// Sweep derives one session per (seqlen, stages) cell, runs every method on
-// the cell's engine concurrently across goroutines, and returns the reports
-// in deterministic grid order (seqlen-major, then stages, then method).
-// Cells that fail — an invalid derived geometry or a build/run error — are
-// reported in the joined error; the successful reports are returned
-// regardless.
-func (s *Session) Sweep(sw Sweep) ([]*Report, error) {
-	methods := sw.Methods
-	if len(methods) == 0 {
-		methods = Methods()
-	}
-	seqLens := sw.SeqLens
-	if len(seqLens) == 0 {
-		seqLens = []int{s.SeqLen()}
-	}
-	stages := sw.Stages
-	if len(stages) == 0 {
-		stages = []int{s.stages}
-	}
-	engineOf := sw.Engine
-	if engineOf == nil {
-		engineOf = func(cell *Session) Engine { return cell.SimEngine() }
-	}
-
-	type cell struct {
-		report *Report
-		err    error
-	}
-	cells := make([]cell, len(seqLens)*len(stages)*len(methods))
-	var wg sync.WaitGroup
-	idx := 0
-	for _, seq := range seqLens {
-		for _, p := range stages {
-			derived, derr := s.With(WithSeqLen(seq), WithStages(p))
-			for _, m := range methods {
-				i, method := idx, m
-				idx++
-				if derr != nil {
-					cells[i].err = fmt.Errorf("seq=%d p=%d: %w", seq, p, derr)
-					continue
-				}
-				wg.Add(1)
-				go func(cellSession *Session) {
-					defer wg.Done()
-					r, err := cellSession.Run(engineOf(cellSession), method)
-					if err != nil {
-						cells[i].err = fmt.Errorf("seq=%d p=%d: %w",
-							cellSession.SeqLen(), cellSession.stages, err)
-						return
-					}
-					cells[i].report = r
-				}(derived)
-			}
-		}
-	}
-	wg.Wait()
-
-	reports := make([]*Report, 0, len(cells))
-	var errs []error
-	for _, c := range cells {
-		if c.err != nil {
-			errs = append(errs, c.err)
-			continue
-		}
-		reports = append(reports, c.report)
-	}
-	return reports, errors.Join(errs...)
+	return spec
 }

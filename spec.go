@@ -1,0 +1,661 @@
+package helixpipe
+
+// This file is the declarative experiment layer: an ExperimentSpec is a
+// JSON-round-trippable description of everything one experiment needs —
+// model, cluster (flat or topology), placement, perturbation, workload or
+// fixed shape, methods, engine, sweep axes, tune grid, output selection.
+// ParseSpec/WriteSpec serialize it, Resolve validates it eagerly into a
+// Session plus a RunSet, and Session.Execute (session.go) streams its
+// reports. The command-line tools layer their flags on top of a spec
+// (internal/cliutil), so every run can be saved, diffed and reproduced from
+// one artifact.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/model"
+)
+
+// The engines an ExperimentSpec can name.
+const (
+	// SpecEngineSim runs the discrete-event cluster simulator (the default).
+	SpecEngineSim = EngineSim
+	// SpecEngineNumeric runs the goroutine-per-stage numeric runtime.
+	SpecEngineNumeric = EngineNumeric
+)
+
+// The RunSet kinds a spec resolves to.
+const (
+	// RunKindRun is a single-configuration run: one cell per method.
+	RunKindRun = "run"
+	// RunKindSweep is a seqlen x stages x method grid of cells.
+	RunKindSweep = "sweep"
+	// RunKindTune is an autotuner search over the spec's tune grid.
+	RunKindTune = "tune"
+)
+
+// SpecWorkload describes a variable-length workload inside an
+// ExperimentSpec: either an explicit per-micro-batch shape list, or a
+// synthetic corpus (a length distribution sampled and packed under a token
+// budget, deterministically from the seed).
+type SpecWorkload struct {
+	// Dist names the synthetic document-length distribution ("uniform",
+	// "bimodal", "longtail"). Ignored when Shapes is set.
+	Dist string `json:"dist,omitempty"`
+	// Docs is the number of documents to sample (default 64).
+	Docs int `json:"docs,omitempty"`
+	// MinSeq is the shortest document (default MaxSeq/16).
+	MinSeq int `json:"min_seq,omitempty"`
+	// MaxSeq is the longest document and the per-micro-batch token budget
+	// documents are packed under (default the spec's seq_len).
+	MaxSeq int `json:"max_seq,omitempty"`
+	// Seed drives the sampling deterministically (default 42).
+	Seed uint64 `json:"seed,omitempty"`
+	// Order names the micro-batch execution order applied after packing
+	// ("packed", "longest", "shortest", "balanced"; default packed).
+	Order string `json:"order,omitempty"`
+	// Shapes pins the per-micro-batch shapes explicitly, bypassing sampling.
+	Shapes []Shape `json:"shapes,omitempty"`
+}
+
+// SpecHelix pins the HelixPipe build options for every helix method of the
+// spec, overriding each variant's registered default.
+type SpecHelix struct {
+	// Fold is the FILO fold factor (1 or 2).
+	Fold int `json:"fold,omitempty"`
+	// Recompute toggles recomputation without attention; nil keeps the
+	// variant's default.
+	Recompute *bool `json:"recompute,omitempty"`
+}
+
+// SpecSweep adds sweep axes to a spec: the run becomes a seqlen x stages x
+// method grid. Empty axes fall back to the spec's own value. On a workload
+// spec only the stages axis may sweep — a seq_lens axis would discard the
+// workload's per-micro-batch shapes, so Resolve rejects the combination.
+type SpecSweep struct {
+	// SeqLens are the sequence lengths to sweep; empty means the spec's.
+	// Mutually exclusive with Workload.
+	SeqLens []int `json:"seq_lens,omitempty"`
+	// Stages are the pipeline sizes to sweep; empty means the spec's.
+	Stages []int `json:"stages,omitempty"`
+}
+
+// SpecTune turns the spec into an autotuner search over its grid. Empty
+// axes fall back to the spec's own geometry.
+type SpecTune struct {
+	// SeqLens are the candidate sequence lengths; empty means the spec's
+	// seq_len (or, with a workload, no fixed-length block).
+	SeqLens []int `json:"seq_lens,omitempty"`
+	// Stages are the candidate pipeline sizes; empty means the spec's.
+	Stages []int `json:"stages,omitempty"`
+	// MicroBatches are the candidate micro-batch counts; a 0 entry means the
+	// paper default m = 2p.
+	MicroBatches []int `json:"micro_batches,omitempty"`
+	// MicroBatchSizes are the candidate micro-batch sizes; empty means the
+	// spec's.
+	MicroBatchSizes []int `json:"micro_batch_sizes,omitempty"`
+	// BudgetGB is the per-GPU memory budget in GB, model states included
+	// (0 = the GPU's full capacity).
+	BudgetGB float64 `json:"budget_gb,omitempty"`
+	// Workers bounds the simulation worker pool; 0 picks GOMAXPROCS.
+	Workers int `json:"workers,omitempty"`
+	// Placements are the placement strategies to search per grid point on a
+	// topology cluster; empty means all of them.
+	Placements []string `json:"placements,omitempty"`
+	// Orders are the micro-batch ordering policies to cross with the spec's
+	// workload ("packed", "longest", "shortest", "balanced"); requires a
+	// workload. Empty keeps the workload's own order.
+	Orders []string `json:"orders,omitempty"`
+}
+
+// SpecOutput selects what a command-line tool emits for the spec's run.
+type SpecOutput struct {
+	// JSON emits machine-readable reports on stdout.
+	JSON bool `json:"json,omitempty"`
+	// CSV also writes rows to this path.
+	CSV string `json:"csv,omitempty"`
+	// Timeline prints an ASCII timeline per report (forces tracing).
+	Timeline bool `json:"timeline,omitempty"`
+	// SVG writes an SVG timeline per report under this path (forces
+	// tracing).
+	SVG string `json:"svg,omitempty"`
+}
+
+// ExperimentSpec is the serializable description of one experiment: every
+// input a run needs, and nothing session-internal. The zero value of every
+// optional field means "the default" — Resolved returns a copy with the
+// defaults filled in, which re-resolves to an identical RunSet (that is what
+// the command-line tools' -emit-spec writes).
+type ExperimentSpec struct {
+	// Model is a model preset name ("1.3B", "3B", "7B", "13B", "tiny").
+	Model string `json:"model"`
+	// Cluster is a flat cost-model preset ("H20", "A800"), a topology preset
+	// ("DGX-A800x4", ...), or a path to a topology JSON file.
+	Cluster string `json:"cluster"`
+	// SeqLen is the fixed sequence length (default 131072). With a workload
+	// it only seeds the workload's defaults.
+	SeqLen int `json:"seq_len,omitempty"`
+	// Stages is the pipeline size p (default 8).
+	Stages int `json:"stages,omitempty"`
+	// MicroBatchSize is the micro-batch size b (default 1).
+	MicroBatchSize int `json:"micro_batch_size,omitempty"`
+	// MicroBatches is the micro-batch count m; 0 means the paper default
+	// m = 2p, recomputed per sweep cell.
+	MicroBatches int `json:"micro_batches,omitempty"`
+	// MemoryBudgetGB is the per-GPU activation budget handed to budget-aware
+	// schedules; 0 keeps the cluster-derived default.
+	MemoryBudgetGB float64 `json:"memory_budget_gb,omitempty"`
+	// Methods are the schedules to run; "all" or empty means every
+	// registered method.
+	Methods []string `json:"methods,omitempty"`
+	// Engine runs the plans: "sim" (default) or "numeric".
+	Engine string `json:"engine,omitempty"`
+	// Seed drives the numeric engine's init and data generation.
+	Seed uint64 `json:"seed,omitempty"`
+	// Trace forces simulator tracing even without timeline output.
+	Trace bool `json:"trace,omitempty"`
+	// Helix pins the HelixPipe build options.
+	Helix *SpecHelix `json:"helix,omitempty"`
+	// Workload is an optional variable-length workload; while set it governs
+	// the micro-batch geometry.
+	Workload *SpecWorkload `json:"workload,omitempty"`
+	// Placement names a stage-placement strategy searched per method on a
+	// topology cluster ("contiguous", "roundrobin", "greedy").
+	Placement string `json:"placement,omitempty"`
+	// PlacementSeed drives the greedy placement search (default 1).
+	PlacementSeed uint64 `json:"placement_seed,omitempty"`
+	// Perturb injects faults in the -perturb flag syntax, e.g.
+	// "slow=3x2.0,link=ibx0.5,jitter=0.05,seed=7". Requires a topology
+	// cluster.
+	Perturb string `json:"perturb,omitempty"`
+	// Sweep turns the run into a grid; mutually exclusive with Tune.
+	Sweep *SpecSweep `json:"sweep,omitempty"`
+	// Tune turns the run into an autotuner search; mutually exclusive with
+	// Sweep.
+	Tune *SpecTune `json:"tune,omitempty"`
+	// Output selects what the command-line tools emit.
+	Output *SpecOutput `json:"output,omitempty"`
+}
+
+// RunCell is one (method, seqlen, stages) cell of a resolved RunSet.
+type RunCell struct {
+	// Method is the pipeline parallelism of the cell.
+	Method Method `json:"method"`
+	// SeqLen and Stages are the cell's geometry.
+	SeqLen int `json:"seq_len"`
+	Stages int `json:"stages"`
+}
+
+// RunSet is the resolved execution plan of a spec: what Session.Execute
+// will run, in order. Two specs that resolve to equal RunSets describe the
+// same experiment — that is the reproducibility contract behind -emit-spec.
+type RunSet struct {
+	// Kind is RunKindRun, RunKindSweep or RunKindTune.
+	Kind string `json:"kind"`
+	// Engine names the engine the cells run on ("sim" or "numeric").
+	Engine string `json:"engine"`
+	// Seed is the numeric engine's init/data seed.
+	Seed uint64 `json:"seed,omitempty"`
+	// Placement and PlacementSeed drive the per-method placement search of
+	// topology runs ("" keeps the contiguous default).
+	Placement     string `json:"placement,omitempty"`
+	PlacementSeed uint64 `json:"placement_seed,omitempty"`
+	// Cells enumerates the run's cells in deterministic grid order
+	// (seqlen-major, then stages, then method). Empty on tune runs.
+	Cells []RunCell `json:"cells,omitempty"`
+	// Tune is the fully-resolved autotuner spec of a RunKindTune run.
+	Tune *TuneSpec `json:"tune,omitempty"`
+}
+
+// ParseSpec decodes and strictly validates an ExperimentSpec from JSON:
+// unknown fields are errors, so typos in a spec file fail loudly instead of
+// silently running the default.
+func ParseSpec(r io.Reader) (*ExperimentSpec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	spec := &ExperimentSpec{}
+	if err := dec.Decode(spec); err != nil {
+		return nil, fmt.Errorf("helixpipe: invalid experiment spec: %w", err)
+	}
+	// A second document in the stream is a malformed spec, not extra input.
+	if dec.More() {
+		return nil, fmt.Errorf("helixpipe: invalid experiment spec: trailing data after the spec object")
+	}
+	return spec, nil
+}
+
+// ParseSpecFile reads an ExperimentSpec from a JSON file.
+func ParseSpecFile(path string) (*ExperimentSpec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	spec, err := ParseSpec(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return spec, nil
+}
+
+// WriteSpec writes the spec as indented JSON. WriteSpec and ParseSpec
+// round-trip: every field survives Write -> Parse -> Resolve.
+func WriteSpec(w io.Writer, spec *ExperimentSpec) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(spec)
+}
+
+// WriteSpecFile writes the spec as an indented JSON file.
+func WriteSpecFile(path string, spec *ExperimentSpec) error {
+	var buf bytes.Buffer
+	if err := WriteSpec(&buf, spec); err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}
+
+// Resolved returns a copy of the spec with every default filled in and
+// every name canonicalized (method names through the registry, "all"
+// expanded, workload and tune axes made explicit). The result re-resolves
+// to a RunSet identical to the original spec's — it is what the
+// command-line tools' -emit-spec writes for exact reproduction.
+func (s *ExperimentSpec) Resolved() (*ExperimentSpec, error) {
+	n, err := s.normalized()
+	if err != nil {
+		return nil, err
+	}
+	// Resolve the normalized copy so -emit-spec never writes a spec that
+	// fails later: name resolution above is necessary but a spec can still
+	// be geometrically unbuildable.
+	if _, _, err := n.Resolve(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// Resolve validates the spec eagerly and returns the Session it configures
+// plus the RunSet describing what Session.Execute will run. Every error a
+// run could hit from bad configuration — unknown names, impossible
+// geometry, a placement without a topology — surfaces here, before anything
+// executes.
+func (s *ExperimentSpec) Resolve() (*Session, RunSet, error) {
+	n, err := s.normalized()
+	if err != nil {
+		return nil, RunSet{}, err
+	}
+	p, err := n.resolveParts()
+	if err != nil {
+		return nil, RunSet{}, err
+	}
+	session, err := NewSession(p.model, p.cluster, p.options...)
+	if err != nil {
+		return nil, RunSet{}, err
+	}
+	rs, err := n.runSet(p)
+	if err != nil {
+		return nil, RunSet{}, err
+	}
+	return session, rs, nil
+}
+
+// normalized deep-copies the spec, fills defaults and canonicalizes names.
+// It is idempotent: normalized(normalized(s)) == normalized(s), which makes
+// the -emit-spec round trip exact.
+func (s *ExperimentSpec) normalized() (*ExperimentSpec, error) {
+	n := *s
+	if n.Model == "" {
+		return nil, fmt.Errorf("helixpipe: spec names no model (presets: %s)",
+			strings.Join(ModelNames(), ", "))
+	}
+	if n.Cluster == "" {
+		return nil, fmt.Errorf("helixpipe: spec names no cluster; the available clusters are:\n%s", ClusterListing())
+	}
+	if n.SeqLen == 0 {
+		n.SeqLen = 131072
+	}
+	if n.Stages == 0 {
+		n.Stages = 8
+	}
+	if n.MicroBatchSize == 0 {
+		n.MicroBatchSize = 1
+	}
+	// MicroBatches stays 0 for the paper default m = 2p: pinning it here
+	// would freeze one stage count's m across sweep cells.
+	switch n.Engine {
+	case "":
+		n.Engine = SpecEngineSim
+	case SpecEngineSim, SpecEngineNumeric:
+	default:
+		return nil, fmt.Errorf("helixpipe: unknown engine %q (known: %s, %s)",
+			n.Engine, SpecEngineSim, SpecEngineNumeric)
+	}
+	methods, err := resolveSpecMethods(n.Methods)
+	if err != nil {
+		return nil, err
+	}
+	n.Methods = methods
+	if n.Helix != nil {
+		h := *n.Helix
+		if h.Recompute != nil {
+			r := *h.Recompute
+			h.Recompute = &r
+		}
+		n.Helix = &h
+	}
+	if n.Workload != nil {
+		w := *n.Workload
+		w.Shapes = append([]Shape(nil), w.Shapes...)
+		if len(w.Shapes) == 0 {
+			if w.Dist == "" {
+				return nil, fmt.Errorf("helixpipe: workload needs a dist or explicit shapes")
+			}
+			if _, ok := LengthDistByName(w.Dist); !ok {
+				return nil, fmt.Errorf("helixpipe: unknown length distribution %q (uniform, bimodal, longtail)", w.Dist)
+			}
+			if w.Docs == 0 {
+				w.Docs = 64
+			}
+			if w.MaxSeq == 0 {
+				w.MaxSeq = n.SeqLen
+			}
+			if w.MinSeq == 0 {
+				w.MinSeq = max(w.MaxSeq/16, 1)
+			}
+			if w.Seed == 0 {
+				w.Seed = 42
+			}
+		}
+		if w.Order != "" {
+			if _, ok := MBOrderByName(w.Order); !ok {
+				return nil, fmt.Errorf("helixpipe: unknown micro-batch order %q (known: %v)",
+					w.Order, model.Orders())
+			}
+		}
+		n.Workload = &w
+	}
+	if n.Placement != "" {
+		if _, ok := cluster.StrategyByName(n.Placement); !ok {
+			return nil, fmt.Errorf("helixpipe: unknown placement strategy %q (known: %s)",
+				n.Placement, strings.Join(PlacementStrategies(), ", "))
+		}
+		if n.PlacementSeed == 0 {
+			n.PlacementSeed = 1
+		}
+	}
+	if n.Perturb != "" {
+		if _, err := ParsePerturb(n.Perturb); err != nil {
+			return nil, err
+		}
+	}
+	if n.Sweep != nil && n.Tune != nil {
+		return nil, fmt.Errorf("helixpipe: spec has both sweep axes and a tune grid; pick one")
+	}
+	if n.Sweep != nil {
+		sw := *n.Sweep
+		sw.SeqLens = append([]int(nil), sw.SeqLens...)
+		sw.Stages = append([]int(nil), sw.Stages...)
+		if len(sw.SeqLens) > 0 && n.Workload != nil {
+			return nil, fmt.Errorf("helixpipe: sweeping sequence lengths would discard the spec's workload; drop the workload or the sweep's seq_lens axis")
+		}
+		if len(sw.SeqLens) == 0 && n.Workload == nil {
+			// A workload spec keeps the axis empty: the workload governs the
+			// shapes, only stages sweep.
+			sw.SeqLens = []int{n.SeqLen}
+		}
+		if len(sw.Stages) == 0 {
+			sw.Stages = []int{n.Stages}
+		}
+		n.Sweep = &sw
+	}
+	if n.Tune != nil {
+		t := *n.Tune
+		t.SeqLens = append([]int(nil), t.SeqLens...)
+		t.Stages = append([]int(nil), t.Stages...)
+		t.MicroBatches = append([]int(nil), t.MicroBatches...)
+		t.MicroBatchSizes = append([]int(nil), t.MicroBatchSizes...)
+		t.Placements = append([]string(nil), t.Placements...)
+		t.Orders = append([]string(nil), t.Orders...)
+		if len(t.SeqLens) == 0 && n.Workload == nil {
+			t.SeqLens = []int{n.SeqLen}
+		}
+		if len(t.Stages) == 0 {
+			t.Stages = []int{n.Stages}
+		}
+		if len(t.MicroBatchSizes) == 0 {
+			t.MicroBatchSizes = []int{n.MicroBatchSize}
+		}
+		for _, o := range t.Orders {
+			if _, ok := MBOrderByName(o); !ok {
+				return nil, fmt.Errorf("helixpipe: unknown micro-batch order %q in tune grid (known: %v)",
+					o, model.Orders())
+			}
+		}
+		if len(t.Orders) > 0 && n.Workload == nil {
+			return nil, fmt.Errorf("helixpipe: tune orders given without a workload to reorder")
+		}
+		for _, strategy := range t.Placements {
+			if _, ok := cluster.StrategyByName(strategy); !ok {
+				return nil, fmt.Errorf("helixpipe: unknown placement strategy %q in tune grid (known: %s)",
+					strategy, strings.Join(PlacementStrategies(), ", "))
+			}
+		}
+		n.Tune = &t
+	}
+	if n.Output != nil {
+		o := *n.Output
+		n.Output = &o
+	}
+	return &n, nil
+}
+
+// resolveSpecMethods canonicalizes a spec's method names through the
+// registry: "all" (or an empty list) expands to every registered method,
+// anything unknown reports the method listing.
+func resolveSpecMethods(names []string) ([]string, error) {
+	if len(names) == 0 {
+		names = []string{"all"}
+	}
+	var out []string
+	for _, name := range names {
+		if strings.EqualFold(name, "all") {
+			for _, m := range Methods() {
+				out = append(out, string(m))
+			}
+			continue
+		}
+		m, ok := LookupMethod(name)
+		if !ok {
+			return nil, fmt.Errorf("helixpipe: unknown method %q; the registered methods are:\n%s",
+				name, MethodListing())
+		}
+		out = append(out, string(m))
+	}
+	return out, nil
+}
+
+// specParts carries the resolved ingredients of a normalized spec.
+type specParts struct {
+	model      ModelConfig
+	cluster    ClusterSpec
+	topo       *ClusterTopology
+	batch      BatchSpec // empty Shapes on fixed-shape specs
+	options    []Option
+	wantsTrace bool
+}
+
+// resolveParts resolves the normalized spec's names into concrete
+// configuration and the session option list.
+func (s *ExperimentSpec) resolveParts() (*specParts, error) {
+	p := &specParts{}
+	mc, ok := ModelByName(s.Model)
+	if !ok {
+		return nil, fmt.Errorf("helixpipe: unknown model %q (presets: %s)",
+			s.Model, strings.Join(ModelNames(), ", "))
+	}
+	p.model = mc
+	cl, topo, err := ResolveCluster(s.Cluster)
+	if err != nil {
+		return nil, err
+	}
+	p.cluster, p.topo = cl, topo
+
+	p.options = []Option{
+		WithSeqLen(s.SeqLen),
+		WithStages(s.Stages),
+		WithMicroBatchSize(s.MicroBatchSize),
+	}
+	if s.MicroBatches > 0 {
+		p.options = append(p.options, WithMicroBatches(s.MicroBatches))
+	}
+	if s.MemoryBudgetGB > 0 {
+		p.options = append(p.options, WithMemoryBudget(int64(s.MemoryBudgetGB*float64(1<<30))))
+	}
+	if s.Helix != nil {
+		opt := HelixOptions{Fold: s.Helix.Fold}
+		if s.Helix.Recompute != nil {
+			opt.Recompute = *s.Helix.Recompute
+		}
+		p.options = append(p.options, WithHelixOptions(opt))
+	}
+	if topo != nil {
+		p.options = append(p.options, WithCluster(*topo))
+	}
+	if s.Placement != "" && topo == nil {
+		return nil, fmt.Errorf("helixpipe: placement %q requires a topology cluster (e.g. DGX-A800x4), not the flat %s",
+			s.Placement, s.Cluster)
+	}
+	if s.Perturb != "" {
+		if topo == nil {
+			return nil, fmt.Errorf("helixpipe: perturbation requires a topology cluster (e.g. DGX-A800x4), not the flat %s",
+				s.Cluster)
+		}
+		perturb, err := ParsePerturb(s.Perturb)
+		if err != nil {
+			return nil, err
+		}
+		p.options = append(p.options, WithPerturb(perturb))
+	}
+	if s.Workload != nil {
+		batch, err := s.Workload.build()
+		if err != nil {
+			return nil, err
+		}
+		p.batch = batch
+		p.options = append(p.options, WithWorkload(batch))
+	}
+	p.wantsTrace = s.Trace || (s.Output != nil && (s.Output.Timeline || s.Output.SVG != ""))
+	if p.wantsTrace {
+		p.options = append(p.options, WithTrace())
+	}
+	return p, nil
+}
+
+// build materializes the workload description into a per-micro-batch shape
+// list: explicit shapes verbatim, else sample + pack + order.
+func (w *SpecWorkload) build() (BatchSpec, error) {
+	var batch BatchSpec
+	if len(w.Shapes) > 0 {
+		batch = BatchSpec{Shapes: append([]Shape(nil), w.Shapes...)}
+	} else {
+		dist, _ := LengthDistByName(w.Dist)
+		var err error
+		batch, err = SyntheticWorkload(dist, w.Docs, w.MinSeq, w.MaxSeq, int64(w.MaxSeq), w.Seed)
+		if err != nil {
+			return BatchSpec{}, err
+		}
+	}
+	if w.Order != "" {
+		order, _ := MBOrderByName(w.Order)
+		return batch.Ordered(order)
+	}
+	return batch, nil
+}
+
+// specMethods converts the normalized method names.
+func (s *ExperimentSpec) specMethods() []Method {
+	out := make([]Method, len(s.Methods))
+	for i, name := range s.Methods {
+		out[i] = Method(name)
+	}
+	return out
+}
+
+// runSet assembles the execution plan of a normalized spec.
+func (s *ExperimentSpec) runSet(p *specParts) (RunSet, error) {
+	rs := RunSet{
+		Kind:          RunKindRun,
+		Engine:        s.Engine,
+		Seed:          s.Seed,
+		Placement:     s.Placement,
+		PlacementSeed: s.PlacementSeed,
+	}
+	if s.Tune != nil {
+		if s.Engine == SpecEngineNumeric {
+			return RunSet{}, fmt.Errorf("helixpipe: the tune grid searches simulated configurations; engine must be %q", SpecEngineSim)
+		}
+		rs.Kind = RunKindTune
+		rs.Tune = s.tuneSpec(p)
+		// Validate the assembled grid eagerly: a tune spec that would die
+		// inside Autotune (placements without a topology, non-positive
+		// axes) must fail Resolve, or -emit-spec would write an unrunnable
+		// spec.
+		if err := rs.Tune.Validate(); err != nil {
+			return RunSet{}, fmt.Errorf("helixpipe: %w", err)
+		}
+		return rs, nil
+	}
+	seqLens, stages := []int{s.SeqLen}, []int{s.Stages}
+	if s.Sweep != nil {
+		rs.Kind = RunKindSweep
+		stages = s.Sweep.Stages
+		if len(s.Sweep.SeqLens) > 0 {
+			seqLens = s.Sweep.SeqLens
+		}
+		// A workload sweep keeps SeqLens empty; its cells carry the spec's
+		// seq_len as a label only.
+	}
+	for _, seq := range seqLens {
+		for _, pp := range stages {
+			for _, m := range s.specMethods() {
+				rs.Cells = append(rs.Cells, RunCell{Method: m, SeqLen: seq, Stages: pp})
+			}
+		}
+	}
+	return rs, nil
+}
+
+// tuneSpec assembles the autotuner spec of a tune-kind run.
+func (s *ExperimentSpec) tuneSpec(p *specParts) *TuneSpec {
+	t := s.Tune
+	ts := &TuneSpec{
+		Methods:           s.specMethods(),
+		SeqLens:           append([]int(nil), t.SeqLens...),
+		Stages:            append([]int(nil), t.Stages...),
+		MicroBatches:      append([]int(nil), t.MicroBatches...),
+		MicroBatchSizes:   append([]int(nil), t.MicroBatchSizes...),
+		MemoryBudgetBytes: int64(t.BudgetGB * float64(1<<30)),
+		Workers:           t.Workers,
+		Placements:        append([]string(nil), t.Placements...),
+		Orders:            append([]string(nil), t.Orders...),
+		Cluster:           p.topo,
+	}
+	if s.Perturb != "" {
+		perturb, _ := ParsePerturb(s.Perturb) // validated by normalized
+		ts.Perturb = &perturb
+	}
+	if s.Workload != nil {
+		name := s.Workload.Dist
+		if name == "" {
+			name = "workload"
+		}
+		ts.Workloads = []TuneWorkload{{Name: name, Batch: p.batch}}
+	}
+	return ts
+}

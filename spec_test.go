@@ -1,0 +1,521 @@
+package helixpipe
+
+import (
+	"bytes"
+	"encoding/json"
+	"iter"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// fullSpec returns a spec exercising every field, matching
+// testdata/spec_full.json.
+func fullSpec() *ExperimentSpec {
+	recompute := true
+	return &ExperimentSpec{
+		Model:          "3B",
+		Cluster:        "DGX-A800x4",
+		SeqLen:         65536,
+		Stages:         4,
+		MicroBatchSize: 2,
+		MicroBatches:   8,
+		MemoryBudgetGB: 60,
+		Methods:        []string{"1F1B", "HelixPipe"},
+		Engine:         SpecEngineSim,
+		Seed:           7,
+		Trace:          true,
+		Helix:          &SpecHelix{Fold: 2, Recompute: &recompute},
+		Workload: &SpecWorkload{
+			Dist:   "bimodal",
+			Docs:   32,
+			MinSeq: 4096,
+			MaxSeq: 65536,
+			Seed:   9,
+			Order:  "balanced",
+		},
+		Placement:     "greedy",
+		PlacementSeed: 3,
+		Perturb:       "slow=1x1.5,jitter=0.05,seed=11",
+		// A workload spec sweeps stages only; a seq_lens axis would discard
+		// the workload and is rejected (TestSpecInvalid).
+		Sweep:  &SpecSweep{Stages: []int{2, 4}},
+		Output: &SpecOutput{JSON: true, CSV: "points.csv", Timeline: true, SVG: "out.svg"},
+	}
+}
+
+// TestSpecRoundTripGolden proves every field survives Write -> Parse and
+// that the wire format matches the committed golden file.
+func TestSpecRoundTripGolden(t *testing.T) {
+	spec := fullSpec()
+	var buf bytes.Buffer
+	if err := WriteSpec(&buf, spec); err != nil {
+		t.Fatal(err)
+	}
+	golden, err := os.ReadFile("testdata/spec_full.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != string(golden) {
+		t.Errorf("WriteSpec drifted from testdata/spec_full.json:\n%s", buf.String())
+	}
+	parsed, err := ParseSpec(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(parsed, spec) {
+		t.Errorf("round trip lost fields:\n got %+v\nwant %+v", parsed, spec)
+	}
+	// And the round-tripped spec resolves: every field is consumable.
+	if _, _, err := parsed.Resolve(); err != nil {
+		t.Fatalf("round-tripped spec does not resolve: %v", err)
+	}
+}
+
+// TestSpecResolvedReproduces proves the -emit-spec contract: the resolved
+// spec re-resolves to an identical RunSet, and resolving is idempotent.
+func TestSpecResolvedReproduces(t *testing.T) {
+	for name, spec := range map[string]*ExperimentSpec{
+		"full": fullSpec(),
+		"minimal": {
+			Model:   "tiny",
+			Cluster: "H20",
+			SeqLen:  64,
+			Stages:  2,
+			Methods: []string{"1f1b"},
+		},
+		"tune": {
+			Model:   "3B",
+			Cluster: "A800",
+			Methods: []string{"HelixPipe", "ZB1P"},
+			Tune: &SpecTune{
+				SeqLens:  []int{32768},
+				Stages:   []int{2, 4},
+				BudgetGB: 64,
+			},
+		},
+	} {
+		_, rs1, err := spec.Resolve()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		resolved, err := spec.Resolved()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		_, rs2, err := resolved.Resolve()
+		if err != nil {
+			t.Fatalf("%s: resolved spec does not resolve: %v", name, err)
+		}
+		if !reflect.DeepEqual(rs1, rs2) {
+			t.Errorf("%s: resolved spec changes the RunSet:\n got %+v\nwant %+v", name, rs2, rs1)
+		}
+		again, err := resolved.Resolved()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(resolved, again) {
+			t.Errorf("%s: Resolved is not idempotent", name)
+		}
+	}
+}
+
+// TestSpecResolvedCanonicalizes checks name canonicalization: lower-case
+// method spellings come back in registry casing, defaults become explicit.
+func TestSpecResolvedCanonicalizes(t *testing.T) {
+	spec := &ExperimentSpec{Model: "tiny", Cluster: "H20", SeqLen: 64, Stages: 2,
+		Methods: []string{"helixpipe", "zb1p"}}
+	resolved, err := spec.Resolved()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resolved.Methods, []string{"HelixPipe", "ZB1P"}) {
+		t.Errorf("methods = %v, want canonical casing", resolved.Methods)
+	}
+	if resolved.Engine != SpecEngineSim || resolved.MicroBatchSize != 1 {
+		t.Errorf("defaults not filled: engine=%q b=%d", resolved.Engine, resolved.MicroBatchSize)
+	}
+}
+
+// TestSpecRunSetShape pins the RunSet enumeration: kinds, cell order, and
+// method expansion.
+func TestSpecRunSetShape(t *testing.T) {
+	spec := &ExperimentSpec{
+		Model: "tiny", Cluster: "H20", SeqLen: 64, Stages: 2,
+		Methods: []string{"1F1B", "GPipe"},
+		Sweep:   &SpecSweep{SeqLens: []int{64, 128}, Stages: []int{2}},
+	}
+	_, rs, err := spec.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Kind != RunKindSweep {
+		t.Errorf("kind = %q, want sweep", rs.Kind)
+	}
+	want := []RunCell{
+		{Method: "1F1B", SeqLen: 64, Stages: 2},
+		{Method: "GPipe", SeqLen: 64, Stages: 2},
+		{Method: "1F1B", SeqLen: 128, Stages: 2},
+		{Method: "GPipe", SeqLen: 128, Stages: 2},
+	}
+	if !reflect.DeepEqual(rs.Cells, want) {
+		t.Errorf("cells = %+v, want %+v", rs.Cells, want)
+	}
+
+	all := &ExperimentSpec{Model: "tiny", Cluster: "H20", SeqLen: 64, Stages: 2,
+		Methods: []string{"all"}}
+	_, rsAll, err := all.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rsAll.Kind != RunKindRun || len(rsAll.Cells) != len(Methods()) {
+		t.Errorf("kind=%q cells=%d, want run with %d cells", rsAll.Kind, len(rsAll.Cells), len(Methods()))
+	}
+}
+
+// TestSpecInvalid checks that bad specs fail eagerly with actionable
+// messages — including the shared cluster listing (the one ResolveCluster
+// code path every tool now goes through).
+func TestSpecInvalid(t *testing.T) {
+	cases := []struct {
+		name string
+		spec ExperimentSpec
+		want string
+	}{
+		{"no model", ExperimentSpec{Cluster: "H20"}, "names no model"},
+		{"unknown model", ExperimentSpec{Model: "70B", Cluster: "H20"}, "unknown model"},
+		{"unknown cluster", ExperimentSpec{Model: "7B", Cluster: "B200"}, "DGX-A800x4"},
+		{"unknown method", ExperimentSpec{Model: "7B", Cluster: "H20", Methods: []string{"pipedream"}}, "registered methods"},
+		{"unknown engine", ExperimentSpec{Model: "7B", Cluster: "H20", Engine: "fpga"}, "unknown engine"},
+		{"bad order", ExperimentSpec{Model: "7B", Cluster: "H20",
+			Workload: &SpecWorkload{Dist: "uniform", Order: "random"}}, "unknown micro-batch order"},
+		{"bad dist", ExperimentSpec{Model: "7B", Cluster: "H20",
+			Workload: &SpecWorkload{Dist: "zipf"}}, "unknown length distribution"},
+		{"workload without dist", ExperimentSpec{Model: "7B", Cluster: "H20",
+			Workload: &SpecWorkload{}}, "dist or explicit shapes"},
+		{"placement on flat cluster", ExperimentSpec{Model: "7B", Cluster: "H20",
+			Placement: "greedy"}, "requires a topology cluster"},
+		{"perturb on flat cluster", ExperimentSpec{Model: "7B", Cluster: "H20",
+			Perturb: "slow=0x2.0"}, "requires a topology cluster"},
+		{"bad placement strategy", ExperimentSpec{Model: "7B", Cluster: "DGX-H20x2",
+			Placement: "hilbert"}, "unknown placement strategy"},
+		{"sweep and tune", ExperimentSpec{Model: "7B", Cluster: "H20",
+			Sweep: &SpecSweep{}, Tune: &SpecTune{}}, "pick one"},
+		{"workload with seqlen sweep", ExperimentSpec{Model: "7B", Cluster: "H20",
+			Workload: &SpecWorkload{Dist: "uniform"},
+			Sweep:    &SpecSweep{SeqLens: []int{32768, 65536}}}, "discard the spec's workload"},
+		{"tune orders without workload", ExperimentSpec{Model: "7B", Cluster: "H20",
+			Tune: &SpecTune{Orders: []string{"longest"}}}, "without a workload"},
+		{"tune placements on flat cluster", ExperimentSpec{Model: "7B", Cluster: "H20",
+			Tune: &SpecTune{Placements: []string{"greedy"}}}, "without a cluster topology"},
+		{"tune negative seqlen", ExperimentSpec{Model: "7B", Cluster: "H20",
+			Tune: &SpecTune{SeqLens: []int{-1}}}, "non-positive sequence length"},
+		{"numeric tune", ExperimentSpec{Model: "7B", Cluster: "H20", Engine: "numeric",
+			Tune: &SpecTune{}}, "engine must be"},
+		{"indivisible layers", ExperimentSpec{Model: "7B", Cluster: "H20", Stages: 5}, "divisible"},
+	}
+	for _, tc := range cases {
+		_, _, err := tc.spec.Resolve()
+		if err == nil {
+			t.Errorf("%s: Resolve succeeded, want error containing %q", tc.name, tc.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not contain %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestParseSpecStrict checks that typos fail loudly instead of silently
+// running defaults.
+func TestParseSpecStrict(t *testing.T) {
+	if _, err := ParseSpec(strings.NewReader(`{"model": "7B", "sequence": 1}`)); err == nil {
+		t.Error("unknown field accepted")
+	} else if !strings.Contains(err.Error(), "sequence") {
+		t.Errorf("error %q does not name the unknown field", err)
+	}
+	if _, err := ParseSpec(strings.NewReader(`{"model": "7B"} {"model": "3B"}`)); err == nil {
+		t.Error("trailing data accepted")
+	}
+}
+
+// gateEngine wraps the simulator engine: cells at gated sequence lengths
+// block until the gate closes, proving the stream yields earlier cells
+// while later ones are still running.
+type gateEngine struct {
+	inner   Engine
+	gate    chan struct{}
+	freeSeq int
+	planSeq int
+}
+
+func (e *gateEngine) Name() string { return e.inner.Name() }
+
+func (e *gateEngine) Run(plan *Plan) (*Report, error) {
+	if e.planSeq != e.freeSeq {
+		<-e.gate
+	}
+	return e.inner.Run(plan)
+}
+
+// TestStreamIncremental asserts reports arrive incrementally: the first
+// cell's report is yielded while every later cell is still blocked.
+func TestStreamIncremental(t *testing.T) {
+	// The pool must hold every cell so a blocked later cell cannot starve
+	// the free first one.
+	prev := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prev)
+
+	s, err := NewSession(TinyModel(), H20Cluster(), WithSeqLen(64), WithStages(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := make(chan struct{})
+	defer func() {
+		select {
+		case <-gate:
+		default:
+			close(gate)
+		}
+	}()
+	sw := Sweep{
+		Methods: []Method{Method1F1B},
+		SeqLens: []int{64, 128, 256},
+		Engine: func(cell *Session) Engine {
+			return &gateEngine{inner: cell.SimEngine(), gate: gate, freeSeq: 64, planSeq: cell.SeqLen()}
+		},
+	}
+	next, stop := iter.Pull2(s.Stream(sw))
+	defer stop()
+	r, err, ok := next()
+	if !ok || err != nil {
+		t.Fatalf("first cell: ok=%v err=%v", ok, err)
+	}
+	if r.SeqLen != 64 {
+		t.Fatalf("first report seq=%d, want 64", r.SeqLen)
+	}
+	// The first report arrived while seq 128 and 256 were still gated.
+	close(gate)
+	var rest []int
+	for {
+		r, err, ok := next()
+		if !ok {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		rest = append(rest, r.SeqLen)
+	}
+	if !reflect.DeepEqual(rest, []int{128, 256}) {
+		t.Errorf("remaining cells = %v, want [128 256]", rest)
+	}
+}
+
+// TestStreamErrorsDontAbort asserts a failing cell yields its error and the
+// later cells still produce reports.
+func TestStreamErrorsDontAbort(t *testing.T) {
+	s, err := NewSession(TinyModel(), H20Cluster(), WithSeqLen(64), WithStages(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// tiny has 4 layers: p=3 cannot divide them, p=2 and p=4 can.
+	var reports, errs []string
+	for r, err := range s.Stream(Sweep{Methods: []Method{Method1F1B}, Stages: []int{3, 2, 4}}) {
+		if err != nil {
+			errs = append(errs, err.Error())
+			continue
+		}
+		reports = append(reports, string(r.Method))
+	}
+	if len(errs) != 1 || !strings.Contains(errs[0], "p=3") {
+		t.Errorf("errors = %v, want one p=3 failure", errs)
+	}
+	if len(reports) != 2 {
+		t.Errorf("reports = %v, want the two later cells", reports)
+	}
+	// The collector form agrees.
+	reports2, err := s.Sweep(Sweep{Methods: []Method{Method1F1B}, Stages: []int{3, 2, 4}})
+	if len(reports2) != 2 || err == nil {
+		t.Errorf("Sweep: reports=%d err=%v, want 2 reports and a joined error", len(reports2), err)
+	}
+}
+
+// TestExecuteMatchesFlagsEquivalent is the acceptance criterion: the
+// committed paper spec emits the same Report JSON as the equivalent
+// hand-built session, and its resolved spec reproduces it bit-identically.
+func TestExecuteMatchesFlagsEquivalent(t *testing.T) {
+	spec, err := ParseSpecFile("examples/spec_driven/paper_128k.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	session, rs, err := spec.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Kind != RunKindRun || len(rs.Cells) != 4 {
+		t.Fatalf("runset = %+v, want 4 run cells", rs)
+	}
+	collect := func(src iter.Seq2[*Report, error]) []byte {
+		t.Helper()
+		var reports []*Report
+		for r, err := range src {
+			if err != nil {
+				t.Fatal(err)
+			}
+			reports = append(reports, r)
+		}
+		data, err := json.Marshal(reports)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	specJSON := collect(session.Execute(spec))
+
+	// The equivalent option-chain invocation.
+	flags, err := NewSession(Model3B(), A800Cluster(),
+		WithSeqLen(131072), WithStages(8), WithMicroBatchSize(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flagReports []*Report
+	for _, m := range []Method{Method1F1B, MethodZB1P, MethodAdaPipe, MethodHelix} {
+		r, err := flags.Simulate(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flagReports = append(flagReports, r)
+	}
+	flagJSON, err := json.Marshal(flagReports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(specJSON, flagJSON) {
+		t.Error("spec-driven reports differ from the flag-equivalent session's")
+	}
+
+	// And the -emit-spec round trip is bit-identical too.
+	resolved, err := spec.Resolved()
+	if err != nil {
+		t.Fatal(err)
+	}
+	session2, _, err := resolved.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(collect(session2.Execute(resolved)), specJSON) {
+		t.Error("resolved spec does not reproduce the original reports")
+	}
+}
+
+// TestExecuteWorkloadSweepKeepsWorkload asserts a stages-only sweep over a
+// workload spec runs every cell on the workload's per-micro-batch shapes
+// instead of silently reverting to fixed shapes.
+func TestExecuteWorkloadSweepKeepsWorkload(t *testing.T) {
+	spec := &ExperimentSpec{
+		Model: "tiny", Cluster: "H20", SeqLen: 64, Stages: 2,
+		Methods: []string{"1F1B"},
+		Workload: &SpecWorkload{Shapes: []Shape{
+			{B: 1, S: 16}, {B: 1, S: 64}, {B: 1, S: 32}, {B: 1, S: 64},
+		}},
+		Sweep: &SpecSweep{Stages: []int{2, 4}},
+	}
+	session, rs, err := spec.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Kind != RunKindSweep || len(rs.Cells) != 2 {
+		t.Fatalf("runset = %+v, want a 2-cell stages sweep", rs)
+	}
+	var cells int
+	for r, err := range session.Execute(spec) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		cells++
+		if len(r.MicroBatchTokens) != 4 {
+			t.Errorf("p=%d: micro_batch_tokens = %v, workload was dropped", r.Stages, r.MicroBatchTokens)
+		}
+	}
+	if cells != 2 {
+		t.Errorf("cells = %d, want 2", cells)
+	}
+}
+
+// TestExecuteTuneStreams checks the tune-kind Execute path: evaluated grid
+// points stream as compact sim reports.
+func TestExecuteTuneStreams(t *testing.T) {
+	spec := &ExperimentSpec{
+		Model: "3B", Cluster: "A800",
+		Methods: []string{"1F1B", "HelixPipe"},
+		Tune:    &SpecTune{SeqLens: []int{32768}, Stages: []int{2}},
+	}
+	session, rs, err := spec.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Kind != RunKindTune || rs.Tune == nil {
+		t.Fatalf("runset = %+v, want tune kind", rs)
+	}
+	var n int
+	for r, err := range session.Execute(spec) {
+		if err != nil {
+			continue // pruned points are informational
+		}
+		n++
+		if r.Sim == nil || r.Sim.TokensPerSecond <= 0 {
+			t.Errorf("tune report %s has no sim metrics", r.Method)
+		}
+	}
+	if n == 0 {
+		t.Error("tune stream yielded no evaluated points")
+	}
+	// The collector agrees with the stream.
+	res, err := session.Autotune(*rs.Tune)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluated != n {
+		t.Errorf("Autotune evaluated %d, stream yielded %d", res.Evaluated, n)
+	}
+}
+
+// TestExampleSpecsResolve is the spec-validation smoke: every committed
+// *.json spec under examples/ must parse and resolve cleanly.
+func TestExampleSpecsResolve(t *testing.T) {
+	paths, err := filepath.Glob("examples/*/*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no example specs found")
+	}
+	for _, path := range paths {
+		spec, err := ParseSpecFile(path)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		if _, _, err := spec.Resolve(); err != nil {
+			t.Errorf("%s: %v", path, err)
+		}
+	}
+}
+
+// TestResolveClusterListing pins the satellite fix: an unknown cluster
+// reports one shared listing of every resolvable name.
+func TestResolveClusterListing(t *testing.T) {
+	_, _, err := ResolveCluster("B200")
+	if err == nil {
+		t.Fatal("unknown cluster accepted")
+	}
+	for _, want := range append(FlatClusterNames(), "DGX-A800x4", "DGX-H20x2", "PCIe-box") {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q misses %q", err, want)
+		}
+	}
+}
