@@ -1,0 +1,89 @@
+package helixpipe
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+)
+
+// ReportCache memoizes simulation results by experiment content: the key of
+// a spec is the hash of its Resolved (normalized, defaults-filled) form, so
+// a flag-layered run and a spec-file run describing the same experiment
+// share one entry, and a renamed field or reordered method list does not. It
+// is the spec→Report cache behind the fleet simulator — repeated job shapes
+// in a stream simulate once — and is safe for concurrent use.
+type ReportCache struct {
+	mu      sync.Mutex
+	entries map[string]*Report
+	hits    int
+	misses  int
+}
+
+// NewReportCache returns an empty cache.
+func NewReportCache() *ReportCache {
+	return &ReportCache{entries: map[string]*Report{}}
+}
+
+// Key computes the content hash of a spec plus any extra context components
+// (a carve signature, an engine revision — anything that changes the result
+// without living in the spec). The spec is resolved first, so equivalent
+// specs key identically; an unresolvable spec is an error.
+func (c *ReportCache) Key(spec *ExperimentSpec, extra ...string) (string, error) {
+	n, err := spec.Resolved()
+	if err != nil {
+		return "", err
+	}
+	blob, err := json.Marshal(n)
+	if err != nil {
+		return "", fmt.Errorf("helixpipe: hashing spec: %w", err)
+	}
+	h := sha256.New()
+	h.Write(blob)
+	for _, e := range extra {
+		h.Write([]byte{0})
+		h.Write([]byte(e))
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// Do returns the cached report for the key, or computes, stores and returns
+// it. The second result reports a cache hit. A compute error is returned
+// without storing anything, so a transient failure does not poison the key.
+// Cached reports are shared — treat them as immutable.
+func (c *ReportCache) Do(key string, compute func() (*Report, error)) (*Report, bool, error) {
+	c.mu.Lock()
+	if r, ok := c.entries[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return r, true, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+	// Compute outside the lock: entries can be large simulations, and the
+	// fleet engine is sequential anyway. A racing duplicate computation of
+	// the same key is deterministic, so last-write-wins is harmless.
+	r, err := compute()
+	if err != nil {
+		return nil, false, err
+	}
+	c.mu.Lock()
+	c.entries[key] = r
+	c.mu.Unlock()
+	return r, false, nil
+}
+
+// Len returns the number of cached entries.
+func (c *ReportCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats returns the hit and miss counts so far.
+func (c *ReportCache) Stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

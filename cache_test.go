@@ -1,0 +1,145 @@
+package helixpipe
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestReportCacheKeyResolvedSpecs pins the cache's content addressing: keys
+// hash the resolved spec, so two syntactically different specs describing
+// the same experiment share an entry, and any semantic difference splits
+// them.
+func TestReportCacheKeyResolvedSpecs(t *testing.T) {
+	cache := NewReportCache()
+	base := &ExperimentSpec{Model: "3B", Cluster: "A800", SeqLen: 32768,
+		Stages: 4, Methods: []string{"HelixPipe"}}
+	// Same experiment, different surface syntax: lowercase method name and
+	// explicitly spelled defaults resolve to the same normalized spec.
+	resolvedTwin, err := base.Resolved()
+	if err != nil {
+		t.Fatal(err)
+	}
+	aliased := &ExperimentSpec{Model: "3B", Cluster: "A800", SeqLen: 32768,
+		Stages: 4, Methods: []string{"helixpipe"}}
+
+	k1, err := cache.Key(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := cache.Key(resolvedTwin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k3, err := cache.Key(aliased)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 || k1 != k3 {
+		t.Errorf("equivalent specs keyed differently: %s / %s / %s", k1, k2, k3)
+	}
+
+	changed := *base
+	changed.SeqLen = 65536
+	k4, err := cache.Key(&changed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k4 == k1 {
+		t.Error("different seq_len keyed identically")
+	}
+
+	// Extra components (a carve signature) split otherwise-identical specs.
+	k5, err := cache.Key(base, "carve=gpu=A800|1x4(nvlink,200,6e-06)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k5 == k1 {
+		t.Error("extra key component ignored")
+	}
+
+	if _, err := cache.Key(&ExperimentSpec{Model: "no-such-model"}); err == nil {
+		t.Error("unresolvable spec keyed without error")
+	}
+}
+
+// TestReportCacheDo pins hit/miss behavior: first Do computes, the second
+// returns the stored report without recomputing, and a compute error leaves
+// the key empty.
+func TestReportCacheDo(t *testing.T) {
+	cache := NewReportCache()
+	want := &Report{Method: "HelixPipe"}
+	computes := 0
+	compute := func() (*Report, error) {
+		computes++
+		return want, nil
+	}
+
+	r, hit, err := cache.Do("k", compute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit || r != want || computes != 1 {
+		t.Errorf("first Do: hit=%v computes=%d", hit, computes)
+	}
+	r, hit, err = cache.Do("k", compute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit || r != want || computes != 1 {
+		t.Errorf("second Do: hit=%v computes=%d (recomputed a cached key)", hit, computes)
+	}
+	if hits, misses := cache.Stats(); hits != 1 || misses != 1 {
+		t.Errorf("stats = %d hits, %d misses, want 1/1", hits, misses)
+	}
+	if cache.Len() != 1 {
+		t.Errorf("len = %d, want 1", cache.Len())
+	}
+
+	// A failing compute is not cached: the next Do retries.
+	boom := errors.New("boom")
+	if _, _, err := cache.Do("bad", func() (*Report, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("Do error = %v, want boom", err)
+	}
+	if _, hit, err := cache.Do("bad", compute); err != nil || hit {
+		t.Errorf("after failed compute: hit=%v err=%v, want fresh miss", hit, err)
+	}
+	if computes != 2 {
+		t.Errorf("computes = %d, want 2", computes)
+	}
+}
+
+// TestReportCacheSharedAcrossFleetRuns is the integration angle: one cache
+// shared across two Session.Fleet runs on the same stream turns every
+// simulation of the second run into a hit.
+func TestReportCacheSharedAcrossFleetRuns(t *testing.T) {
+	spec, err := ParseSpecFile("examples/fleet_capacity/fleet_stream.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	session, runset, err := spec.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := *runset.Fleet
+	fs.Cache = NewReportCache()
+	if _, err := session.Fleet(fs); err != nil {
+		t.Fatal(err)
+	}
+	_, missesFirst := fs.Cache.Stats()
+	if missesFirst == 0 {
+		t.Fatal("first run missed nothing; the cache cannot have simulated")
+	}
+	report, err := session.Fleet(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, missesSecond := fs.Cache.Stats()
+	if missesSecond != missesFirst {
+		t.Errorf("second run added %d misses; the shared cache should cover the whole stream",
+			missesSecond-missesFirst)
+	}
+	if report.CacheHits != len(report.JobRecords) {
+		t.Errorf("second run: %d hits over %d jobs, want every job cached",
+			report.CacheHits, len(report.JobRecords))
+	}
+}

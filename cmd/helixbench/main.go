@@ -14,6 +14,9 @@
 //	helixbench -spec sweep.json -emit-spec resolved.json
 //	                                # sweep an experiment spec (flags become
 //	                                # overrides), save the resolved spec
+//	helixbench -method helixpipe -csv sweep.csv
+//	                                # stream rows into sweep.csv as cells
+//	                                # complete (tail -f friendly)
 //	helixbench -diff prev/BENCH_baseline.json -against BENCH_baseline.json
 //	                                # perf trajectory: exit 1 on any >10%
 //	                                # throughput regression vs the previous
@@ -49,6 +52,7 @@ func main() {
 		modelName   = flag.String("model", "7B", "model preset for -method sweeps")
 		clusterName = flag.String("cluster", "H20", "cluster preset for -method sweeps")
 		jsonOut     = flag.Bool("json", false, "emit machine-readable JSON on stdout")
+		csvPath     = flag.String("csv", "", "stream sweep reports as CSV rows to this path as cells complete")
 		diffPrev    = flag.String("diff", "", "previous BENCH_baseline.json to diff the perf trajectory against")
 		diffCur     = flag.String("against", "", "current BENCH_baseline.json for -diff")
 		diffLimit   = flag.Float64("threshold", 0.10, "throughput regression fraction -diff fails on")
@@ -60,11 +64,14 @@ func main() {
 		return
 	}
 	if *methodsFlag != "" || sf.Path != "" {
-		runSweep(sf, *methodsFlag, *modelName, *clusterName, *jsonOut)
+		runSweep(sf, *methodsFlag, *modelName, *clusterName, *jsonOut, *csvPath)
 		return
 	}
 	if sf.EmitPath != "" {
 		log.Fatal("-emit-spec needs a spec-driven sweep (-method or -spec); the experiment tables are not spec-driven")
+	}
+	if *csvPath != "" {
+		log.Fatal("-csv streams sweep reports; use it with -method or -spec")
 	}
 
 	tables, err := helixpipe.AllExperiments()
@@ -142,8 +149,9 @@ func runDiff(prevPath, curPath string, threshold float64) {
 
 // runSweep fans the spec's methods across its sweep axes — the paper's
 // Figure 8 grid by default — streaming the reports row by row as cells
-// complete, or collecting them as JSON.
-func runSweep(sf *cliutil.SpecFlags, methodsFlag, modelName, clusterName string, jsonOut bool) {
+// complete (to stdout and, with -csv, as CSV rows), or collecting them as
+// JSON.
+func runSweep(sf *cliutil.SpecFlags, methodsFlag, modelName, clusterName string, jsonOut bool, csvPath string) {
 	spec := sf.Load()
 	if spec.Tune != nil {
 		log.Fatalf("the spec holds a tune grid; run it with helixtune -spec %s", sf.Path)
@@ -167,6 +175,7 @@ func runSweep(sf *cliutil.SpecFlags, methodsFlag, modelName, clusterName string,
 	}
 	out := ov.Output(spec, func(out *helixpipe.SpecOutput) {
 		ov.Bool("json", jsonOut, &out.JSON)
+		ov.String("csv", csvPath, &out.CSV)
 	})
 
 	sf.EmitResolved(spec)
@@ -177,6 +186,19 @@ func runSweep(sf *cliutil.SpecFlags, methodsFlag, modelName, clusterName string,
 	if runset.Engine != helixpipe.EngineSim {
 		log.Fatalf("helixbench benchmarks the simulator; run %s-engine specs with helixtrain", runset.Engine)
 	}
+	// The CSV sink streams: each cell's row is flushed as it completes, so a
+	// long sweep can be tailed instead of waited out.
+	var csvw *helixpipe.ReportCSVWriter
+	if out.CSV != "" {
+		f, err := os.Create(out.CSV)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if csvw, err = helixpipe.NewReportCSVWriter(f); err != nil {
+			log.Fatal(err)
+		}
+	}
 	var reports []*helixpipe.Report
 	if !out.JSON {
 		fmt.Printf("%-22s %-8s %-4s %-14s %-14s %-10s\n",
@@ -185,6 +207,11 @@ func runSweep(sf *cliutil.SpecFlags, methodsFlag, modelName, clusterName string,
 	for r, err := range session.Execute(spec) {
 		if err != nil {
 			log.Fatal(err)
+		}
+		if csvw != nil {
+			if err := csvw.Write(r); err != nil {
+				log.Fatal(err)
+			}
 		}
 		if out.JSON {
 			reports = append(reports, r)

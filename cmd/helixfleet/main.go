@@ -1,0 +1,124 @@
+// Command helixfleet simulates a stream of training jobs sharing one GPU
+// cluster — the capacity-planning question a single-job simulation cannot
+// answer: how many long-sequence jobs per hour can this cluster sustain,
+// at what queue wait, under which admission and placement policy? Jobs are
+// drawn from the spec's fleet templates (or replayed from a trace), an
+// admission policy carves devices for each, and every job's pipeline is
+// priced by the real simulator through a content-hashed spec→Report cache,
+// so repeated job shapes never re-simulate.
+//
+// Usage:
+//
+//	helixfleet -spec examples/fleet_capacity/fleet_stream.json
+//	                                   # run the committed capacity study
+//	helixfleet -spec fleet.json -policy bestfit
+//	                                   # same stream, different policy
+//	helixfleet -spec fleet.json -policy help
+//	                                   # list the admission policies
+//	helixfleet -spec fleet.json -json > report.json
+//	helixfleet -spec fleet.json -csv jobs.csv
+//	helixfleet -spec base.json -emit-spec resolved.json
+//	                                   # save the fully-resolved spec
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	helixpipe "repro"
+	"repro/internal/cliutil"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("helixfleet: ")
+	sf := cliutil.RegisterSpecFlags()
+	var (
+		policyName = flag.String("policy", "", "admission/placement policy (fifo, bestfit, worstfit, backfill, preempt; 'help' to list)")
+		jobs       = flag.Int("jobs", 0, "number of jobs to generate (default 50)")
+		arrival    = flag.String("arrival", "", "arrival generator: poisson or bursty")
+		ratePerHr  = flag.Float64("rate", 0, "mean arrival rate in jobs/hour (default 12)")
+		seed       = flag.Uint64("fleet-seed", 0, "arrival and template-draw seed (default 1)")
+		tracePath  = flag.String("trace", "", "replay arrivals from a JSON trace file instead of generating them")
+		jsonOut    = flag.Bool("json", false, "emit the machine-readable fleet report on stdout")
+		csvPath    = flag.String("csv", "", "also write the per-job records as CSV to this path")
+	)
+	flag.Parse()
+
+	if strings.EqualFold(*policyName, "help") {
+		fmt.Fprint(os.Stderr, helixpipe.FleetPolicyListing())
+		os.Exit(2)
+	}
+	if sf.Path == "" {
+		log.Fatalf("a fleet run needs a spec with a fleet section: helixfleet -spec examples/fleet_capacity/fleet_stream.json")
+	}
+	spec := sf.Load()
+	if spec.Fleet == nil {
+		log.Fatalf("%s has no fleet section; add one or run it with helixsim", sf.Path)
+	}
+	ov := cliutil.NewOverlay()
+	f := spec.Fleet
+	ov.String("policy", *policyName, &f.Policy)
+	ov.String("arrival", *arrival, &f.Arrival)
+	ov.String("trace", *tracePath, &f.Trace)
+	if ov.Has("jobs") {
+		f.Jobs = *jobs
+	}
+	if ov.Has("rate") {
+		f.RatePerHour = *ratePerHr
+	}
+	if ov.Has("fleet-seed") {
+		f.Seed = *seed
+	}
+	out := ov.Output(spec, func(out *helixpipe.SpecOutput) {
+		ov.Bool("json", *jsonOut, &out.JSON)
+		ov.String("csv", *csvPath, &out.CSV)
+	})
+
+	sf.EmitResolved(spec)
+	session, runset, err := spec.Resolve()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if runset.Kind != helixpipe.RunKindFleet || runset.Fleet == nil {
+		log.Fatalf("the spec resolved to a %s run, not a fleet run", runset.Kind)
+	}
+
+	report, err := session.Fleet(*runset.Fleet)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if out.JSON {
+		if err := helixpipe.WriteFleetReportJSON(os.Stdout, report); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		fmt.Print(report.Summary())
+		printLinkTraffic(report)
+	}
+	if out.CSV != "" {
+		fw, err := os.Create(out.CSV)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := helixpipe.WriteFleetReportCSV(fw, report); err != nil {
+			log.Fatal(err)
+		}
+		if err := fw.Close(); err != nil {
+			log.Fatal(err)
+		}
+		if !out.JSON {
+			fmt.Printf("wrote %s\n", out.CSV)
+		}
+	}
+}
+
+func printLinkTraffic(r *helixpipe.FleetReport) {
+	for _, lt := range r.LinkTraffic {
+		fmt.Printf("  link %-8s %10.1f GB in %d transfers (%.1fs wire time)\n",
+			lt.Class, float64(lt.Bytes)/(1<<30), lt.Transfers, lt.Seconds)
+	}
+}

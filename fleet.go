@@ -1,0 +1,332 @@
+package helixpipe
+
+// This file bridges the public spec/session layer to internal/fleet, the
+// shared-cluster job-stream simulator. A spec's fleet section materializes
+// into a FleetSpec — concrete jobs with arrival times, priorities and
+// single-method experiment specs as payloads — and Session.Fleet runs the
+// stream on the session's cluster topology: the fleet engine carves device
+// sets under the admission policy, and each carved job prices its pipeline
+// through the real simulator behind the spec→Report cache, so repeated job
+// shapes never re-simulate.
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/fleet"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// Fleet simulator types (internal/fleet).
+type (
+	// FleetReport is the outcome of one fleet run: queue wait and JCT
+	// distributions, makespan, utilization, fragmentation, per-link-class
+	// traffic, and a per-job record list.
+	FleetReport = fleet.Report
+	// FleetPolicy is an admission/placement policy (order, carve, backfill,
+	// preemption).
+	FleetPolicy = fleet.Policy
+	// FleetJobRecord is one job's outcome inside a FleetReport.
+	FleetJobRecord = fleet.JobRecord
+	// FleetDistStats summarizes a fleet duration distribution.
+	FleetDistStats = fleet.Stats
+	// FleetLinkTraffic is one link class's share of a fleet's communication.
+	FleetLinkTraffic = fleet.LinkClassTraffic
+	// FleetTraceEntry is one job of a replayed arrival trace.
+	FleetTraceEntry = fleet.TraceEntry
+)
+
+// The preset fleet policies.
+const (
+	FleetPolicyFIFO     = fleet.PolicyFIFO
+	FleetPolicyBestFit  = fleet.PolicyBestFit
+	FleetPolicyWorstFit = fleet.PolicyWorstFit
+	FleetPolicyBackfill = fleet.PolicyBackfill
+	FleetPolicyPreempt  = fleet.PolicyPreempt
+)
+
+// The fleet arrival generators a spec's fleet section can name.
+const (
+	// FleetArrivalPoisson draws exponential inter-arrival gaps.
+	FleetArrivalPoisson = "poisson"
+	// FleetArrivalBursty lands jobs in Poisson-started bursts.
+	FleetArrivalBursty = "bursty"
+)
+
+// FleetPolicies lists the preset fleet policy names.
+func FleetPolicies() []string { return fleet.Policies() }
+
+// FleetPolicyByName resolves a preset fleet policy case-insensitively and
+// reports whether it exists.
+func FleetPolicyByName(name string) (FleetPolicy, bool) { return fleet.PolicyByName(name) }
+
+// FleetPolicyListing renders the preset policy table as helixfleet prints
+// it.
+func FleetPolicyListing() string {
+	var b strings.Builder
+	desc := map[string]string{
+		FleetPolicyFIFO:     "arrival order, first-fit carve, head-of-line blocking",
+		FleetPolicyBestFit:  "arrival order, best-fit carve (pack full nodes)",
+		FleetPolicyWorstFit: "arrival order, worst-fit carve (spread across nodes)",
+		FleetPolicyBackfill: "best fit + backfill past a blocked head",
+		FleetPolicyPreempt:  "priority order + backfill + preemption with re-queue",
+	}
+	for _, name := range fleet.Policies() {
+		fmt.Fprintf(&b, "  %-10s %s\n", name, desc[name])
+	}
+	return b.String()
+}
+
+// FleetJob is one materialized job of a FleetSpec: stream metadata plus the
+// single-method experiment spec describing its pipeline. The job's device
+// demand is its spec's stage count — one device per pipeline stage.
+type FleetJob struct {
+	// ID identifies the job in the report ("job007").
+	ID string `json:"id"`
+	// Template names the spec-level template the job was drawn from.
+	Template string `json:"template,omitempty"`
+	// ArrivalSec is the job's arrival time on the fleet clock.
+	ArrivalSec float64 `json:"arrival_sec"`
+	// Priority orders preemptive admission; higher preempts lower.
+	Priority int `json:"priority,omitempty"`
+	// Iterations is the number of training iterations the job runs.
+	Iterations int `json:"iterations"`
+	// Spec describes the job's pipeline: a run-kind experiment spec naming
+	// exactly one method. Its stage count is the job's device demand; its
+	// cluster field is overridden by the devices the fleet carves for it.
+	Spec *ExperimentSpec `json:"spec"`
+}
+
+// FleetSpec is the materialized input of Session.Fleet: the job stream and
+// the admission policy. Specs with a fleet section produce one via Resolve
+// (RunSet.Fleet); construct one directly to script custom streams.
+type FleetSpec struct {
+	// Policy names the admission/placement policy (default "fifo").
+	Policy string `json:"policy,omitempty"`
+	// Jobs is the stream, in arrival order.
+	Jobs []FleetJob `json:"jobs"`
+	// Cache memoizes spec→Report simulations across jobs; nil uses a fresh
+	// cache per run. Share one across runs to reuse results between policy
+	// comparisons on the same stream.
+	Cache *ReportCache `json:"-"`
+}
+
+// Fleet simulates a stream of training jobs sharing the session's cluster
+// topology under an admission/placement policy and returns the fleet report.
+// Each admitted job's carved devices become a sub-cluster; the job's spec is
+// simulated on it through the spec→Report cache (repeated job shapes on
+// equivalent carves simulate once), its placement searched by the spec's
+// placement strategy. The run is deterministic: identical specs produce
+// byte-identical reports.
+func (s *Session) Fleet(fs FleetSpec) (*FleetReport, error) {
+	if s.topo == nil {
+		return nil, fmt.Errorf("helixpipe: Fleet requires a cluster topology (WithCluster)")
+	}
+	name := fs.Policy
+	if name == "" {
+		name = FleetPolicyFIFO
+	}
+	policy, ok := fleet.PolicyByName(name)
+	if !ok {
+		return nil, fmt.Errorf("helixpipe: unknown fleet policy %q; the policies are:\n%s",
+			fs.Policy, FleetPolicyListing())
+	}
+	cache := fs.Cache
+	if cache == nil {
+		cache = NewReportCache()
+	}
+	jobs := make([]fleet.Job, len(fs.Jobs))
+	for i := range fs.Jobs {
+		fj := &fs.Jobs[i]
+		if fj.Spec == nil {
+			return nil, fmt.Errorf("helixpipe: fleet job %s has no spec", fj.ID)
+		}
+		if len(fj.Spec.Methods) != 1 {
+			return nil, fmt.Errorf("helixpipe: fleet job %s must name exactly one method, got %v",
+				fj.ID, fj.Spec.Methods)
+		}
+		jobs[i] = fleet.Job{
+			ID:         fj.ID,
+			Template:   fj.Template,
+			ArrivalSec: fj.ArrivalSec,
+			Priority:   fj.Priority,
+			Demand:     fj.Spec.Stages,
+			Iterations: fj.Iterations,
+			Payload:    fj,
+		}
+	}
+	return fleet.Run(*s.topo, jobs, &fleetSimulator{cache: cache}, fleet.Options{Policy: policy})
+}
+
+// fleetSimulator prices fleet jobs through the session/spec machinery: the
+// job's spec resolves to a session, the carve replaces its topology, the
+// spec's placement strategy searches the stage placement, and the sim engine
+// runs one iteration — all behind the content-hashed report cache.
+type fleetSimulator struct {
+	cache *ReportCache
+}
+
+func (f *fleetSimulator) Simulate(job fleet.Job, sub cluster.Cluster) (fleet.JobRun, error) {
+	fj, ok := job.Payload.(*FleetJob)
+	if !ok || fj.Spec == nil {
+		return fleet.JobRun{}, fmt.Errorf("helixpipe: fleet job %s carries no spec payload", job.ID)
+	}
+	key, err := f.cache.Key(fj.Spec, "carve="+fleet.Signature(sub))
+	if err != nil {
+		return fleet.JobRun{}, err
+	}
+	report, hit, err := f.cache.Do(key, func() (*Report, error) {
+		return simulateOnCarve(fj.Spec, sub)
+	})
+	if err != nil {
+		return fleet.JobRun{}, err
+	}
+	if report.Sim == nil {
+		return fleet.JobRun{}, fmt.Errorf("helixpipe: fleet job %s produced no sim metrics", job.ID)
+	}
+	return fleet.JobRun{
+		IterationSeconds: report.Sim.IterationSeconds,
+		Placement:        cluster.Placement{Devices: append([]int(nil), report.Placement...)},
+		LinkTraffic:      append([]sim.LinkClassStats(nil), report.Sim.LinkTraffic...),
+		CacheHit:         hit,
+	}, nil
+}
+
+// simulateOnCarve runs a job's spec on a carved sub-cluster: resolve the
+// spec, swap its topology for the carve, search the placement, simulate.
+func simulateOnCarve(spec *ExperimentSpec, sub cluster.Cluster) (*Report, error) {
+	base, rs, err := spec.Resolve()
+	if err != nil {
+		return nil, err
+	}
+	cell, err := base.With(WithCluster(sub))
+	if err != nil {
+		return nil, err
+	}
+	method := Method(spec.Methods[0])
+	if rs.Placement != "" {
+		p, err := cell.PlacementFor(method, rs.Placement, rs.PlacementSeed)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", method, err)
+		}
+		if cell, err = cell.With(WithPlacement(p)); err != nil {
+			return nil, fmt.Errorf("%s: %w", method, err)
+		}
+	}
+	return cell.Simulate(method)
+}
+
+// buildFleetSpec materializes a normalized spec's fleet section into the
+// concrete job stream: arrival times from the named generator (or a replayed
+// trace file), templates drawn by weight, and one resolved single-method job
+// spec per template, shared by every draw so the report cache keys align.
+func (s *ExperimentSpec) buildFleetSpec(p *specParts) (*FleetSpec, error) {
+	f := s.Fleet
+	if p.topo == nil {
+		return nil, fmt.Errorf("helixpipe: a fleet run requires a topology cluster (e.g. DGX-A800x4), not the flat %s", s.Cluster)
+	}
+	specs := map[string]*ExperimentSpec{}
+	templates := map[string]SpecFleetTemplate{}
+	for _, t := range f.Templates {
+		js, err := s.templateSpec(t)
+		if err != nil {
+			return nil, fmt.Errorf("helixpipe: fleet template %q: %w", t.Name, err)
+		}
+		specs[t.Name] = js
+		templates[t.Name] = t
+	}
+	fs := &FleetSpec{Policy: f.Policy}
+	if f.Trace != "" {
+		entries, err := fleet.LoadTraceFile(f.Trace)
+		if err != nil {
+			return nil, fmt.Errorf("helixpipe: %w", err)
+		}
+		for i, e := range entries {
+			t, ok := templates[e.Template]
+			if !ok {
+				return nil, fmt.Errorf("helixpipe: trace entry %d names unknown fleet template %q", i, e.Template)
+			}
+			job := newFleetJob(i, t, e.ArrivalSec, specs[t.Name])
+			if e.Priority != 0 {
+				job.Priority = e.Priority
+			}
+			if e.Iterations > 0 {
+				job.Iterations = e.Iterations
+			}
+			fs.Jobs = append(fs.Jobs, job)
+		}
+		return fs, nil
+	}
+	stream := rng.New(f.Seed)
+	arrivalStream, drawStream := stream.Split(1), stream.Split(2)
+	rate := f.RatePerHour / 3600
+	var arrivals []float64
+	if f.Arrival == FleetArrivalBursty {
+		arrivals = fleet.BurstyArrivals(arrivalStream, f.Jobs, f.BurstSize, rate)
+	} else {
+		arrivals = fleet.PoissonArrivals(arrivalStream, f.Jobs, rate)
+	}
+	total := 0.0
+	for _, t := range f.Templates {
+		total += t.Weight
+	}
+	for i, at := range arrivals {
+		x := drawStream.Float64() * total
+		t := f.Templates[len(f.Templates)-1]
+		for _, cand := range f.Templates {
+			if x < cand.Weight {
+				t = cand
+				break
+			}
+			x -= cand.Weight
+		}
+		fs.Jobs = append(fs.Jobs, newFleetJob(i, t, at, specs[t.Name]))
+	}
+	return fs, nil
+}
+
+func newFleetJob(i int, t SpecFleetTemplate, arrivalSec float64, spec *ExperimentSpec) FleetJob {
+	return FleetJob{
+		ID:         fmt.Sprintf("job%03d", i),
+		Template:   t.Name,
+		ArrivalSec: arrivalSec,
+		Priority:   t.Priority,
+		Iterations: t.Iterations,
+		Spec:       spec,
+	}
+}
+
+// templateSpec derives a template's job spec from the parent spec: the
+// template's geometry overrides layered on, the fleet/sweep/tune/output
+// sections stripped, resolved eagerly so an unbuildable template fails at
+// Resolve time, not mid-stream.
+func (s *ExperimentSpec) templateSpec(t SpecFleetTemplate) (*ExperimentSpec, error) {
+	js := *s
+	js.Fleet, js.Sweep, js.Tune, js.Output = nil, nil, nil, nil
+	js.Trace = false
+	js.Methods = []string{t.Method}
+	js.Stages = t.Stages
+	if t.SeqLen > 0 {
+		// A pinned sequence length replaces an inherited workload: the
+		// template wants a fixed shape.
+		js.SeqLen = t.SeqLen
+		js.Workload = nil
+	}
+	if t.MicroBatchSize > 0 {
+		js.MicroBatchSize = t.MicroBatchSize
+	}
+	if t.MicroBatches > 0 {
+		js.MicroBatches = t.MicroBatches
+	}
+	return js.Resolved()
+}
+
+// WriteFleetReportJSON writes a fleet report as indented JSON —
+// deterministic, byte for byte, under identical specs.
+func WriteFleetReportJSON(w io.Writer, r *FleetReport) error { return r.WriteJSON(w) }
+
+// WriteFleetReportCSV writes a fleet report's per-job records as CSV.
+func WriteFleetReportCSV(w io.Writer, r *FleetReport) error { return r.WriteCSV(w) }

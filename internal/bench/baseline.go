@@ -19,14 +19,20 @@ type BaselineConfig struct {
 	Name string `json:"name"`
 	// VariableLength marks the mixed-length workload config.
 	VariableLength bool `json:"variable_length,omitempty"`
+	// Fleet marks the fleet-scale config, whose Throughput is keyed by
+	// admission policy in completed jobs per makespan hour, not by method in
+	// tokens/s.
+	Fleet bool `json:"fleet,omitempty"`
 	// TokensPerIteration is the config's iteration token count.
 	TokensPerIteration int64 `json:"tokens_per_iteration"`
-	// Throughput maps method name to simulated tokens/s.
+	// Throughput maps method name to simulated tokens/s (policy name to
+	// jobs/hour on the fleet config).
 	Throughput map[string]float64 `json:"throughput"`
 }
 
 // Baseline simulates the performance baseline: tokens/s per method for the
-// two paper headline configs and one variable-length bimodal config. CI
+// two paper headline configs and one variable-length bimodal config, plus
+// the fleet-scale policy comparison (jobs/hour per admission policy). CI
 // uploads the result as BENCH_baseline.json so future changes have a
 // recorded perf trajectory to diff against.
 func Baseline() ([]BaselineConfig, error) {
@@ -90,7 +96,11 @@ func Baseline() ([]BaselineConfig, error) {
 		}
 		out = append(out, bc)
 	}
-	return out, nil
+	fc, err := FleetBaseline()
+	if err != nil {
+		return nil, err
+	}
+	return append(out, fc), nil
 }
 
 // WriteBaselineJSON writes the baseline as indented JSON.

@@ -6,6 +6,7 @@ import (
 	"os"
 	"testing"
 
+	"repro/internal/fleet"
 	"repro/internal/sched"
 )
 
@@ -14,16 +15,26 @@ func TestBaseline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(configs) != 3 {
-		t.Fatalf("baseline has %d configs, want 3", len(configs))
+	if len(configs) != 4 {
+		t.Fatalf("baseline has %d configs, want 4", len(configs))
 	}
-	varlen := 0
+	varlen, fleetCfgs := 0, 0
 	for _, c := range configs {
 		if c.VariableLength {
 			varlen++
 		}
 		if c.TokensPerIteration <= 0 {
 			t.Errorf("%s: no tokens", c.Name)
+		}
+		if c.Fleet {
+			// The fleet config records jobs/hour per admission policy.
+			fleetCfgs++
+			for _, policy := range fleet.Policies() {
+				if tput := c.Throughput[policy]; tput <= 0 {
+					t.Errorf("%s/%s: jobs/hour %g", c.Name, policy, tput)
+				}
+			}
+			continue
 		}
 		for _, method := range Figure8Methods {
 			if tput := c.Throughput[string(method)]; tput <= 0 {
@@ -36,6 +47,9 @@ func TestBaseline(t *testing.T) {
 	}
 	if varlen != 1 {
 		t.Errorf("baseline has %d variable-length configs, want 1", varlen)
+	}
+	if fleetCfgs != 1 {
+		t.Errorf("baseline has %d fleet configs, want 1", fleetCfgs)
 	}
 
 	var buf bytes.Buffer

@@ -1,0 +1,32 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestFleetBaselineDeterministic pins what the perf-diff gate depends on:
+// regenerating the fleet config yields identical jobs/hour per policy, so a
+// trajectory diff only moves when the engine does.
+func TestFleetBaselineDeterministic(t *testing.T) {
+	a, err := FleetBaseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FleetBaseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("fleet baseline drifted between runs:\n%+v\n%+v", a, b)
+	}
+	if !a.Fleet {
+		t.Error("fleet config not marked")
+	}
+	// Packing beats head-of-line blocking on this stream; pin the ordering
+	// so a policy regression is caught even within the diff threshold.
+	if a.Throughput["bestfit"] <= a.Throughput["fifo"] {
+		t.Errorf("bestfit %.1f jobs/h does not beat fifo %.1f jobs/h",
+			a.Throughput["bestfit"], a.Throughput["fifo"])
+	}
+}

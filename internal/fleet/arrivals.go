@@ -1,0 +1,119 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// PoissonArrivals draws n arrival times from a Poisson process with the
+// given mean rate (jobs per second): exponential inter-arrival gaps from a
+// deterministic counter-based stream. Times are returned in ascending order
+// starting at the first gap after t=0.
+func PoissonArrivals(s *rng.Stream, n int, ratePerSec float64) []float64 {
+	if n <= 0 || ratePerSec <= 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	t := 0.0
+	for i := range out {
+		t += expGap(s, ratePerSec)
+		out[i] = t
+	}
+	return out
+}
+
+// BurstyArrivals draws n arrival times in bursts: burst starts follow a
+// Poisson process at burstRatePerSec, each burst lands burstSize jobs spaced
+// by a fast within-burst Poisson gap (10x the burst rate). It models the
+// "whole team submits at once" pattern that stresses admission policies far
+// harder than a smooth stream. Bursts may overlap; the merged sequence is
+// returned sorted ascending.
+func BurstyArrivals(s *rng.Stream, n, burstSize int, burstRatePerSec float64) []float64 {
+	if n <= 0 || burstSize <= 0 || burstRatePerSec <= 0 {
+		return nil
+	}
+	out := make([]float64, 0, n)
+	t := 0.0
+	for len(out) < n {
+		t += expGap(s, burstRatePerSec)
+		bt := t
+		for i := 0; i < burstSize && len(out) < n; i++ {
+			if i > 0 {
+				bt += expGap(s, 10*burstRatePerSec)
+			}
+			out = append(out, bt)
+		}
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// expGap draws one exponential inter-arrival gap with the given rate.
+func expGap(s *rng.Stream, rate float64) float64 {
+	u := s.Float64()
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	return -math.Log(1-u) / rate
+}
+
+// TraceEntry is one job of a replayed arrival trace. Template names a job
+// template of the surrounding fleet spec; the remaining fields override the
+// template's defaults when positive.
+type TraceEntry struct {
+	// ArrivalSec is the job's arrival time in seconds from trace start.
+	ArrivalSec float64 `json:"arrival_sec"`
+	// Template names the job template this entry instantiates.
+	Template string `json:"template"`
+	// Priority overrides the template's priority when non-zero.
+	Priority int `json:"priority,omitempty"`
+	// Iterations overrides the template's iteration count when positive.
+	Iterations int `json:"iterations,omitempty"`
+}
+
+// ParseTrace decodes a JSON arrival trace — an array of TraceEntry — and
+// validates it: entries must name a template, arrive at non-negative and
+// non-decreasing times.
+func ParseTrace(r io.Reader) ([]TraceEntry, error) {
+	var entries []TraceEntry
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&entries); err != nil {
+		return nil, fmt.Errorf("fleet: decoding trace JSON: %w", err)
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("fleet: trace has no entries")
+	}
+	prev := 0.0
+	for i, e := range entries {
+		switch {
+		case e.Template == "":
+			return nil, fmt.Errorf("fleet: trace entry %d names no template", i)
+		case e.ArrivalSec < 0:
+			return nil, fmt.Errorf("fleet: trace entry %d arrives at negative time %g", i, e.ArrivalSec)
+		case e.ArrivalSec < prev:
+			return nil, fmt.Errorf("fleet: trace entry %d arrives at %gs, before entry %d at %gs",
+				i, e.ArrivalSec, i-1, prev)
+		case e.Iterations < 0:
+			return nil, fmt.Errorf("fleet: trace entry %d runs %d iterations", i, e.Iterations)
+		}
+		prev = e.ArrivalSec
+	}
+	return entries, nil
+}
+
+// LoadTraceFile reads and validates an arrival trace from a JSON file.
+func LoadTraceFile(path string) ([]TraceEntry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: %w", err)
+	}
+	defer f.Close()
+	return ParseTrace(f)
+}

@@ -1,0 +1,110 @@
+package fleet
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Admission orders for Policy.Order.
+const (
+	// OrderArrival admits jobs first-come first-served.
+	OrderArrival = "arrival"
+	// OrderPriority admits the highest-priority queued job first (ties break
+	// by arrival).
+	OrderPriority = "priority"
+)
+
+// Carve kinds for Policy.Carve.
+const (
+	// CarveFirst takes free devices in ascending global order.
+	CarveFirst = "first"
+	// CarveBest packs each job onto the fullest node that still fits it.
+	CarveBest = "best"
+	// CarveWorst spreads each job across the emptiest nodes.
+	CarveWorst = "worst"
+)
+
+// Preset policy names.
+const (
+	// PolicyFIFO is strict arrival order with first-fit carving and
+	// head-of-line blocking.
+	PolicyFIFO = "fifo"
+	// PolicyBestFit is arrival order with best-fit carving.
+	PolicyBestFit = "bestfit"
+	// PolicyWorstFit is arrival order with worst-fit carving.
+	PolicyWorstFit = "worstfit"
+	// PolicyBackfill is arrival order with best-fit carving and backfill:
+	// when the head job does not fit, smaller jobs behind it may start.
+	PolicyBackfill = "backfill"
+	// PolicyPreempt is priority order with best-fit carving, backfill, and
+	// preemption: a high-priority arrival evicts strictly-lower-priority
+	// running jobs (which re-queue and restart) when the free pool is short.
+	PolicyPreempt = "preempt"
+)
+
+// Policy is an admission/placement policy: the order the queue drains in,
+// the carve that picks devices for each admitted job, and whether jobs may
+// backfill past a blocked head or preempt lower-priority runners.
+type Policy struct {
+	// Name labels the policy in reports ("bestfit").
+	Name string `json:"name"`
+	// Order is the admission order: OrderArrival or OrderPriority.
+	Order string `json:"order"`
+	// Carve selects devices for an admitted job: CarveFirst, CarveBest or
+	// CarveWorst.
+	Carve string `json:"carve"`
+	// Backfill lets jobs behind a blocked queue head start when they fit.
+	Backfill bool `json:"backfill"`
+	// Preempt lets the queue head evict strictly-lower-priority running jobs
+	// to cover its demand; victims re-queue and restart from scratch.
+	Preempt bool `json:"preempt"`
+}
+
+// Validate reports an error when the policy mixes unknown knob values.
+func (p Policy) Validate() error {
+	switch p.Order {
+	case OrderArrival, OrderPriority:
+	default:
+		return fmt.Errorf("fleet: unknown admission order %q (want %s or %s)",
+			p.Order, OrderArrival, OrderPriority)
+	}
+	switch p.Carve {
+	case CarveFirst, CarveBest, CarveWorst:
+	default:
+		return fmt.Errorf("fleet: unknown carve %q (want %s, %s or %s)",
+			p.Carve, CarveFirst, CarveBest, CarveWorst)
+	}
+	return nil
+}
+
+// presets maps policy names to their knob settings.
+func presets() []Policy {
+	return []Policy{
+		{Name: PolicyFIFO, Order: OrderArrival, Carve: CarveFirst},
+		{Name: PolicyBestFit, Order: OrderArrival, Carve: CarveBest},
+		{Name: PolicyWorstFit, Order: OrderArrival, Carve: CarveWorst},
+		{Name: PolicyBackfill, Order: OrderArrival, Carve: CarveBest, Backfill: true},
+		{Name: PolicyPreempt, Order: OrderPriority, Carve: CarveBest, Backfill: true, Preempt: true},
+	}
+}
+
+// Policies returns the preset policy names in listing order.
+func Policies() []string {
+	ps := presets()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// PolicyByName resolves a preset policy case-insensitively and reports
+// whether it exists.
+func PolicyByName(name string) (Policy, bool) {
+	for _, p := range presets() {
+		if strings.EqualFold(p.Name, name) {
+			return p, true
+		}
+	}
+	return Policy{}, false
+}

@@ -307,19 +307,48 @@ func (r *Report) CSVRow() []string {
 	}
 }
 
-// WriteReportsCSV writes a header plus one row per report.
-func WriteReportsCSV(w io.Writer, reports []*Report) error {
+// ReportCSVWriter streams reports as CSV rows: the header goes out when the
+// writer is built, each Write flushes one row, so a sink tailing the file
+// sees rows as sweep cells complete rather than after the whole run. Rows
+// match ReportCSVHeader.
+type ReportCSVWriter struct {
+	cw *csv.Writer
+}
+
+// NewReportCSVWriter writes the CSV header and returns the row writer.
+func NewReportCSVWriter(w io.Writer) (*ReportCSVWriter, error) {
 	cw := csv.NewWriter(w)
 	if err := cw.Write(ReportCSVHeader()); err != nil {
+		return nil, err
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return nil, err
+	}
+	return &ReportCSVWriter{cw: cw}, nil
+}
+
+// Write appends one report row and flushes it through to the sink.
+func (w *ReportCSVWriter) Write(r *Report) error {
+	if err := w.cw.Write(r.CSVRow()); err != nil {
+		return err
+	}
+	w.cw.Flush()
+	return w.cw.Error()
+}
+
+// WriteReportsCSV writes a header plus one row per report.
+func WriteReportsCSV(w io.Writer, reports []*Report) error {
+	sw, err := NewReportCSVWriter(w)
+	if err != nil {
 		return err
 	}
 	for _, r := range reports {
-		if err := cw.Write(r.CSVRow()); err != nil {
+		if err := sw.Write(r); err != nil {
 			return err
 		}
 	}
-	cw.Flush()
-	return cw.Error()
+	return nil
 }
 
 // WriteReportsJSON writes the reports as an indented JSON array.

@@ -727,6 +727,12 @@ func (s *Session) Execute(spec *ExperimentSpec) iter.Seq2[*Report, error] {
 			yield(nil, err)
 			return
 		}
+		if rs.Kind == RunKindFleet {
+			// A fleet run produces one FleetReport, not a stream of cell
+			// reports — it has its own entry point.
+			yield(nil, fmt.Errorf("helixpipe: a fleet spec runs via Session.Fleet (or the helixfleet tool), not Execute"))
+			return
+		}
 		if rs.Kind == RunKindTune {
 			s.executeTune(*rs.Tune, yield)
 			return

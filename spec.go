@@ -38,6 +38,9 @@ const (
 	RunKindSweep = "sweep"
 	// RunKindTune is an autotuner search over the spec's tune grid.
 	RunKindTune = "tune"
+	// RunKindFleet is a shared-cluster job-stream simulation of the spec's
+	// fleet section (Session.Fleet / helixfleet).
+	RunKindFleet = "fleet"
 )
 
 // SpecWorkload describes a variable-length workload inside an
@@ -114,6 +117,168 @@ type SpecTune struct {
 	Orders []string `json:"orders,omitempty"`
 }
 
+// SpecFleetTemplate is one job shape of a fleet section. Its geometry
+// fields override the surrounding spec's; zero values inherit. The
+// template's stage count is also its device demand — one device per stage.
+type SpecFleetTemplate struct {
+	// Name labels the template ("short-32k"); trace entries reference it.
+	Name string `json:"name"`
+	// Weight is the template's draw weight under generated arrivals
+	// (default 1).
+	Weight float64 `json:"weight,omitempty"`
+	// Method is the single pipeline method the template's jobs run
+	// (default "helix").
+	Method string `json:"method,omitempty"`
+	// Stages is the pipeline size and device demand (default the spec's).
+	Stages int `json:"stages,omitempty"`
+	// SeqLen pins a fixed sequence length, replacing any inherited
+	// workload (default the spec's seq_len / workload).
+	SeqLen int `json:"seq_len,omitempty"`
+	// MicroBatchSize and MicroBatches override the spec's geometry.
+	MicroBatchSize int `json:"micro_batch_size,omitempty"`
+	MicroBatches   int `json:"micro_batches,omitempty"`
+	// Priority orders preemptive admission; higher preempts lower.
+	Priority int `json:"priority,omitempty"`
+	// Iterations is the template's training length (default the fleet
+	// section's iterations).
+	Iterations int `json:"iterations,omitempty"`
+}
+
+// SpecFleet turns the spec into a shared-cluster job-stream simulation: a
+// stream of jobs drawn from the templates arrives at the spec's topology
+// cluster and an admission/placement policy carves devices for each. Requires
+// a topology cluster and the sim engine; mutually exclusive with Sweep and
+// Tune.
+type SpecFleet struct {
+	// Policy names the admission/placement policy ("fifo", "bestfit",
+	// "worstfit", "backfill", "preempt"; default fifo).
+	Policy string `json:"policy,omitempty"`
+	// Jobs is the number of jobs to generate (default 50). Ignored with a
+	// trace.
+	Jobs int `json:"jobs,omitempty"`
+	// Arrival names the arrival generator ("poisson" or "bursty"; default
+	// poisson). Ignored with a trace.
+	Arrival string `json:"arrival,omitempty"`
+	// RatePerHour is the mean arrival rate (default 12 jobs/hour). Ignored
+	// with a trace.
+	RatePerHour float64 `json:"rate_per_hour,omitempty"`
+	// BurstSize is the bursty generator's jobs per burst (default 4).
+	BurstSize int `json:"burst_size,omitempty"`
+	// Seed drives arrival generation and template draws (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+	// Iterations is the default training length of a job (default 50).
+	Iterations int `json:"iterations,omitempty"`
+	// Trace replays arrivals from a JSON trace file (an array of
+	// {arrival_sec, template, priority?, iterations?}) instead of
+	// generating them.
+	Trace string `json:"trace,omitempty"`
+	// Templates are the job shapes of the stream (at least one).
+	Templates []SpecFleetTemplate `json:"templates"`
+}
+
+// normalized deep-copies a fleet section, fills its defaults and validates
+// it against the parent spec. It is idempotent, like ExperimentSpec's own
+// normalized, so -emit-spec round-trips fleet specs exactly.
+func (f *SpecFleet) normalized(parent *ExperimentSpec) (*SpecFleet, error) {
+	n := *f
+	n.Templates = append([]SpecFleetTemplate(nil), n.Templates...)
+	if n.Policy == "" {
+		n.Policy = FleetPolicyFIFO
+	}
+	policy, ok := FleetPolicyByName(n.Policy)
+	if !ok {
+		return nil, fmt.Errorf("helixpipe: unknown fleet policy %q; the policies are:\n%s",
+			n.Policy, FleetPolicyListing())
+	}
+	n.Policy = policy.Name
+	if n.Trace != "" {
+		// A trace replays recorded arrivals; generator knobs would silently
+		// do nothing.
+		if n.Jobs != 0 || n.Arrival != "" || n.RatePerHour != 0 || n.BurstSize != 0 {
+			return nil, fmt.Errorf("helixpipe: a fleet trace replays recorded arrivals; drop jobs/arrival/rate_per_hour/burst_size")
+		}
+	} else {
+		if n.Jobs == 0 {
+			n.Jobs = 50
+		}
+		if n.Jobs < 0 {
+			return nil, fmt.Errorf("helixpipe: fleet jobs must be positive, got %d", n.Jobs)
+		}
+		switch n.Arrival {
+		case "":
+			n.Arrival = FleetArrivalPoisson
+		case FleetArrivalPoisson, FleetArrivalBursty:
+		default:
+			return nil, fmt.Errorf("helixpipe: unknown fleet arrival generator %q (want %s or %s)",
+				n.Arrival, FleetArrivalPoisson, FleetArrivalBursty)
+		}
+		if n.RatePerHour == 0 {
+			n.RatePerHour = 12
+		}
+		if n.RatePerHour < 0 {
+			return nil, fmt.Errorf("helixpipe: fleet rate_per_hour must be positive, got %g", n.RatePerHour)
+		}
+		if n.Arrival == FleetArrivalBursty {
+			if n.BurstSize == 0 {
+				n.BurstSize = 4
+			}
+			if n.BurstSize < 0 {
+				return nil, fmt.Errorf("helixpipe: fleet burst_size must be positive, got %d", n.BurstSize)
+			}
+		} else if n.BurstSize != 0 {
+			return nil, fmt.Errorf("helixpipe: fleet burst_size requires the bursty arrival generator")
+		}
+	}
+	if n.Seed == 0 {
+		n.Seed = 1
+	}
+	if n.Iterations == 0 {
+		n.Iterations = 50
+	}
+	if n.Iterations < 0 {
+		return nil, fmt.Errorf("helixpipe: fleet iterations must be positive, got %d", n.Iterations)
+	}
+	if len(n.Templates) == 0 {
+		return nil, fmt.Errorf("helixpipe: fleet needs at least one job template")
+	}
+	seen := map[string]bool{}
+	for i := range n.Templates {
+		t := &n.Templates[i]
+		if t.Name == "" {
+			return nil, fmt.Errorf("helixpipe: fleet template %d has no name", i)
+		}
+		if seen[t.Name] {
+			return nil, fmt.Errorf("helixpipe: duplicate fleet template %q", t.Name)
+		}
+		seen[t.Name] = true
+		if t.Weight == 0 {
+			t.Weight = 1
+		}
+		if t.Weight < 0 {
+			return nil, fmt.Errorf("helixpipe: fleet template %q weight must be positive, got %g", t.Name, t.Weight)
+		}
+		if t.Method == "" {
+			t.Method = string(MethodHelix)
+		}
+		m, ok := LookupMethod(t.Method)
+		if !ok {
+			return nil, fmt.Errorf("helixpipe: fleet template %q names unknown method %q; the registered methods are:\n%s",
+				t.Name, t.Method, MethodListing())
+		}
+		t.Method = string(m)
+		if t.Stages == 0 {
+			t.Stages = parent.Stages
+		}
+		if t.Iterations == 0 {
+			t.Iterations = n.Iterations
+		}
+		if t.Iterations < 0 {
+			return nil, fmt.Errorf("helixpipe: fleet template %q iterations must be positive, got %d", t.Name, t.Iterations)
+		}
+	}
+	return &n, nil
+}
+
 // SpecOutput selects what a command-line tool emits for the spec's run.
 type SpecOutput struct {
 	// JSON emits machine-readable reports on stdout.
@@ -179,6 +344,9 @@ type ExperimentSpec struct {
 	// Tune turns the run into an autotuner search; mutually exclusive with
 	// Sweep.
 	Tune *SpecTune `json:"tune,omitempty"`
+	// Fleet turns the run into a shared-cluster job-stream simulation;
+	// mutually exclusive with Sweep and Tune, requires a topology cluster.
+	Fleet *SpecFleet `json:"fleet,omitempty"`
 	// Output selects what the command-line tools emit.
 	Output *SpecOutput `json:"output,omitempty"`
 }
@@ -207,10 +375,15 @@ type RunSet struct {
 	Placement     string `json:"placement,omitempty"`
 	PlacementSeed uint64 `json:"placement_seed,omitempty"`
 	// Cells enumerates the run's cells in deterministic grid order
-	// (seqlen-major, then stages, then method). Empty on tune runs.
+	// (seqlen-major, then stages, then method). Empty on tune and fleet
+	// runs.
 	Cells []RunCell `json:"cells,omitempty"`
 	// Tune is the fully-resolved autotuner spec of a RunKindTune run.
 	Tune *TuneSpec `json:"tune,omitempty"`
+	// Fleet is the materialized job stream of a RunKindFleet run: every
+	// arrival drawn, every template resolved into a single-method job spec.
+	// Run it with Session.Fleet.
+	Fleet *FleetSpec `json:"fleet,omitempty"`
 }
 
 // ParseSpec decodes and strictly validates an ExperimentSpec from JSON:
@@ -396,6 +569,19 @@ func (s *ExperimentSpec) normalized() (*ExperimentSpec, error) {
 	}
 	if n.Sweep != nil && n.Tune != nil {
 		return nil, fmt.Errorf("helixpipe: spec has both sweep axes and a tune grid; pick one")
+	}
+	if n.Fleet != nil {
+		if n.Sweep != nil || n.Tune != nil {
+			return nil, fmt.Errorf("helixpipe: a fleet spec cannot also sweep or tune; pick one")
+		}
+		if n.Engine != SpecEngineSim {
+			return nil, fmt.Errorf("helixpipe: a fleet run prices jobs on the simulator; engine must be %q", SpecEngineSim)
+		}
+		f, err := n.Fleet.normalized(&n)
+		if err != nil {
+			return nil, err
+		}
+		n.Fleet = f
 	}
 	if n.Sweep != nil {
 		sw := *n.Sweep
@@ -595,6 +781,15 @@ func (s *ExperimentSpec) runSet(p *specParts) (RunSet, error) {
 		Seed:          s.Seed,
 		Placement:     s.Placement,
 		PlacementSeed: s.PlacementSeed,
+	}
+	if s.Fleet != nil {
+		rs.Kind = RunKindFleet
+		fs, err := s.buildFleetSpec(p)
+		if err != nil {
+			return RunSet{}, err
+		}
+		rs.Fleet = fs
+		return rs, nil
 	}
 	if s.Tune != nil {
 		if s.Engine == SpecEngineNumeric {
