@@ -164,6 +164,35 @@ func BenchmarkSimulateHelix(b *testing.B) {
 	b.ReportMetric(tput, "simulated-tokens/s")
 }
 
+// BenchmarkLargeSweep measures a full Session.Sweep — every registered
+// method across four sequence lengths and three pipeline sizes (144 cells) —
+// and reports cells simulated per second. This is the wall-clock number the
+// engine rewrite and cost-book memoization target; the CI perf trajectory
+// pins the closely related 216-cell sweep via internal/bench.SweepBaseline.
+func BenchmarkLargeSweep(b *testing.B) {
+	s, err := NewSession(Model3B(), A800Cluster())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sw := Sweep{
+		SeqLens: []int{8192, 16384, 32768, 65536},
+		Stages:  []int{2, 4, 8},
+	}
+	cells := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reports, err := s.Sweep(sw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(reports) == 0 {
+			b.Fatal("empty sweep")
+		}
+		cells = len(reports)
+	}
+	b.ReportMetric(float64(cells)/b.Elapsed().Seconds()*float64(b.N), "cells/s")
+}
+
 // BenchmarkZB1PListScheduling measures the cost-driven ZB1P constructor.
 func BenchmarkZB1PListScheduling(b *testing.B) {
 	s := headlineSession(b)

@@ -6,6 +6,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/costmodel"
+	"repro/internal/model"
 )
 
 // ReportCache memoizes simulation results by experiment content: the key of
@@ -16,14 +20,24 @@ import (
 // in a stream simulate once — and is safe for concurrent use.
 type ReportCache struct {
 	mu      sync.Mutex
-	entries map[string]*Report
+	entries map[string]*cacheEntry
 	hits    int
 	misses  int
 }
 
+// cacheEntry is one computation, possibly still in flight: done closes when
+// report/err are final, so concurrent requests for one key wait instead of
+// duplicating the simulation (and hit/miss counts stay deterministic under
+// the sweep worker pool).
+type cacheEntry struct {
+	done   chan struct{}
+	report *Report
+	err    error
+}
+
 // NewReportCache returns an empty cache.
 func NewReportCache() *ReportCache {
-	return &ReportCache{entries: map[string]*Report{}}
+	return &ReportCache{entries: map[string]*cacheEntry{}}
 }
 
 // Key computes the content hash of a spec plus any extra context components
@@ -49,29 +63,35 @@ func (c *ReportCache) Key(spec *ExperimentSpec, extra ...string) (string, error)
 }
 
 // Do returns the cached report for the key, or computes, stores and returns
-// it. The second result reports a cache hit. A compute error is returned
-// without storing anything, so a transient failure does not poison the key.
-// Cached reports are shared — treat them as immutable.
+// it. The second result reports a cache hit. Concurrent calls for one key
+// single-flight: the first computes, the rest wait on it and count as hits —
+// duplicate cells in a fanned-out sweep simulate exactly once, and hit
+// counts equal the number of duplicates regardless of pool timing. A
+// compute error is returned without storing anything (waiters see it too),
+// so a transient failure does not poison the key. Cached reports are shared
+// — treat them as immutable.
 func (c *ReportCache) Do(key string, compute func() (*Report, error)) (*Report, bool, error) {
 	c.mu.Lock()
-	if r, ok := c.entries[key]; ok {
+	if e, ok := c.entries[key]; ok {
 		c.hits++
 		c.mu.Unlock()
-		return r, true, nil
+		<-e.done
+		return e.report, true, e.err
 	}
 	c.misses++
+	e := &cacheEntry{done: make(chan struct{})}
+	c.entries[key] = e
 	c.mu.Unlock()
-	// Compute outside the lock: entries can be large simulations, and the
-	// fleet engine is sequential anyway. A racing duplicate computation of
-	// the same key is deterministic, so last-write-wins is harmless.
-	r, err := compute()
-	if err != nil {
-		return nil, false, err
+	// Compute outside the lock: entries can be large simulations, and other
+	// keys must not serialize behind this one.
+	e.report, e.err = compute()
+	if e.err != nil {
+		c.mu.Lock()
+		delete(c.entries, key)
+		c.mu.Unlock()
 	}
-	c.mu.Lock()
-	c.entries[key] = r
-	c.mu.Unlock()
-	return r, false, nil
+	close(e.done)
+	return e.report, false, e.err
 }
 
 // Len returns the number of cached entries.
@@ -86,4 +106,77 @@ func (c *ReportCache) Stats() (hits, misses int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// runKeyIdentity is the serialized identity of one cell run: everything a
+// Report depends on — the session's resolved configuration plus the run's
+// method, engine, seed and placement search. Two cells with equal identities
+// produce byte-identical Reports, so Stream/Execute share one simulation
+// between them.
+type runKeyIdentity struct {
+	Model        model.Config          `json:"model"`
+	Cluster      costmodel.ClusterSpec `json:"cluster"`
+	SeqLen       int                   `json:"seq_len"`
+	MicroBatch   int                   `json:"micro_batch"`
+	Stages       int                   `json:"stages"`
+	MicroBatches int                   `json:"micro_batches"`
+	Batch        model.BatchSpec       `json:"batch"`
+	MemBudget    int64                 `json:"mem_budget"`
+	Helix        *HelixOptions         `json:"helix,omitempty"`
+	Trace        bool                  `json:"trace,omitempty"`
+	SMPenalty    float64               `json:"sm_penalty,omitempty"`
+	SendLaunch   float64               `json:"send_launch_seconds,omitempty"`
+	Topology     *cluster.Cluster      `json:"topology,omitempty"`
+	Placement    *cluster.Placement    `json:"placement,omitempty"`
+	Perturb      cluster.Perturb       `json:"perturb"`
+
+	Method            Method `json:"method"`
+	Engine            string `json:"engine"`
+	Seed              uint64 `json:"seed,omitempty"`
+	PlacementStrategy string `json:"placement_strategy,omitempty"`
+	PlacementSeed     uint64 `json:"placement_seed,omitempty"`
+}
+
+// runKey content-hashes one cell run of the session. Geometry accessors
+// resolve defaults first, so a session with an explicit m equal to the 2p
+// default keys identically to one without. Sessions carrying a
+// caller-supplied sim topology (WithSimOptions with Options.Topology set)
+// are not content-hashable and return an error; callers fall back to
+// running uncached.
+func (s *Session) runKey(method Method, engineName string, seed uint64, strategy string, placementSeed uint64) (string, error) {
+	if s.simExplicit && s.simOpt.Topology != nil {
+		return "", fmt.Errorf("helixpipe: caller-supplied sim topology is not content-hashable")
+	}
+	opt := s.SimOptions()
+	k := runKeyIdentity{
+		Model:        s.model,
+		Cluster:      s.cluster,
+		SeqLen:       s.SeqLen(),
+		MicroBatch:   s.MicroBatchSize(),
+		Stages:       s.stages,
+		MicroBatches: s.MicroBatches(),
+		Batch:        s.batch,
+		MemBudget:    s.MemoryBudget(),
+		Helix:        s.helix,
+		Trace:        opt.Trace,
+		SMPenalty:    opt.SMPenalty,
+		SendLaunch:   opt.SendLaunchSeconds,
+		Topology:     s.topo,
+		Placement:    s.placement,
+		Perturb:      s.perturb,
+
+		Method:            method,
+		Engine:            engineName,
+		Seed:              seed,
+		PlacementStrategy: strategy,
+		PlacementSeed:     placementSeed,
+	}
+	blob, err := json.Marshal(k)
+	if err != nil {
+		return "", fmt.Errorf("helixpipe: hashing run identity: %w", err)
+	}
+	sum := sha256.Sum256(blob)
+	// The prefix keeps run keys disjoint from spec-hash keys (Key) in a
+	// cache shared with the fleet engine.
+	return "run:" + hex.EncodeToString(sum[:]), nil
 }

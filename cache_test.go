@@ -1,6 +1,7 @@
 package helixpipe
 
 import (
+	"bytes"
 	"errors"
 	"testing"
 )
@@ -141,5 +142,113 @@ func TestReportCacheSharedAcrossFleetRuns(t *testing.T) {
 	if report.CacheHits != len(report.JobRecords) {
 		t.Errorf("second run: %d hits over %d jobs, want every job cached",
 			report.CacheHits, len(report.JobRecords))
+	}
+}
+
+// TestSweepCacheByteIdenticalReports is the cache-correctness contract: the
+// same sweep with the cache enabled and disabled produces byte-identical
+// Report JSON, and the hit count equals the number of duplicate cells.
+func TestSweepCacheByteIdenticalReports(t *testing.T) {
+	base, err := NewSession(Model3B(), A800Cluster())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The duplicated 8192 axis value makes 1 (seqlen) x 2 (stages) x 2
+	// (methods) = 4 exact duplicate cells in the 12-cell grid.
+	sw := Sweep{
+		Methods: []Method{"1F1B", "HelixPipe"},
+		SeqLens: []int{8192, 8192, 16384},
+		Stages:  []int{2, 4},
+	}
+	cache := NewReportCache()
+	cached, err := base.With(WithReportCache(cache))
+	if err != nil {
+		t.Fatal(err)
+	}
+	uncached, err := base.With(WithoutReportCache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCache, err := cached.Sweep(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withoutCache, err := uncached.Sweep(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var a, b bytes.Buffer
+	if err := WriteReportsJSON(&a, withCache); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteReportsJSON(&b, withoutCache); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("cached sweep JSON differs from the uncached sweep")
+	}
+
+	hits, misses := cache.Stats()
+	if wantHits, wantMisses := 4, 8; hits != wantHits || misses != wantMisses {
+		t.Errorf("cache stats = %d hits / %d misses, want %d / %d",
+			hits, misses, wantHits, wantMisses)
+	}
+
+	// A second identical sweep on the shared cache is all hits.
+	again, err := cached.Sweep(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(withCache) {
+		t.Fatalf("second sweep yielded %d reports, want %d", len(again), len(withCache))
+	}
+	if _, misses := cache.Stats(); misses != 8 {
+		t.Errorf("second sweep re-simulated: %d misses, want 8", misses)
+	}
+}
+
+// TestSweepPrivateCacheDedupes pins the default path: without an attached
+// cache, one Stream invocation still dedupes its own duplicate cells via a
+// private cache, and consecutive invocations stay independent.
+func TestSweepPrivateCacheDedupes(t *testing.T) {
+	base, err := NewSession(Model3B(), A800Cluster())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := Sweep{Methods: []Method{"1F1B"}, SeqLens: []int{8192, 8192}, Stages: []int{2}}
+	reports, err := base.Sweep(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("got %d reports, want 2", len(reports))
+	}
+	// The duplicate cell shares the first cell's Report pointer: one
+	// simulation, yielded twice.
+	if reports[0] != reports[1] {
+		t.Error("duplicate cells did not share one cached simulation")
+	}
+}
+
+// TestSpecNoCacheDisablesCaching proves the spec field reaches the session:
+// a no_cache spec simulates every duplicate.
+func TestSpecNoCacheDisablesCaching(t *testing.T) {
+	spec := &ExperimentSpec{Model: "3B", Cluster: "A800", SeqLen: 8192, Stages: 2,
+		Methods: []string{"1F1B"}, NoCache: true}
+	session, _, err := spec.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if session.streamCache() != nil {
+		t.Error("no_cache spec still returned a stream cache")
+	}
+	sw := Sweep{Methods: []Method{"1F1B"}, SeqLens: []int{8192, 8192}, Stages: []int{2}}
+	reports, err := session.Sweep(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) == 2 && reports[0] == reports[1] {
+		t.Error("no_cache session shared one simulation across duplicate cells")
 	}
 }

@@ -53,6 +53,7 @@ func main() {
 		clusterName = flag.String("cluster", "H20", "cluster preset for -method sweeps")
 		jsonOut     = flag.Bool("json", false, "emit machine-readable JSON on stdout")
 		csvPath     = flag.String("csv", "", "stream sweep reports as CSV rows to this path as cells complete")
+		noCache     = flag.Bool("nocache", false, "disable the report cache: simulate every cell, even exact duplicates")
 		diffPrev    = flag.String("diff", "", "previous BENCH_baseline.json to diff the perf trajectory against")
 		diffCur     = flag.String("against", "", "current BENCH_baseline.json for -diff")
 		diffLimit   = flag.Float64("threshold", 0.10, "throughput regression fraction -diff fails on")
@@ -64,7 +65,7 @@ func main() {
 		return
 	}
 	if *methodsFlag != "" || sf.Path != "" {
-		runSweep(sf, *methodsFlag, *modelName, *clusterName, *jsonOut, *csvPath)
+		runSweep(sf, *methodsFlag, *modelName, *clusterName, *jsonOut, *csvPath, *noCache)
 		return
 	}
 	if sf.EmitPath != "" {
@@ -151,7 +152,7 @@ func runDiff(prevPath, curPath string, threshold float64) {
 // Figure 8 grid by default — streaming the reports row by row as cells
 // complete (to stdout and, with -csv, as CSV rows), or collecting them as
 // JSON.
-func runSweep(sf *cliutil.SpecFlags, methodsFlag, modelName, clusterName string, jsonOut bool, csvPath string) {
+func runSweep(sf *cliutil.SpecFlags, methodsFlag, modelName, clusterName string, jsonOut bool, csvPath string, noCache bool) {
 	spec := sf.Load()
 	if spec.Tune != nil {
 		log.Fatalf("the spec holds a tune grid; run it with helixtune -spec %s", sf.Path)
@@ -159,6 +160,7 @@ func runSweep(sf *cliutil.SpecFlags, methodsFlag, modelName, clusterName string,
 	ov := cliutil.NewOverlay()
 	ov.String("model", modelName, &spec.Model)
 	ov.String("cluster", clusterName, &spec.Cluster)
+	ov.Bool("nocache", noCache, &spec.NoCache)
 	if ov.Has("method") || len(spec.Methods) == 0 {
 		// An empty -method on a spec-driven sweep keeps the spec default:
 		// every registered method.
@@ -185,6 +187,16 @@ func runSweep(sf *cliutil.SpecFlags, methodsFlag, modelName, clusterName string,
 	}
 	if runset.Engine != helixpipe.EngineSim {
 		log.Fatalf("helixbench benchmarks the simulator; run %s-engine specs with helixtrain", runset.Engine)
+	}
+	// Attach an observable cache so the run can report its hit/miss counts;
+	// cell Reports themselves never carry cache markers (cached and uncached
+	// runs stay byte-identical).
+	var cache *helixpipe.ReportCache
+	if !spec.NoCache {
+		cache = helixpipe.NewReportCache()
+		if session, err = session.With(helixpipe.WithReportCache(cache)); err != nil {
+			log.Fatal(err)
+		}
 	}
 	// The CSV sink streams: each cell's row is flushed as it completes, so a
 	// long sweep can be tailed instead of waited out.
@@ -224,6 +236,12 @@ func runSweep(sf *cliutil.SpecFlags, methodsFlag, modelName, clusterName string,
 	if out.JSON {
 		if err := helixpipe.WriteReportsJSON(os.Stdout, reports); err != nil {
 			log.Fatal(err)
+		}
+	}
+	if cache != nil {
+		if hits, misses := cache.Stats(); hits+misses > 0 {
+			// Stderr, so JSON/CSV consumers of stdout never see it.
+			log.Printf("report cache: %d hits, %d misses (%d duplicate cells skipped)", hits, misses, hits)
 		}
 	}
 }

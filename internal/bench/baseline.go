@@ -23,6 +23,13 @@ type BaselineConfig struct {
 	// admission policy in completed jobs per makespan hour, not by method in
 	// tokens/s.
 	Fleet bool `json:"fleet,omitempty"`
+	// Sweep marks the large-sweep config, whose Throughput is the wall-clock
+	// cells/s of the whole build+simulate grid (SweepCellsPerSecond key).
+	Sweep bool `json:"sweep,omitempty"`
+	// Threshold overrides the diff gate's regression threshold for this
+	// config; 0 keeps the gate's global one. Wall-clock configs pin a looser
+	// threshold than simulated-throughput ones.
+	Threshold float64 `json:"threshold,omitempty"`
 	// TokensPerIteration is the config's iteration token count.
 	TokensPerIteration int64 `json:"tokens_per_iteration"`
 	// Throughput maps method name to simulated tokens/s (policy name to
@@ -100,7 +107,12 @@ func Baseline() ([]BaselineConfig, error) {
 	if err != nil {
 		return nil, err
 	}
-	return append(out, fc), nil
+	out = append(out, fc)
+	sc, err := SweepBaseline()
+	if err != nil {
+		return nil, err
+	}
+	return append(out, sc), nil
 }
 
 // WriteBaselineJSON writes the baseline as indented JSON.

@@ -15,13 +15,25 @@ func TestBaseline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(configs) != 4 {
-		t.Fatalf("baseline has %d configs, want 4", len(configs))
+	if len(configs) != 5 {
+		t.Fatalf("baseline has %d configs, want 5", len(configs))
 	}
-	varlen, fleetCfgs := 0, 0
+	varlen, fleetCfgs, sweepCfgs := 0, 0, 0
 	for _, c := range configs {
 		if c.VariableLength {
 			varlen++
+		}
+		if c.Sweep {
+			// The sweep config records wall-clock cells/s over a ≥200-cell
+			// grid and pins its own (looser) regression threshold.
+			sweepCfgs++
+			if tput := c.Throughput[SweepCellsPerSecond]; tput <= 0 {
+				t.Errorf("%s: cells/s %g", c.Name, tput)
+			}
+			if c.Threshold <= 0 {
+				t.Errorf("%s: sweep config must pin its own threshold", c.Name)
+			}
+			continue
 		}
 		if c.TokensPerIteration <= 0 {
 			t.Errorf("%s: no tokens", c.Name)
@@ -50,6 +62,9 @@ func TestBaseline(t *testing.T) {
 	}
 	if fleetCfgs != 1 {
 		t.Errorf("baseline has %d fleet configs, want 1", fleetCfgs)
+	}
+	if sweepCfgs != 1 {
+		t.Errorf("baseline has %d sweep configs, want 1", sweepCfgs)
 	}
 
 	var buf bytes.Buffer

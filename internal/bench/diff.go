@@ -19,9 +19,12 @@ func ReadBaselineJSON(r io.Reader) ([]BaselineConfig, error) {
 
 // CompareBaselines diffs a previously recorded baseline against the current
 // one and returns one line per throughput regression beyond the threshold
-// (0.10 = fail on a >10% drop). Configs or methods present on only one side
-// are not regressions — they are new or retired work, not slowdowns — so the
-// first recorded run trivially passes.
+// (0.10 = fail on a >10% drop). A config that recorded its own Threshold —
+// the wall-clock sweep config, whose cells/s metric is noisier than
+// simulated tokens/s — is gated at that threshold instead of the global one.
+// Configs or methods present on only one side are not regressions — they
+// are new or retired work, not slowdowns — so the first recorded run
+// trivially passes.
 func CompareBaselines(prev, cur []BaselineConfig, threshold float64) []string {
 	curByName := map[string]BaselineConfig{}
 	for _, c := range cur {
@@ -32,6 +35,10 @@ func CompareBaselines(prev, cur []BaselineConfig, threshold float64) []string {
 		c, ok := curByName[p.Name]
 		if !ok {
 			continue
+		}
+		thr := threshold
+		if p.Threshold > 0 {
+			thr = p.Threshold
 		}
 		methods := make([]string, 0, len(p.Throughput))
 		for method := range p.Throughput {
@@ -44,10 +51,10 @@ func CompareBaselines(prev, cur []BaselineConfig, threshold float64) []string {
 			if !ok || was <= 0 {
 				continue
 			}
-			if drop := 1 - now/was; drop > threshold {
+			if drop := 1 - now/was; drop > thr {
 				regressions = append(regressions, fmt.Sprintf(
 					"%s/%s: %.0f -> %.0f tokens/s (-%.1f%%, threshold %.0f%%)",
-					p.Name, method, was, now, drop*100, threshold*100))
+					p.Name, method, was, now, drop*100, thr*100))
 			}
 		}
 	}

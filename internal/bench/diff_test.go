@@ -28,6 +28,33 @@ func TestCompareBaselines(t *testing.T) {
 	}
 }
 
+// TestCompareBaselinesPerConfigThreshold pins the looser gate of wall-clock
+// configs: a recorded Threshold overrides the global one for that config
+// only.
+func TestCompareBaselinesPerConfigThreshold(t *testing.T) {
+	prev := []BaselineConfig{
+		{Name: "sweep", Sweep: true, Threshold: 0.5,
+			Throughput: map[string]float64{SweepCellsPerSecond: 100}},
+		{Name: "sim", Throughput: map[string]float64{"1F1B": 1000}},
+	}
+	cur := []BaselineConfig{
+		// 30% down: beyond the 10% global gate, within the sweep's own 50%.
+		{Name: "sweep", Sweep: true, Threshold: 0.5,
+			Throughput: map[string]float64{SweepCellsPerSecond: 70}},
+		{Name: "sim", Throughput: map[string]float64{"1F1B": 700}},
+	}
+	regs := CompareBaselines(prev, cur, 0.10)
+	if len(regs) != 1 || !strings.Contains(regs[0], "sim/1F1B") {
+		t.Fatalf("regressions = %v, want exactly sim/1F1B", regs)
+	}
+	// A drop beyond the per-config threshold still fails.
+	cur[0].Throughput[SweepCellsPerSecond] = 40
+	regs = CompareBaselines(prev, cur, 0.10)
+	if len(regs) != 2 {
+		t.Fatalf("regressions = %v, want sweep + sim", regs)
+	}
+}
+
 func TestReadBaselineJSON(t *testing.T) {
 	src := `[{"name":"a","tokens_per_iteration":10,"throughput":{"1F1B":123.5}}]`
 	configs, err := ReadBaselineJSON(strings.NewReader(src))

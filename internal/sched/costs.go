@@ -114,10 +114,11 @@ func newMBCosts(w costmodel.Workload) MBCosts {
 }
 
 // NewCosts builds the cost book for a fixed-shape workload: every micro batch
-// shares the workload's single (b, s) shape.
+// shares the workload's single (b, s) shape. Books are memoized by workload,
+// so identical cells across a sweep or fleet stream share one book.
 func NewCosts(w costmodel.Workload) Costs {
 	return Costs{
-		MBCosts:        newMBCosts(w),
+		MBCosts:        memoMBCosts(w),
 		P2PLatency:     w.Cluster.InterNodeLatency,
 		P2PBytesPerSec: w.Cluster.InterNodeGBps * 1e9,
 	}
@@ -127,12 +128,13 @@ func NewCosts(w costmodel.Workload) Costs {
 // batch i is costed at spec.Shapes[i], so every generator emits durations,
 // stash deltas and message volumes that follow each micro batch's own shape.
 // The uniform fallback book is costed at the per-axis maximum shape, keeping
-// out-of-range lookups conservative.
+// out-of-range lookups conservative. Per-shape books are memoized, so a batch
+// that repeats a few distinct lengths prices each length once.
 func NewBatchCosts(w costmodel.Workload, spec model.BatchSpec) Costs {
 	wMax := w
 	wMax.Shape = spec.MaxShape()
 	c := Costs{
-		MBCosts:        newMBCosts(wMax),
+		MBCosts:        memoMBCosts(wMax),
 		P2PLatency:     w.Cluster.InterNodeLatency,
 		P2PBytesPerSec: w.Cluster.InterNodeGBps * 1e9,
 	}
@@ -144,7 +146,7 @@ func NewBatchCosts(w costmodel.Workload, spec model.BatchSpec) Costs {
 	for i, sh := range spec.Shapes {
 		wi := w
 		wi.Shape = sh
-		c.PerMB[i] = newMBCosts(wi)
+		c.PerMB[i] = memoMBCosts(wi)
 	}
 	return c
 }

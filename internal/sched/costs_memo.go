@@ -1,0 +1,47 @@
+package sched
+
+import (
+	"sync"
+
+	"repro/internal/costmodel"
+)
+
+// Cost books are pure functions of a comparable costmodel.Workload, and
+// sweeps, tune grids and fleet streams evaluate the same (model, cluster,
+// shape) workloads over and over — every cell of a method sweep shares one
+// workload, and a variable-length batch repeats its few distinct shapes
+// across micro batches. The process-wide memo below makes each distinct
+// workload pay the analytic cost model once.
+
+// mbCostsMemoCap bounds the memo so unbounded sweeps (fleet streams over
+// random lengths) cannot grow it without limit; at ~200 bytes per entry the
+// cap keeps it under a few MB. On overflow the memo resets — a full rebuild
+// of the working set is cheaper than tracking recency.
+const mbCostsMemoCap = 1 << 14
+
+var mbCostsMemo struct {
+	sync.Mutex
+	m map[costmodel.Workload]MBCosts
+}
+
+// memoMBCosts returns the micro-batch cost book for the workload, computing
+// and caching it on first sight.
+func memoMBCosts(w costmodel.Workload) MBCosts {
+	mbCostsMemo.Lock()
+	if c, ok := mbCostsMemo.m[w]; ok {
+		mbCostsMemo.Unlock()
+		return c
+	}
+	mbCostsMemo.Unlock()
+	// Compute outside the lock: the model is pure, so concurrent duplicate
+	// work is wasteful but correct, and sweep workers never serialize on the
+	// analytic model.
+	c := newMBCosts(w)
+	mbCostsMemo.Lock()
+	if mbCostsMemo.m == nil || len(mbCostsMemo.m) >= mbCostsMemoCap {
+		mbCostsMemo.m = make(map[costmodel.Workload]MBCosts)
+	}
+	mbCostsMemo.m[w] = c
+	mbCostsMemo.Unlock()
+	return c
+}

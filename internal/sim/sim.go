@@ -8,6 +8,12 @@
 // The engine replaces the paper's 64-GPU testbeds: pipeline bubbles,
 // comm/compute overlap and the FILO memory behaviour are all scheduling
 // phenomena that the simulated task system reproduces exactly.
+//
+// The hot path is allocation-free in steady state: a Runner pre-sizes every
+// per-stage buffer from the plan once and reuses it across Run calls, the
+// event loop is an indexed min-heap of ready stages keyed by int64 ticks,
+// and blocked receivers park until their sender wakes them instead of being
+// re-polled every step.
 package sim
 
 import (
@@ -144,7 +150,37 @@ type Options struct {
 // recorded before a compute op in the engine's global pick order) makes the
 // penalty order-independent: identical plans always stretch identically,
 // whatever the tie-breaking.
+//
+// Run is one-shot; to re-simulate the same plan repeatedly (a benchmark
+// steady state, a fleet pricing loop) build a Runner once and reuse it —
+// reruns are then allocation-free.
 func Run(plan *sched.Plan, opt Options) (*Result, error) {
+	r, err := NewRunner(plan, opt)
+	if err != nil {
+		return nil, err
+	}
+	return r.Run()
+}
+
+// Runner is a reusable simulator for one plan: every per-stage buffer is
+// allocated and pre-sized once, from the plan, and reused across Run calls.
+// In steady state (second Run onward) a Runner performs zero heap
+// allocations per run — the property the alloc-gate CI step pins.
+//
+// A Runner is not safe for concurrent use, and the Result it returns aliases
+// its internal buffers: the result (including Spans) is valid only until the
+// next Run call. Callers that need to keep a result across runs must copy it.
+type Runner struct {
+	eng *engine
+	// pre is the penalty-free pre-pass engine of SMPenalty runs; its NIC
+	// timeline is the oracle the reported pass resolves overlap against.
+	pre *engine
+	res Result
+}
+
+// NewRunner validates the plan against the options and returns a reusable
+// simulator for it.
+func NewRunner(plan *sched.Plan, opt Options) (*Runner, error) {
 	if err := sched.Validate(plan); err != nil {
 		return nil, fmt.Errorf("sim: invalid plan: %w", err)
 	}
@@ -153,26 +189,42 @@ func Run(plan *sched.Plan, opt Options) (*Result, error) {
 			return nil, fmt.Errorf("sim: %w", err)
 		}
 	}
-	return runEngine(plan, opt)
+	return newRunner(plan, opt), nil
 }
 
-// runEngine executes the (already validated) plan, including the SMPenalty
-// pre-pass.
-func runEngine(plan *sched.Plan, opt Options) (*Result, error) {
-	e := newEngine(plan, opt)
+// newRunner builds the runner below the validator; crafted test plans enter
+// here via runEngine.
+func newRunner(plan *sched.Plan, opt Options) *Runner {
+	r := &Runner{eng: newEngine(plan, opt)}
 	if opt.SMPenalty > 0 {
-		pre := newEngine(plan, opt)
-		pre.opt.SMPenalty = 0
-		pre.opt.Trace = false
-		if err := pre.run(); err != nil {
+		r.pre = newEngine(plan, opt)
+		r.pre.opt.SMPenalty = 0
+		r.pre.opt.Trace = false
+	}
+	return r
+}
+
+// runEngine simulates one iteration below the validator.
+func runEngine(plan *sched.Plan, opt Options) (*Result, error) {
+	return newRunner(plan, opt).Run()
+}
+
+// Run simulates one training iteration. The returned Result aliases the
+// Runner's buffers and is valid until the next Run call.
+func (r *Runner) Run() (*Result, error) {
+	if r.pre != nil {
+		r.pre.reset()
+		if err := r.pre.run(); err != nil {
 			return nil, err
 		}
-		e.nicOracle = pre.nicBusy
+		r.eng.oracle = &r.pre.nic
 	}
-	if err := e.run(); err != nil {
+	r.eng.reset()
+	if err := r.eng.run(); err != nil {
 		return nil, err
 	}
-	return e.result(), nil
+	r.eng.resultInto(&r.res)
+	return &r.res, nil
 }
 
 // message tracks one in-flight transfer.
@@ -180,25 +232,58 @@ type message struct {
 	arrival float64
 }
 
-type interval struct{ start, end float64 }
+// tick is simulated time as an int64 the event loop orders stages by: the
+// order-preserving bit pattern of the non-negative float64 second count
+// (IEEE 754 ordering matches numeric ordering for non-negative values).
+// Encoding time this way keeps heap comparisons branch-cheap integer
+// compares while the engine's arithmetic stays in float64 seconds — no
+// quantization, so results are bit-identical to float ordering.
+type tick int64
+
+func toTick(sec float64) tick { return tick(math.Float64bits(sec)) }
+
+// interval is one NIC reservation. seq is the transfer's global initiation
+// order: overlap sums accumulate in seq order so the floating-point result
+// is independent of how the per-direction timelines are stored.
+type interval struct {
+	start, end float64
+	seq        int32
+}
+
+// nicLog is the per-stage NIC reservation timeline, split by direction.
+// Within one direction the intervals are non-overlapping and sorted (each
+// direction serializes its transfers), so overlap queries binary-search
+// instead of scanning.
+type nicLog struct {
+	send, recv [][]interval
+}
 
 type engine struct {
 	plan *sched.Plan
 	opt  Options
 
-	pc    []int
+	pc    []int32
 	clock []float64
+	tick  []tick
+
+	// ready is the indexed min-heap of runnable stages ordered by
+	// (tick, stage); pos[s] is s's heap index, -1 while s is parked on a
+	// recv whose message is not in flight yet (or complete).
+	ready []int32
+	pos   []int32
 
 	sendFree []float64 // NIC send-direction availability per stage
 	recvFree []float64 // NIC recv-direction availability per stage
-	nicBusy  [][]interval
-	// nicOracle, when set, is the complete per-stage NIC interval set of a
-	// penalty-free pre-pass; SMPenalty overlap is resolved against it so the
-	// stretch does not depend on the engine's pick order.
-	nicOracle [][]interval
+	nic      nicLog
+	seq      int32
+	// oracle, when set, is the complete NIC timeline of a penalty-free
+	// pre-pass; SMPenalty overlap is resolved against it so the stretch does
+	// not depend on the engine's pick order.
+	oracle *nicLog
 
 	inflight map[msgKey]message
 	// classStats aggregates transfers per link class under a topology.
+	// Entries persist (zeroed) across reset so reruns stay allocation-free.
 	classStats map[cluster.LinkClass]*LinkClassStats
 
 	busy      []float64
@@ -208,6 +293,9 @@ type engine struct {
 	sent      []int64
 	stash     []int64
 	peak      []int64
+
+	idle    []float64
+	classes []LinkClassStats
 
 	spans []Span
 }
@@ -222,11 +310,14 @@ func newEngine(plan *sched.Plan, opt Options) *engine {
 	e := &engine{
 		plan:       plan,
 		opt:        opt,
-		pc:         make([]int, p),
+		pc:         make([]int32, p),
 		clock:      make([]float64, p),
+		tick:       make([]tick, p),
+		ready:      make([]int32, 0, p),
+		pos:        make([]int32, p),
 		sendFree:   make([]float64, p),
 		recvFree:   make([]float64, p),
-		nicBusy:    make([][]interval, p),
+		nic:        nicLog{send: make([][]interval, p), recv: make([][]interval, p)},
 		inflight:   map[msgKey]message{},
 		classStats: map[cluster.LinkClass]*LinkClassStats{},
 		busy:       make([]float64, p),
@@ -236,63 +327,198 @@ func newEngine(plan *sched.Plan, opt Options) *engine {
 		sent:       make([]int64, p),
 		stash:      make([]int64, p),
 		peak:       make([]int64, p),
+		idle:       make([]float64, p),
+	}
+	// Pre-size the NIC timelines and the span buffer exactly from the plan:
+	// sends and receives per stage are known up front, so steady-state runs
+	// never grow a buffer.
+	for s := range e.pos {
+		e.pos[s] = -1
+	}
+	sends := make([]int, p)
+	recvs := make([]int, p)
+	ops := 0
+	for s := 0; s < p; s++ {
+		ops += len(plan.Ops[s])
+		for i := range plan.Ops[s] {
+			if plan.Ops[s][i].Kind == sched.KSend {
+				sends[s]++
+				if peer := plan.Ops[s][i].Peer; peer >= 0 && peer < p {
+					recvs[peer]++
+				}
+			}
+		}
+	}
+	for s := 0; s < p; s++ {
+		e.nic.send[s] = make([]interval, 0, sends[s])
+		e.nic.recv[s] = make([]interval, 0, recvs[s])
+	}
+	if opt.Trace {
+		e.spans = make([]Span, 0, ops)
 	}
 	return e
 }
 
-// run advances stages in global time order until every program completes.
-func (e *engine) run() error {
+// reset rewinds the engine to the start of an iteration, keeping every
+// buffer's capacity.
+func (e *engine) reset() {
 	p := e.plan.Stages
-	for {
-		// Pick the unblocked stage with the smallest clock so that NIC
-		// reservations happen in non-decreasing global time.
-		best, bestClock := -1, math.MaxFloat64
-		blockedAll := true
-		for s := 0; s < p; s++ {
-			if e.pc[s] >= len(e.plan.Ops[s]) {
-				continue
-			}
-			blockedAll = false
-			op := e.plan.Ops[s][e.pc[s]]
-			if op.Kind == sched.KRecv {
-				if _, ok := e.inflight[msgKey{tag: op.Tag, from: op.Peer, to: s}]; !ok {
-					continue // sender has not initiated yet
-				}
-			}
-			if e.clock[s] < bestClock {
-				best, bestClock = s, e.clock[s]
-			}
+	for s := 0; s < p; s++ {
+		e.pc[s] = 0
+		e.clock[s] = 0
+		e.tick[s] = 0
+		e.pos[s] = -1
+		e.sendFree[s] = 0
+		e.recvFree[s] = 0
+		e.nic.send[s] = e.nic.send[s][:0]
+		e.nic.recv[s] = e.nic.recv[s][:0]
+		e.busy[s] = 0
+		e.commStall[s] = 0
+		e.wait[s] = 0
+		e.linkBusy[s] = 0
+		e.sent[s] = 0
+		e.stash[s] = 0
+		e.peak[s] = 0
+	}
+	e.ready = e.ready[:0]
+	e.seq = 0
+	clear(e.inflight)
+	for _, st := range e.classStats {
+		*st = LinkClassStats{Class: st.Class}
+	}
+	e.classes = e.classes[:0]
+	e.spans = e.spans[:0]
+}
+
+// heapLess orders ready stages by (tick, stage): the smallest clock runs
+// first, ties to the lowest stage index — the same global pick order as a
+// linear minimum scan, so schedules execute identically.
+func (e *engine) heapLess(a, b int32) bool {
+	if e.tick[a] != e.tick[b] {
+		return e.tick[a] < e.tick[b]
+	}
+	return a < b
+}
+
+func (e *engine) heapPush(s int32) {
+	e.ready = append(e.ready, s)
+	i := int32(len(e.ready) - 1)
+	e.pos[s] = i
+	e.siftUp(i)
+}
+
+func (e *engine) heapPop() int32 {
+	s := e.ready[0]
+	last := int32(len(e.ready) - 1)
+	e.ready[0] = e.ready[last]
+	e.pos[e.ready[0]] = 0
+	e.ready = e.ready[:last]
+	if last > 0 {
+		e.siftDown(0)
+	}
+	e.pos[s] = -1
+	return s
+}
+
+func (e *engine) siftUp(i int32) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.heapLess(e.ready[i], e.ready[parent]) {
+			return
 		}
-		if best < 0 {
-			if blockedAll {
-				return nil // all programs complete
-			}
-			return e.deadlockError()
-		}
-		e.step(best)
+		e.ready[i], e.ready[parent] = e.ready[parent], e.ready[i]
+		e.pos[e.ready[i]] = i
+		e.pos[e.ready[parent]] = parent
+		i = parent
 	}
 }
 
+func (e *engine) siftDown(i int32) {
+	n := int32(len(e.ready))
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < n && e.heapLess(e.ready[left], e.ready[smallest]) {
+			smallest = left
+		}
+		if right < n && e.heapLess(e.ready[right], e.ready[smallest]) {
+			smallest = right
+		}
+		if smallest == i {
+			return
+		}
+		e.ready[i], e.ready[smallest] = e.ready[smallest], e.ready[i]
+		e.pos[e.ready[i]] = i
+		e.pos[e.ready[smallest]] = smallest
+		i = smallest
+	}
+}
+
+// runnable reports whether the stage's next op can execute now: anything but
+// a recv, or a recv whose message is already in flight.
+func (e *engine) runnable(s int32) bool {
+	op := &e.plan.Ops[s][e.pc[s]]
+	if op.Kind != sched.KRecv {
+		return true
+	}
+	_, ok := e.inflight[msgKey{tag: op.Tag, from: op.Peer, to: int(s)}]
+	return ok
+}
+
+// run advances stages in global time order until every program completes:
+// the ready heap always pops the unblocked stage with the smallest clock, so
+// NIC reservations happen in non-decreasing global time. Stages whose next
+// op is a recv with no message in flight park outside the heap until their
+// sender initiates (execSend wakes them), replacing the per-step rescan of
+// every stage with one push.
+func (e *engine) run() error {
+	p := e.plan.Stages
+	for s := 0; s < p; s++ {
+		if len(e.plan.Ops[s]) == 0 {
+			continue
+		}
+		if e.runnable(int32(s)) {
+			e.heapPush(int32(s))
+		}
+	}
+	for len(e.ready) > 0 {
+		s := e.heapPop()
+		e.step(s)
+		if int(e.pc[s]) < len(e.plan.Ops[s]) && e.runnable(s) {
+			e.heapPush(s)
+		}
+	}
+	for s := 0; s < p; s++ {
+		if int(e.pc[s]) < len(e.plan.Ops[s]) {
+			return e.deadlockError()
+		}
+	}
+	return nil
+}
+
 // step executes exactly one op on the given stage.
-func (e *engine) step(s int) {
-	op := e.plan.Ops[s][e.pc[s]]
+func (e *engine) step(s int32) {
+	op := &e.plan.Ops[s][e.pc[s]]
 	start := e.clock[s]
 	switch op.Kind {
 	case sched.KSend:
 		e.execSend(s, op, start)
 	case sched.KRecv:
-		key := msgKey{tag: op.Tag, from: op.Peer, to: s}
+		key := msgKey{tag: op.Tag, from: op.Peer, to: int(s)}
 		msg := e.inflight[key]
 		delete(e.inflight, key)
-		end := math.Max(start, msg.arrival)
+		end := msg.arrival
+		if start > end {
+			end = start
+		}
 		e.wait[s] += end - start
-		e.clock[s] = end
+		e.setClock(s, end)
 		e.record(s, op, start, end)
 	default: // compute
 		dur := op.Dur
 		if t := e.opt.Topology; t != nil {
 			// Straggler and jitter perturbations stretch this stage's compute.
-			dur *= t.ComputeFactor(s)
+			dur *= t.ComputeFactor(int(s))
 		}
 		if e.opt.SMPenalty > 0 {
 			overlap := e.nicOverlap(s, start, start+dur)
@@ -305,22 +531,28 @@ func (e *engine) step(s int) {
 		}
 		e.stash[s] -= op.Free
 		e.busy[s] += dur
-		e.clock[s] = end
+		e.setClock(s, end)
 		e.record(s, op, start, end)
 	}
 	e.pc[s]++
 }
 
+func (e *engine) setClock(s int32, v float64) {
+	e.clock[s] = v
+	e.tick[s] = toTick(v)
+}
+
 // execSend reserves the NIC pair and computes the arrival time. Blocking
-// sends additionally hold the compute stream until the message lands.
-func (e *engine) execSend(s int, op sched.Op, start float64) {
+// sends additionally hold the compute stream until the message lands. If the
+// receiver is parked on exactly this message, it wakes into the ready heap.
+func (e *engine) execSend(s int32, op *sched.Op, start float64) {
 	c := e.plan.Costs
 	// The flat NIC parameters of the cost book, unless a topology resolves
 	// this stage pair to a concrete link.
 	bytesPerSec, latency := c.P2PBytesPerSec, c.P2PLatency
 	if t := e.opt.Topology; t != nil {
 		var class cluster.LinkClass
-		bytesPerSec, latency, class = t.Link(s, op.Peer)
+		bytesPerSec, latency, class = t.Link(int(s), op.Peer)
 		st, ok := e.classStats[class]
 		if !ok {
 			st = &LinkClassStats{Class: string(class)}
@@ -333,8 +565,13 @@ func (e *engine) execSend(s int, op sched.Op, start float64) {
 		}
 	}
 	launch := e.opt.SendLaunchSeconds
-	initiate := start + launch
-	xferStart := math.Max(initiate, math.Max(e.sendFree[s], e.recvFree[op.Peer]))
+	xferStart := start + launch
+	if e.sendFree[s] > xferStart {
+		xferStart = e.sendFree[s]
+	}
+	if e.recvFree[op.Peer] > xferStart {
+		xferStart = e.recvFree[op.Peer]
+	}
 	var wireDur float64
 	if bytesPerSec > 0 {
 		wireDur = float64(op.Bytes) / bytesPerSec
@@ -343,38 +580,89 @@ func (e *engine) execSend(s int, op sched.Op, start float64) {
 	arrival := xferEnd + latency
 	e.sendFree[s] = xferEnd
 	e.recvFree[op.Peer] = xferEnd
-	e.nicBusy[s] = append(e.nicBusy[s], interval{xferStart, xferEnd})
-	e.nicBusy[op.Peer] = append(e.nicBusy[op.Peer], interval{xferStart, xferEnd})
+	iv := interval{start: xferStart, end: xferEnd, seq: e.seq}
+	e.seq++
+	e.nic.send[s] = append(e.nic.send[s], iv)
+	e.nic.recv[op.Peer] = append(e.nic.recv[op.Peer], iv)
 	e.linkBusy[s] += wireDur
 	e.sent[s] += op.Bytes
-	e.inflight[msgKey{tag: op.Tag, from: s, to: op.Peer}] = message{arrival: arrival}
+	e.inflight[msgKey{tag: op.Tag, from: int(s), to: op.Peer}] = message{arrival: arrival}
+	// Wake a receiver parked on exactly this message.
+	if p := int32(op.Peer); p != s && e.pos[p] < 0 && int(e.pc[p]) < len(e.plan.Ops[p]) {
+		next := &e.plan.Ops[p][e.pc[p]]
+		if next.Kind == sched.KRecv && next.Peer == int(s) && next.Tag == op.Tag {
+			e.heapPush(p)
+		}
+	}
 	if op.Blocking {
 		e.commStall[s] += arrival - start
-		e.clock[s] = arrival
+		e.setClock(s, arrival)
 		e.record(s, op, start, arrival)
 		return
 	}
-	e.clock[s] = start + launch
+	e.setClock(s, start+launch)
 	e.record(s, op, start, start+launch)
 }
 
 // nicOverlap returns the total overlap of [start, end] with this stage's NIC
 // transfer intervals: the penalty-free pre-pass oracle when one exists (the
 // order-independent final set), the intervals recorded so far otherwise.
-func (e *engine) nicOverlap(s int, start, end float64) float64 {
-	busy := e.nicBusy[s]
-	if e.nicOracle != nil {
-		busy = e.nicOracle[s]
+// Each direction's timeline is sorted and non-overlapping, so the
+// overlapping run is found by binary search; the two runs are then merged in
+// transfer-initiation (seq) order so the sum accumulates exactly as a single
+// chronological scan would.
+func (e *engine) nicOverlap(s int32, start, end float64) float64 {
+	log := &e.nic
+	if e.oracle != nil {
+		log = e.oracle
 	}
+	sendRun := overlapRun(log.send[s], start, end)
+	recvRun := overlapRun(log.recv[s], start, end)
 	var total float64
-	for _, iv := range busy {
-		lo := math.Max(start, iv.start)
-		hi := math.Min(end, iv.end)
-		if hi > lo {
-			total += hi - lo
+	i, j := 0, 0
+	for i < len(sendRun) && j < len(recvRun) {
+		if sendRun[i].seq < recvRun[j].seq {
+			total += clampedOverlap(sendRun[i], start, end)
+			i++
+		} else {
+			total += clampedOverlap(recvRun[j], start, end)
+			j++
 		}
 	}
+	for ; i < len(sendRun); i++ {
+		total += clampedOverlap(sendRun[i], start, end)
+	}
+	for ; j < len(recvRun); j++ {
+		total += clampedOverlap(recvRun[j], start, end)
+	}
 	return total
+}
+
+// overlapRun returns the contiguous run of intervals overlapping [start,
+// end] within one sorted, non-overlapping timeline.
+func overlapRun(ivs []interval, start, end float64) []interval {
+	// First interval that ends after the query starts (ends are
+	// non-decreasing).
+	lo := sort.Search(len(ivs), func(i int) bool { return ivs[i].end > start })
+	hi := lo
+	for hi < len(ivs) && ivs[hi].start < end {
+		hi++
+	}
+	return ivs[lo:hi]
+}
+
+func clampedOverlap(iv interval, start, end float64) float64 {
+	lo, hi := iv.start, iv.end
+	if start > lo {
+		lo = start
+	}
+	if end < hi {
+		hi = end
+	}
+	if hi > lo {
+		return hi - lo
+	}
+	return 0
 }
 
 // deadlockError names every blocked stage and the (tag, peer) it waits on, so
@@ -382,7 +670,7 @@ func (e *engine) nicOverlap(s int, start, end float64) float64 {
 func (e *engine) deadlockError() error {
 	var b []byte
 	for s := 0; s < e.plan.Stages; s++ {
-		if e.pc[s] >= len(e.plan.Ops[s]) {
+		if int(e.pc[s]) >= len(e.plan.Ops[s]) {
 			continue
 		}
 		op := e.plan.Ops[s][e.pc[s]]
@@ -399,13 +687,15 @@ func (e *engine) deadlockError() error {
 	return fmt.Errorf("sim: deadlock — %s", b)
 }
 
-func (e *engine) record(s int, op sched.Op, start, end float64) {
+func (e *engine) record(s int32, op *sched.Op, start, end float64) {
 	if e.opt.Trace {
-		e.spans = append(e.spans, Span{Stage: s, Op: op, Start: start, End: end})
+		e.spans = append(e.spans, Span{Stage: int(s), Op: *op, Start: start, End: end})
 	}
 }
 
-func (e *engine) result() *Result {
+// resultInto fills the result from the engine's accumulators. The result's
+// slices alias the engine's reusable buffers.
+func (e *engine) resultInto(r *Result) {
 	p := e.plan.Stages
 	var iter float64
 	for s := 0; s < p; s++ {
@@ -413,11 +703,10 @@ func (e *engine) result() *Result {
 			iter = e.clock[s]
 		}
 	}
-	idle := make([]float64, p)
 	for s := 0; s < p; s++ {
-		idle[s] = iter - e.busy[s] - e.commStall[s]
-		if idle[s] < 0 {
-			idle[s] = 0
+		e.idle[s] = iter - e.busy[s] - e.commStall[s]
+		if e.idle[s] < 0 {
+			e.idle[s] = 0
 		}
 	}
 	if e.opt.Trace {
@@ -428,23 +717,36 @@ func (e *engine) result() *Result {
 			return e.spans[i].Stage < e.spans[j].Stage
 		})
 	}
-	var classes []LinkClassStats
 	for _, st := range e.classStats {
-		classes = append(classes, *st)
+		if st.Transfers > 0 {
+			e.classes = append(e.classes, *st)
+		}
 	}
-	sort.Slice(classes, func(i, j int) bool { return classes[i].Class < classes[j].Class })
-	return &Result{
+	// Insertion sort by class name: the handful of link classes does not
+	// justify sort.Slice's closure allocation on the steady-state path.
+	for i := 1; i < len(e.classes); i++ {
+		for j := i; j > 0 && e.classes[j].Class < e.classes[j-1].Class; j-- {
+			e.classes[j], e.classes[j-1] = e.classes[j-1], e.classes[j]
+		}
+	}
+	*r = Result{
 		Method:           e.plan.Method,
 		Stages:           p,
 		IterationSeconds: iter,
 		BusySeconds:      e.busy,
 		CommStallSeconds: e.commStall,
 		WaitSeconds:      e.wait,
-		IdleSeconds:      idle,
+		IdleSeconds:      e.idle,
 		LinkBusySeconds:  e.linkBusy,
 		PeakStashBytes:   e.peak,
 		BytesSent:        e.sent,
-		LinkClasses:      classes,
+		LinkClasses:      e.classes,
 		Spans:            e.spans,
+	}
+	if len(e.classes) == 0 {
+		r.LinkClasses = nil
+	}
+	if len(e.spans) == 0 {
+		r.Spans = nil
 	}
 }

@@ -47,6 +47,12 @@ type Session struct {
 	placement    *cluster.Placement
 	perturb      cluster.Perturb
 	resolvedTopo *cluster.Topology
+
+	// Report caching across Stream/Execute/Sweep: cells with identical
+	// content (runKey) simulate once. cache is a caller-shared cache (nil:
+	// each Stream/Execute uses a fresh one); noCache disables caching.
+	cache   *ReportCache
+	noCache bool
 }
 
 // Option mutates a Session under construction. Options are applied in order;
@@ -131,6 +137,24 @@ func WithPlacement(p Placement) Option {
 // cluster topology (requires WithCluster). The zero Perturb clears it.
 func WithPerturb(p Perturb) Option {
 	return func(ses *Session) { ses.perturb = p }
+}
+
+// WithReportCache attaches a shared report cache: Stream, Execute and Sweep
+// memoize cell reports in it by content hash, so repeated cells — duplicate
+// grid points, overlapping sweeps, tune grids re-visiting a shape — never
+// re-simulate, across every run of every session sharing the cache. Cached
+// reports are shared and must be treated as immutable. Without this option
+// each Stream/Execute invocation still dedupes internally with a fresh
+// private cache; read hit/miss counts off the shared cache with Stats.
+func WithReportCache(c *ReportCache) Option {
+	return func(ses *Session) { ses.cache = c; ses.noCache = false }
+}
+
+// WithoutReportCache disables report caching on Stream, Execute and Sweep:
+// every cell simulates, even exact duplicates. The spec field `no_cache`
+// maps to this option.
+func WithoutReportCache() Option {
+	return func(ses *Session) { ses.cache = nil; ses.noCache = true }
 }
 
 // WithWorkload sets a variable-length workload: one (b, s) shape per micro
@@ -578,6 +602,38 @@ type Sweep struct {
 	Engine func(cell *Session) Engine
 }
 
+// streamCache returns the cache one Stream/Execute invocation memoizes cell
+// reports in: the session's shared cache when one is attached, a fresh
+// private cache otherwise (duplicate cells within the one grid still
+// simulate once), nil when caching is disabled.
+func (s *Session) streamCache() *ReportCache {
+	if s.noCache {
+		return nil
+	}
+	if s.cache != nil {
+		return s.cache
+	}
+	return NewReportCache()
+}
+
+// cachedJob wraps one cell job with the report cache: identical cells share
+// one simulation. A nil cache, or a cell whose identity cannot be
+// content-hashed (caller-supplied sim topology), runs the job directly.
+func cachedJob(cache *ReportCache, cell *Session, method Method, engineName string, seed uint64,
+	strategy string, placementSeed uint64, job func() (*Report, error)) func() (*Report, error) {
+	if cache == nil {
+		return job
+	}
+	key, err := cell.runKey(method, engineName, seed, strategy, placementSeed)
+	if err != nil {
+		return job
+	}
+	return func() (*Report, error) {
+		r, _, err := cache.Do(key, job)
+		return r, err
+	}
+}
+
 // streamReports runs the jobs on a bounded worker pool and yields each
 // job's (report, error) in job order, as soon as it is available — the
 // first report arrives while later cells are still simulating. A
@@ -651,6 +707,12 @@ func (s *Session) Stream(sw Sweep) iter.Seq2[*Report, error] {
 	if engineOf == nil {
 		engineOf = func(cell *Session) Engine { return cell.SimEngine() }
 	}
+	// Custom engine factories are opaque and cannot be content-keyed, so
+	// only the default sim-engine path caches.
+	cache := s.streamCache()
+	if sw.Engine != nil {
+		cache = nil
+	}
 
 	var jobs []func() (*Report, error)
 	for _, seq := range seqLens {
@@ -665,13 +727,14 @@ func (s *Session) Stream(sw Sweep) iter.Seq2[*Report, error] {
 					continue
 				}
 				cell := derived
-				jobs = append(jobs, func() (*Report, error) {
+				run := func() (*Report, error) {
 					r, err := cell.Run(engineOf(cell), method)
 					if err != nil {
 						return nil, fmt.Errorf("seq=%d p=%d: %w", cell.SeqLen(), cell.stages, err)
 					}
 					return r, nil
-				})
+				}
+				jobs = append(jobs, cachedJob(cache, cell, method, EngineSim, 0, "", 0, run))
 			}
 		}
 	}
@@ -737,23 +800,29 @@ func (s *Session) Execute(spec *ExperimentSpec) iter.Seq2[*Report, error] {
 			s.executeTune(*rs.Tune, yield)
 			return
 		}
+		cache := s.streamCache()
+		if n.NoCache {
+			cache = nil
+		}
 		jobs := make([]func() (*Report, error), 0, len(rs.Cells))
 		for _, c := range rs.Cells {
 			cell := c
-			jobs = append(jobs, func() (*Report, error) {
-				run := s
-				if rs.Kind == RunKindSweep {
-					// A workload spec sweeps stages only: re-deriving the
-					// sequence length would clear its per-micro-batch shapes.
-					opts := []Option{WithStages(cell.Stages)}
-					if n.Workload == nil {
-						opts = append(opts, WithSeqLen(cell.SeqLen))
-					}
-					var err error
-					if run, err = s.With(opts...); err != nil {
-						return nil, fmt.Errorf("seq=%d p=%d: %w", cell.SeqLen, cell.Stages, err)
-					}
+			run := s
+			var derr error
+			if rs.Kind == RunKindSweep {
+				// A workload spec sweeps stages only: re-deriving the
+				// sequence length would clear its per-micro-batch shapes.
+				opts := []Option{WithStages(cell.Stages)}
+				if n.Workload == nil {
+					opts = append(opts, WithSeqLen(cell.SeqLen))
 				}
+				run, derr = s.With(opts...)
+			}
+			runJob := func() (*Report, error) {
+				if derr != nil {
+					return nil, fmt.Errorf("seq=%d p=%d: %w", cell.SeqLen, cell.Stages, derr)
+				}
+				placed := run
 				if rs.Placement != "" {
 					// The placement search reads the method's own traffic
 					// matrix, so each cell derives its own placed session.
@@ -761,18 +830,23 @@ func (s *Session) Execute(spec *ExperimentSpec) iter.Seq2[*Report, error] {
 					if err != nil {
 						return nil, fmt.Errorf("%s: %w", cell.Method, err)
 					}
-					if run, err = run.With(WithPlacement(placement)); err != nil {
+					if placed, err = run.With(WithPlacement(placement)); err != nil {
 						return nil, fmt.Errorf("%s: %w", cell.Method, err)
 					}
 				}
 				var engine Engine
 				if rs.Engine == EngineNumeric {
-					engine = run.NumericEngine(rs.Seed)
+					engine = placed.NumericEngine(rs.Seed)
 				} else {
-					engine = run.SimEngine()
+					engine = placed.SimEngine()
 				}
-				return run.Run(engine, cell.Method)
-			})
+				return placed.Run(engine, cell.Method)
+			}
+			if derr != nil {
+				jobs = append(jobs, runJob)
+				continue
+			}
+			jobs = append(jobs, cachedJob(cache, run, cell.Method, rs.Engine, rs.Seed, rs.Placement, rs.PlacementSeed, runJob))
 		}
 		for r, err := range streamReports(jobs) {
 			if !yield(r, err) {

@@ -347,6 +347,9 @@ type ExperimentSpec struct {
 	// Fleet turns the run into a shared-cluster job-stream simulation;
 	// mutually exclusive with Sweep and Tune, requires a topology cluster.
 	Fleet *SpecFleet `json:"fleet,omitempty"`
+	// NoCache disables the report cache: every cell simulates, even exact
+	// duplicates (maps to WithoutReportCache).
+	NoCache bool `json:"no_cache,omitempty"`
 	// Output selects what the command-line tools emit.
 	Output *SpecOutput `json:"output,omitempty"`
 }
@@ -739,6 +742,9 @@ func (s *ExperimentSpec) resolveParts() (*specParts, error) {
 	p.wantsTrace = s.Trace || (s.Output != nil && (s.Output.Timeline || s.Output.SVG != ""))
 	if p.wantsTrace {
 		p.options = append(p.options, WithTrace())
+	}
+	if s.NoCache {
+		p.options = append(p.options, WithoutReportCache())
 	}
 	return p, nil
 }

@@ -42,8 +42,9 @@ func fullSpec() *ExperimentSpec {
 		Perturb:       "slow=1x1.5,jitter=0.05,seed=11",
 		// A workload spec sweeps stages only; a seq_lens axis would discard
 		// the workload and is rejected (TestSpecInvalid).
-		Sweep:  &SpecSweep{Stages: []int{2, 4}},
-		Output: &SpecOutput{JSON: true, CSV: "points.csv", Timeline: true, SVG: "out.svg"},
+		Sweep:   &SpecSweep{Stages: []int{2, 4}},
+		NoCache: true,
+		Output:  &SpecOutput{JSON: true, CSV: "points.csv", Timeline: true, SVG: "out.svg"},
 	}
 }
 
