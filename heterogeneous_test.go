@@ -1,0 +1,141 @@
+package helixpipe
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestDegradeAwarePlacementBeatsClean is the acceptance test of the
+// placement-resolved cost pipeline: on the mixed A800+H20 preset with the
+// NVLink fabric degraded below InfiniBand, the greedy search run under the
+// perturbed topology must find a placement that simulates strictly faster —
+// on the same perturbed simulator — than the placement the clean-topology
+// search returns. Before perturbation-aware search pricing, both searches
+// returned the same NVLink-packed placement and this test could not pass.
+func TestDegradeAwarePlacementBeatsClean(t *testing.T) {
+	cl, topo, err := ResolveCluster("DGX-A800x2-H20x2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := ParsePerturb("link=nvlinkx0.15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	perturbed, err := NewSession(Model3B(), cl,
+		WithCluster(*topo), WithSeqLen(16384), WithPerturb(pt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := NewSession(Model3B(), cl, WithCluster(*topo), WithSeqLen(16384))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const method = Method("1F1B")
+	awarePlace, err := perturbed.PlacementFor(method, "greedy", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanPlace, err := clean.PlacementFor(method, "greedy", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	simulate := func(p Placement) float64 {
+		t.Helper()
+		ses, err := perturbed.With(WithPlacement(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := ses.Simulate(method)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Sim.IterationSeconds
+	}
+	aware, naive := simulate(awarePlace), simulate(cleanPlace)
+	if aware >= naive {
+		t.Errorf("degrade-aware placement %v simulates at %gs, clean-search placement %v at %gs; want strictly faster",
+			awarePlace.Devices, aware, cleanPlace.Devices, naive)
+	}
+}
+
+// TestHeterogeneousClusterSpecRoundTrip pins the end-to-end JSON path of
+// mixed-generation clusters: a topology file with per-node GPU names loads
+// through an ExperimentSpec, resolves to a heterogeneous session, and
+// re-marshals without losing the per-node GPU fields.
+func TestHeterogeneousClusterSpecRoundTrip(t *testing.T) {
+	cl, topo, err := ResolveCluster("DGX-A800x2-H20x2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Name != "A800" {
+		t.Errorf("mixed preset prices base compute on %q, want the A800 flat spec", cl.Name)
+	}
+	if !topo.Heterogeneous() {
+		t.Fatal("mixed preset does not report as heterogeneous")
+	}
+	if got := topo.GPUOf(0); got != "A800" {
+		t.Errorf("device 0 GPU %q, want A800", got)
+	}
+	if got := topo.GPUOf(16); got != "H20" {
+		t.Errorf("device 16 GPU %q, want H20", got)
+	}
+
+	// Round-trip the topology through JSON: per-node GPU names survive.
+	raw, err := json.Marshal(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"gpu":"H20"`) {
+		t.Fatalf("marshalled topology lost the per-node GPU field: %s", raw)
+	}
+	path := filepath.Join(t.TempDir(), "mixed.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A spec naming the topology file resolves to the same heterogeneous view.
+	spec, err := ParseSpec(strings.NewReader(`{
+		"model": "3B",
+		"cluster": "` + path + `",
+		"seq_len": 16384,
+		"stages": 8,
+		"methods": ["1F1B"]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ses, _, err := spec.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := ses.Topology()
+	if !ok {
+		t.Fatal("spec session has no topology")
+	}
+	if !got.Heterogeneous() || got.GPUOf(16) != "H20" {
+		t.Errorf("spec-loaded topology lost heterogeneity: %+v", got)
+	}
+}
+
+// TestUnknownNodeGPURejected pins eager validation: a topology node naming a
+// GPU with no cost-model spec must fail session construction, not silently
+// price at the cluster default.
+func TestUnknownNodeGPURejected(t *testing.T) {
+	cl, topo, err := ResolveCluster("DGX-A800x2-H20x2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := *topo
+	bad.Nodes = append(topo.Nodes[:0:0], topo.Nodes...)
+	bad.Nodes[2].GPU = "B200"
+	if _, err := NewSession(Model3B(), cl, WithCluster(bad)); err == nil {
+		t.Error("unknown per-node GPU accepted")
+	} else if !strings.Contains(err.Error(), "B200") {
+		t.Errorf("error does not name the unknown GPU: %v", err)
+	}
+}

@@ -74,6 +74,10 @@ type Node struct {
 	Devices int `json:"devices"`
 	// Intra is the link between any two devices of this node.
 	Intra Link `json:"intra"`
+	// GPU optionally names the costmodel GPU spec of this node's devices
+	// ("A800", "H20"), overriding the cluster-wide GPU name. Mixed-generation
+	// clusters set it per node; empty inherits the cluster's.
+	GPU string `json:"gpu,omitempty"`
 }
 
 // Cluster is a topology: nodes of devices, an intra-node link per node, and
@@ -151,6 +155,27 @@ func (c Cluster) LinkBetween(d1, d2 int) Link {
 	return c.Inter
 }
 
+// GPUOf returns the GPU spec name of the node holding the given global
+// device id: the node's own when set, the cluster-wide name otherwise (which
+// may itself be empty on anonymous custom topologies).
+func (c Cluster) GPUOf(device int) string {
+	if n := c.NodeOf(device); n >= 0 && c.Nodes[n].GPU != "" {
+		return c.Nodes[n].GPU
+	}
+	return c.GPU
+}
+
+// Heterogeneous reports whether any node overrides the cluster-wide GPU name
+// with a different one — a mixed-generation cluster.
+func (c Cluster) Heterogeneous() bool {
+	for _, n := range c.Nodes {
+		if n.GPU != "" && n.GPU != c.GPU {
+			return true
+		}
+	}
+	return false
+}
+
 // Classes returns the distinct link classes of the topology, sorted by name.
 func (c Cluster) Classes() []LinkClass {
 	seen := map[LinkClass]bool{}
@@ -180,6 +205,9 @@ func (c Cluster) String() string {
 	} else {
 		fmt.Fprintf(&b, "%d nodes, %d devices", len(c.Nodes), c.Devices())
 	}
+	if c.Heterogeneous() {
+		fmt.Fprintf(&b, " (%s)", c.gpuMix())
+	}
 	if len(c.Nodes) > 0 && c.Nodes[0].Devices > 1 {
 		l := c.Nodes[0].Intra
 		fmt.Fprintf(&b, ", %s %.0f GB/s intra", l.Class, l.GBps)
@@ -187,6 +215,36 @@ func (c Cluster) String() string {
 	if len(c.Nodes) > 1 {
 		fmt.Fprintf(&b, ", %s %.0f GB/s inter", c.Inter.Class, c.Inter.GBps)
 	}
+	return b.String()
+}
+
+// gpuMix renders the node GPU generations as run-length groups in node
+// order, e.g. "2xA800+2xH20".
+func (c Cluster) gpuMix() string {
+	var b strings.Builder
+	run, count := "", 0
+	flush := func() {
+		if count == 0 {
+			return
+		}
+		if b.Len() > 0 {
+			b.WriteByte('+')
+		}
+		fmt.Fprintf(&b, "%dx%s", count, run)
+	}
+	for _, n := range c.Nodes {
+		gpu := n.GPU
+		if gpu == "" {
+			gpu = c.GPU
+		}
+		if gpu != run {
+			flush()
+			run, count = gpu, 1
+		} else {
+			count++
+		}
+	}
+	flush()
 	return b.String()
 }
 
@@ -286,9 +344,34 @@ func PCIeBox() Cluster {
 		Link{Class: ClassPCIe, GBps: 24, LatencySec: 4e-6}, Link{})
 }
 
+// DGXA800x2H20x2 returns a mixed-generation 4-node cluster: two 8-GPU A800
+// nodes followed by two 8-GPU H20 nodes, each with its own generation's
+// NVLink fabric, joined by the slower cluster's HDR InfiniBand. It is the
+// heterogeneous testbed of the placement-resolved cost books: the same stage
+// prices differently depending on which generation it lands on.
+func DGXA800x2H20x2() Cluster {
+	c := Cluster{Name: "DGX-A800x2-H20x2", GPU: "A800", Inter: ibA800()}
+	for i := 0; i < 2; i++ {
+		c.Nodes = append(c.Nodes, Node{
+			Name:    fmt.Sprintf("a800-%d", i),
+			Devices: 8,
+			Intra:   nvlinkA800(),
+		})
+	}
+	for i := 0; i < 2; i++ {
+		c.Nodes = append(c.Nodes, Node{
+			Name:    fmt.Sprintf("h20-%d", i),
+			Devices: 8,
+			Intra:   nvlinkH20(),
+			GPU:     "H20",
+		})
+	}
+	return c
+}
+
 // Presets returns the built-in cluster topologies.
 func Presets() []Cluster {
-	return []Cluster{DGXA800x4(), DGXH20x2(), PCIeBox()}
+	return []Cluster{DGXA800x4(), DGXH20x2(), PCIeBox(), DGXA800x2H20x2()}
 }
 
 // PresetByName resolves a built-in topology case-insensitively and reports

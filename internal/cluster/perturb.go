@@ -35,6 +35,17 @@ func (p Perturb) Zero() bool {
 	return p.SlowFactor <= 1 && p.DegradeClass == "" && p.Jitter == 0
 }
 
+// Apply returns the link as the perturbation would leave it: bandwidth
+// scaled by DegradeFactor when the link's class matches the degraded one,
+// unchanged otherwise. Placement search prices candidate links through this,
+// so a search under a degraded fabric avoids what the fault broke.
+func (p Perturb) Apply(l Link) Link {
+	if p.DegradeClass != "" && l.Class == p.DegradeClass {
+		l.GBps *= p.DegradeFactor
+	}
+	return l
+}
+
 // Validate reports an error when the perturbation is not meaningful on the
 // cluster.
 func (p Perturb) Validate(c Cluster) error {

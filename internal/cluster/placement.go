@@ -141,6 +141,11 @@ type SearchOptions struct {
 	// Sweeps bounds the local-search improvement sweeps over all stage pairs;
 	// zero picks a small default.
 	Sweeps int
+	// Perturb prices candidate links as the perturbation would leave them
+	// (degraded classes at their degraded bandwidth), so the search scores
+	// placements under the topology the plan will actually run on instead of
+	// the clean one. The zero value searches the clean topology.
+	Perturb Perturb
 }
 
 // Greedy searches a placement minimizing the modeled P2P cost of the traffic
@@ -202,7 +207,7 @@ func Greedy(c Cluster, stages int, traffic [][]int64, opt SearchOptions) (Placem
 				if devOf[peer] < 0 || peer == stage {
 					continue
 				}
-				cost += linkCost(c.LinkBetween(dev, devOf[peer]), pair(stage, peer))
+				cost += linkCost(opt.Perturb.Apply(c.LinkBetween(dev, devOf[peer])), pair(stage, peer))
 			}
 			if bestDev < 0 || cost < bestCost {
 				bestDev, bestCost = dev, cost
@@ -219,13 +224,13 @@ func Greedy(c Cluster, stages int, traffic [][]int64, opt SearchOptions) (Placem
 		sweeps = 4
 	}
 	stream := rng.New(opt.Seed)
-	cost := placementCost(c, devOf, pair)
+	cost := placementCost(c, devOf, pair, opt.Perturb)
 	for sweep := 0; sweep < sweeps; sweep++ {
 		improved := false
 		for _, ij := range shuffledPairs(stages, stream) {
 			i, j := ij[0], ij[1]
 			devOf[i], devOf[j] = devOf[j], devOf[i]
-			if next := placementCost(c, devOf, pair); next < cost {
+			if next := placementCost(c, devOf, pair, opt.Perturb); next < cost {
 				cost = next
 				improved = true
 			} else {
@@ -266,7 +271,7 @@ func (p Placement) Cost(c Cluster, traffic [][]int64) float64 {
 		return 0
 	}
 	pair := func(i, j int) int64 { return traffic[i][j] + traffic[j][i] }
-	return placementCost(c, p.Devices, pair)
+	return placementCost(c, p.Devices, pair, Perturb{})
 }
 
 // linkCost prices one stage pair's traffic on a link: serialization time at
@@ -282,11 +287,11 @@ func linkCost(l Link, bytes int64) float64 {
 	return cost
 }
 
-func placementCost(c Cluster, devOf []int, pair func(i, j int) int64) float64 {
+func placementCost(c Cluster, devOf []int, pair func(i, j int) int64, pt Perturb) float64 {
 	total := 0.0
 	for i := 0; i < len(devOf); i++ {
 		for j := i + 1; j < len(devOf); j++ {
-			total += linkCost(c.LinkBetween(devOf[i], devOf[j]), pair(i, j))
+			total += linkCost(pt.Apply(c.LinkBetween(devOf[i], devOf[j])), pair(i, j))
 		}
 	}
 	return total

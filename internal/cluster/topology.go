@@ -22,6 +22,10 @@ type Topology struct {
 	class       [][]LinkClass
 	// computeFactor stretches stage compute durations (straggler + jitter).
 	computeFactor []float64
+	// intra is each stage's placed node's intra-node link, degraded like the
+	// stage-pair links; gpuName is the placed node's GPU generation.
+	intra   []Link
+	gpuName []string
 }
 
 // Resolve validates the inputs and precomputes the per-stage-pair link
@@ -47,6 +51,17 @@ func Resolve(c Cluster, p Placement, pt Perturb) (*Topology, error) {
 		latency:       make([][]float64, stages),
 		class:         make([][]LinkClass, stages),
 		computeFactor: make([]float64, stages),
+		intra:         make([]Link, stages),
+		gpuName:       make([]string, stages),
+	}
+	for i := 0; i < stages; i++ {
+		node := c.NodeOf(p.Devices[i])
+		intra := c.Nodes[node].Intra
+		if pt.DegradeClass != "" && intra.Class == pt.DegradeClass {
+			intra.GBps *= pt.DegradeFactor
+		}
+		t.intra[i] = intra
+		t.gpuName[i] = c.GPUOf(p.Devices[i])
 	}
 	for i := 0; i < stages; i++ {
 		t.bytesPerSec[i] = make([]float64, stages)
@@ -94,6 +109,17 @@ func (t *Topology) Link(from, to int) (bytesPerSec, latencySec float64, class Li
 // ComputeFactor returns the compute stretch of one stage under the
 // perturbation (1 when unperturbed).
 func (t *Topology) ComputeFactor(stage int) float64 { return t.computeFactor[stage] }
+
+// IntraLink returns the intra-node link of the stage's placed node — the
+// fabric its sequence-parallel collectives traverse — with any matching
+// link-class degradation applied. Single-device nodes may report a zero
+// link; callers fall back to flat pricing then.
+func (t *Topology) IntraLink(stage int) Link { return t.intra[stage] }
+
+// GPUName returns the GPU generation of the stage's placed node: the node's
+// own spec name when set, the cluster-wide one otherwise (possibly empty on
+// anonymous custom topologies).
+func (t *Topology) GPUName(stage int) string { return t.gpuName[stage] }
 
 // CheckStages reports an error when the topology was resolved for a
 // different pipeline size than the plan presents.

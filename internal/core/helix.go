@@ -487,7 +487,7 @@ func (b *helixBuilder) runUnitF(t *hTask) {
 	L, p := b.cfg.Layers, b.cfg.Stages
 	clock := b.clock[t.stage]
 	for _, mb := range t.mbs {
-		c := b.costs.MB(mb)
+		c := b.costs.StageMB(t.stage, mb)
 		if t.unit > 0 {
 			from := AttnStage(t.unit-1, mb, p)
 			clock = b.recvPiece(t, mb, from, clock)
@@ -513,7 +513,7 @@ func (b *helixBuilder) runAttn(t *hTask, back bool) {
 	p := b.cfg.Stages
 	l := t.unit
 	mb := t.mbs[0]
-	c := b.costs.MB(mb)
+	c := b.costs.StageMB(t.stage, mb)
 	clock := b.clock[t.stage]
 	if back {
 		clock = b.recvPiece(t, mb, PostOwner(l, p), clock)
@@ -537,7 +537,7 @@ func (b *helixBuilder) runUnitB(t *hTask) {
 	L, p := b.cfg.Layers, b.cfg.Stages
 	clock := b.clock[t.stage]
 	for _, mb := range t.mbs {
-		c := b.costs.MB(mb)
+		c := b.costs.StageMB(t.stage, mb)
 		if t.unit == L {
 			// Deferred LM head: forward + loss + backward-B fused (4.6),
 			// weight gradient immediately after (no ZB1P-style deferral).

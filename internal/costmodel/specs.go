@@ -11,7 +11,10 @@
 // single source of truth.
 package costmodel
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // GPUSpec describes one GPU type at the fidelity the cost model needs.
 type GPUSpec struct {
@@ -84,6 +87,21 @@ func A800() GPUSpec {
 		GEMMEfficiency:  0.62,
 		AttnEfficiency:  0.35,
 	}
+}
+
+// GPUs returns the built-in GPU specs.
+func GPUs() []GPUSpec { return []GPUSpec{H20(), A800()} }
+
+// GPUByName returns the named GPU spec ("H20" or "A800") case-insensitively
+// and reports whether it exists. Heterogeneous topologies name per-node
+// device generations with these names.
+func GPUByName(name string) (GPUSpec, bool) {
+	for _, g := range GPUs() {
+		if strings.EqualFold(g.Name, name) {
+			return g, true
+		}
+	}
+	return GPUSpec{}, false
 }
 
 // ClusterSpec describes a GPU cluster: identical nodes of GPUsPerNode GPUs

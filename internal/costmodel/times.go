@@ -14,11 +14,33 @@ import (
 // factor while the accounting layer keeps the paper's convention.
 const CausalFactor = 0.5
 
+// LinkSpec prices the interconnect a stage's intra-node sequence-parallel
+// collectives traverse: the placed node's real link class instead of the
+// cluster-wide NVLink assumption. The zero value means "unplaced" and keeps
+// the flat ClusterSpec NVLink pricing. It is comparable, so it participates
+// in Workload-keyed memoization.
+type LinkSpec struct {
+	// Class names the interconnect ("nvlink", "pcie", ...); informational.
+	Class string
+	// GBps is the unidirectional bandwidth in GB/s.
+	GBps float64
+	// LatencySec is the per-collective base latency in seconds.
+	LatencySec float64
+}
+
 // Workload binds a model configuration to a cluster and a micro-batch shape.
 // One pipeline stage occupies one full node and the activation tensors are
 // sequence-parallel across the node's GPUs (SeqPar = GPUsPerNode = 8 in all
 // paper experiments). All times are in seconds and describe the whole stage
 // (node), not a single GPU.
+//
+// The Link, GPU and ComputeFactor fields resolve the workload to one placed
+// stage of a topology: collectives price against the placed node's intra
+// link, compute against the placed device's spec, and every duration
+// stretches by the stage's perturbation factor. Their zero values reproduce
+// the flat cluster-global pricing bit-exactly, so unplaced workloads are
+// unaffected. The struct stays comparable — placed fields are part of the
+// cost-book memo key.
 type Workload struct {
 	// Model is the transformer being trained.
 	Model model.Config
@@ -33,6 +55,15 @@ type Workload struct {
 	// used to isolate pure compute in component-profile experiments that
 	// mirror the paper's single-GPU profiling (Figure 3).
 	SkipSPComm bool
+	// Link prices intra-stage collectives on the placed node's intra-node
+	// link; the zero value keeps the flat NVLink term.
+	Link LinkSpec
+	// GPU overrides the cluster's GPU spec with the placed device's; the
+	// zero value (empty Name) keeps Cluster.GPU.
+	GPU GPUSpec
+	// ComputeFactor stretches every duration by the placed stage's
+	// perturbation factor (straggler + jitter); values <= 0 mean 1.
+	ComputeFactor float64
 }
 
 // NewWorkload returns a Workload with SeqPar defaulted to the node size.
@@ -64,25 +95,45 @@ func (w Workload) seqPar() int {
 	return w.SeqPar
 }
 
+// gpu returns the GPU spec pricing this workload's compute: the placed
+// device's when resolved, the cluster-wide spec otherwise.
+func (w Workload) gpu() GPUSpec {
+	if w.GPU.Name != "" {
+		return w.GPU
+	}
+	return w.Cluster.GPU
+}
+
+// factor returns the compute stretch of the placed stage (1 when unplaced or
+// unperturbed).
+func (w Workload) factor() float64 {
+	if w.ComputeFactor <= 0 {
+		return 1
+	}
+	return w.ComputeFactor
+}
+
 // gemmFLOPS returns the effective GEMM throughput of the stage in FLOP/s.
 func (w Workload) gemmFLOPS() float64 {
-	g := w.Cluster.GPU
+	g := w.gpu()
 	return float64(w.seqPar()) * g.DenseFP16TFLOPS * 1e12 * g.GEMMEfficiency
 }
 
 // attnFLOPS returns the effective flash-attention throughput of the stage.
 func (w Workload) attnFLOPS() float64 {
-	g := w.Cluster.GPU
+	g := w.gpu()
 	return float64(w.seqPar()) * g.DenseFP16TFLOPS * 1e12 * g.AttnEfficiency
 }
 
 // hbmBps returns the aggregate HBM bandwidth of the stage in bytes/s.
 func (w Workload) hbmBps() float64 {
-	return float64(w.seqPar()) * w.Cluster.GPU.HBMGBps * 1e9
+	return float64(w.seqPar()) * w.gpu().HBMGBps * 1e9
 }
 
 // spCollectiveTime returns the time of one ring all-gather or reduce-scatter
-// of a [s,b,h] fp16 tensor across the sequence-parallel group on NVLink.
+// of a [s,b,h] fp16 tensor across the sequence-parallel group: on the placed
+// node's intra link when the workload is placement-resolved (a PCIe box pays
+// PCIe bandwidth), on the cluster-wide NVLink term otherwise.
 func (w Workload) spCollectiveTime() float64 {
 	t := float64(w.seqPar())
 	if t <= 1 || w.SkipSPComm {
@@ -90,6 +141,9 @@ func (w Workload) spCollectiveTime() float64 {
 	}
 	bytes := float64(w.Shape.Tokens()) * float64(w.Model.Hidden) * model.FP16Bytes
 	perGPU := bytes * (t - 1) / t
+	if w.Link.GBps > 0 {
+		return w.Link.LatencySec + perGPU/(w.Link.GBps*1e9)
+	}
 	return w.Cluster.NVLinkLatency + perGPU/(w.Cluster.GPU.NVLinkGBps*1e9)
 }
 
@@ -115,7 +169,9 @@ func spCollectivesPerSegment(seg model.Segment, pass model.Pass) int {
 // SegmentTime returns the execution time in seconds of one layer segment for
 // one micro batch on one stage: GEMM time at the class-specific efficiency,
 // plus bandwidth-bound vector time, plus intra-node sequence-parallel
-// collectives.
+// collectives, all stretched by the placed stage's perturbation factor (the
+// simulator stretched whole ops the same way before books were
+// placement-resolved, so collectives inside a slow stage slow down with it).
 func (w Workload) SegmentTime(seg model.Segment, pass model.Pass) float64 {
 	flops := w.Model.SegmentFLOPs(seg, pass, w.Shape)
 	var compute float64
@@ -127,7 +183,7 @@ func (w Workload) SegmentTime(seg model.Segment, pass model.Pass) float64 {
 	vecBytes := float64(w.Model.SegmentVectorElems(seg, pass, w.Shape)) * model.FP16Bytes
 	vector := vecBytes / w.hbmBps()
 	sp := float64(spCollectivesPerSegment(seg, pass)) * w.spCollectiveTime()
-	return compute + vector + sp
+	return (compute + vector + sp) * w.factor()
 }
 
 // LayerTime returns the execution time of a whole layer for one pass.
@@ -148,9 +204,9 @@ func (w Workload) PrePostTime(pass model.Pass) float64 {
 func (w Workload) EmbeddingTime(pass model.Pass) float64 {
 	if pass == model.BackwardW {
 		// Gradient scatter-add into the embedding table.
-		return float64(w.Shape.Tokens()) * float64(w.Model.Hidden) * model.FP32Bytes / w.hbmBps()
+		return float64(w.Shape.Tokens()) * float64(w.Model.Hidden) * model.FP32Bytes / w.hbmBps() * w.factor()
 	}
-	return float64(w.Shape.Tokens()) * float64(w.Model.Hidden) * model.FP16Bytes / w.hbmBps()
+	return float64(w.Shape.Tokens()) * float64(w.Model.Hidden) * model.FP16Bytes / w.hbmBps() * w.factor()
 }
 
 // HeadTime returns the time of the LM head projection plus softmax/loss for
@@ -158,7 +214,7 @@ func (w Workload) EmbeddingTime(pass model.Pass) float64 {
 func (w Workload) HeadTime(pass model.Pass) float64 {
 	flops := w.Model.EmbeddingFLOPs(pass, w.Shape)
 	logitBytes := float64(w.Model.LogitsElems(w.Shape)) * model.FP16Bytes
-	return flops/w.gemmFLOPS() + 2*logitBytes/w.hbmBps()
+	return (flops/w.gemmFLOPS() + 2*logitBytes/w.hbmBps()) * w.factor()
 }
 
 // P2PBytes is the node-aggregate byte volume of one inter-stage transfer.

@@ -58,6 +58,13 @@ type Costs struct {
 	// index is the micro batch. Empty means every micro batch uses the
 	// embedded uniform book.
 	PerMB []MBCosts
+	// PerStage holds placement-resolved per-stage books: PerStage[s] prices
+	// stage s against its placed node (intra-node link class, device
+	// generation, perturbation factor). Empty means every stage shares the
+	// flat cluster-global books — the pre-placement behavior. When present,
+	// the simulator must not stretch compute by topology factors again; the
+	// books already carry them.
+	PerStage []StageBook
 	// P2PLatency and P2PBytesPerSec parameterize inter-stage links (shared by
 	// all micro batches; the hardware does not change per message).
 	P2PLatency     float64
@@ -73,6 +80,19 @@ func (c Costs) MB(mb int) MBCosts {
 		return book
 	}
 	return c.MBCosts
+}
+
+// StageMB returns the cost book of one micro batch as priced on one placed
+// stage: the stage's placement-resolved book when the costs carry them, the
+// cluster-global book otherwise. Generators price every duration through
+// this so per-stage compute, collective and perturbation differences reach
+// the plan's ops. Byte fields (stashes, message volumes) are shape-derived
+// and identical across stages, so stage-agnostic callers may keep using MB.
+func (c Costs) StageMB(stage, mb int) MBCosts {
+	if stage >= 0 && stage < len(c.PerStage) {
+		return c.PerStage[stage].mb(mb)
+	}
+	return c.MB(mb)
 }
 
 // override returns the per-micro-batch book for an index covered by PerMB.
@@ -269,6 +289,21 @@ func (c Costs) ZeroCommCosts() Costs {
 			for i := range out.PerMB[mb].BoundBytes {
 				out.PerMB[mb].BoundBytes[i] = 0
 			}
+		}
+	}
+	if len(c.PerStage) > 0 {
+		out.PerStage = make([]StageBook, len(c.PerStage))
+		for s, book := range c.PerStage {
+			book.PerMB = append([]MBCosts(nil), book.PerMB...)
+			for i := range book.BoundBytes {
+				book.BoundBytes[i] = 0
+			}
+			for mb := range book.PerMB {
+				for i := range book.PerMB[mb].BoundBytes {
+					book.PerMB[mb].BoundBytes[i] = 0
+				}
+			}
+			out.PerStage[s] = book
 		}
 	}
 	return out

@@ -1,0 +1,92 @@
+package sched
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/costmodel"
+	"repro/internal/model"
+)
+
+// StageBook is the cost book of one placed pipeline stage: the stage's
+// workload priced against its placed node — its real intra-node link class
+// for sequence-parallel collectives, its device generation for compute, and
+// its perturbation compute factor. The embedded MBCosts is the stage's
+// uniform book; PerMB overrides it per micro batch on variable-length
+// workloads, exactly like Costs itself.
+type StageBook struct {
+	MBCosts
+	PerMB []MBCosts
+}
+
+// mb returns the stage's book for one micro batch, falling back to the
+// stage's uniform book outside the override range.
+func (b StageBook) mb(mb int) MBCosts {
+	if mb >= 0 && mb < len(b.PerMB) {
+		return b.PerMB[mb]
+	}
+	return b.MBCosts
+}
+
+// placedWorkload resolves the workload to one placed stage of the topology:
+// collectives priced on the placed node's intra link, compute on its device
+// generation, durations stretched by its perturbation factor. The placed
+// fields are comparable parts of the workload, so the cost-book memo keys on
+// the placement signature automatically.
+func placedWorkload(w costmodel.Workload, topo *cluster.Topology, stage int) costmodel.Workload {
+	ws := w
+	if l := topo.IntraLink(stage); l.GBps > 0 {
+		ws.Link = costmodel.LinkSpec{Class: string(l.Class), GBps: l.GBps, LatencySec: l.LatencySec}
+	}
+	if name := topo.GPUName(stage); name != "" {
+		if g, ok := costmodel.GPUByName(name); ok {
+			ws.GPU = g
+		}
+	}
+	ws.ComputeFactor = topo.ComputeFactor(stage)
+	return ws
+}
+
+// NewPlacedCosts builds the placement-resolved cost book for a fixed-shape
+// workload on a resolved topology: the embedded book stays the flat
+// cluster-global one (partition heuristics like AdaPipe's DP keep reasoning
+// about the aggregate), while PerStage[s] prices stage s against its placed
+// node. A nil topology degenerates to NewCosts.
+func NewPlacedCosts(w costmodel.Workload, topo *cluster.Topology) Costs {
+	c := NewCosts(w)
+	if topo == nil {
+		return c
+	}
+	c.PerStage = make([]StageBook, topo.Stages())
+	for s := range c.PerStage {
+		c.PerStage[s] = StageBook{MBCosts: memoMBCosts(placedWorkload(w, topo, s))}
+	}
+	return c
+}
+
+// NewPlacedBatchCosts builds the placement-resolved cost book for a
+// variable-length workload: stage s's book prices micro batch i at
+// spec.Shapes[i] under stage s's placed node. A nil topology degenerates to
+// NewBatchCosts.
+func NewPlacedBatchCosts(w costmodel.Workload, spec model.BatchSpec, topo *cluster.Topology) Costs {
+	c := NewBatchCosts(w, spec)
+	if topo == nil {
+		return c
+	}
+	_, uniform := spec.Uniform()
+	c.PerStage = make([]StageBook, topo.Stages())
+	for s := range c.PerStage {
+		ws := placedWorkload(w, topo, s)
+		wMax := ws
+		wMax.Shape = spec.MaxShape()
+		book := StageBook{MBCosts: memoMBCosts(wMax)}
+		if !uniform {
+			book.PerMB = make([]MBCosts, len(spec.Shapes))
+			for i, sh := range spec.Shapes {
+				wi := ws
+				wi.Shape = sh
+				book.PerMB[i] = memoMBCosts(wi)
+			}
+		}
+		c.PerStage[s] = book
+	}
+	return c
+}

@@ -50,8 +50,8 @@ func Interleaved(cfg Config, costs Costs, chunks int) (*Plan, error) {
 	lw := newLayerwise(cfg, costs, evenChunks(cfg.Layers, p)) // chunk table unused; ops emitted manually
 
 	emitVF := func(vs, mb int) {
-		c := costs.MB(mb)
 		phys := physOf(vs)
+		c := costs.StageMB(phys, mb)
 		if vs == 0 {
 			lw.emit(phys, Op{Kind: KForward, MB: mb, Layer: LayerEmbed, Dur: c.EmbedF})
 		} else {
@@ -72,8 +72,8 @@ func Interleaved(cfg Config, costs Costs, chunks int) (*Plan, error) {
 		}
 	}
 	emitVB := func(vs, mb int) {
-		c := costs.MB(mb)
 		phys := physOf(vs)
+		c := costs.StageMB(phys, mb)
 		if vs == v-1 {
 			lw.emit(phys, Op{Kind: KBackwardB, MB: mb, Layer: LayerHead, Dur: c.HeadFB, Alloc: c.EmbedGradStash})
 			lw.emit(phys, Op{Kind: KBackwardW, MB: mb, Layer: LayerHead, Dur: c.HeadW, Free: c.EmbedGradStash})
@@ -103,7 +103,7 @@ func Interleaved(cfg Config, costs Costs, chunks int) (*Plan, error) {
 	}
 
 	vfDur := func(vs, mb int) float64 {
-		c := costs.MB(mb)
+		c := costs.StageMB(physOf(vs), mb)
 		d := float64(layersPer) * c.LayerDur(KForward)
 		if vs == 0 {
 			d += c.EmbedF
@@ -111,7 +111,7 @@ func Interleaved(cfg Config, costs Costs, chunks int) (*Plan, error) {
 		return d
 	}
 	vbDur := func(vs, mb int) float64 {
-		c := costs.MB(mb)
+		c := costs.StageMB(physOf(vs), mb)
 		d := float64(layersPer) * (c.LayerDur(KBackwardB) + c.SegDur(segPre, KBackwardW) + c.SegDur(segPost, KBackwardW))
 		if vs == v-1 {
 			d += c.HeadFB + c.HeadW

@@ -218,6 +218,12 @@ type Plan struct {
 	// flat one-hop NIC model). When set, its length must equal Stages and
 	// its entries must be distinct (enforced by Validate).
 	Placement []int
+
+	// validated memoizes a successful Validate, so re-simulating the same
+	// plan (a pooled sim.Run per sweep cell) does not re-walk the full token
+	// dataflow every call. Code that mutates a plan's Ops after validating it
+	// must clear the flag; in practice plans are immutable once built.
+	validated bool
 }
 
 // TrafficMatrix returns the per-(stage, peer) communication volume of the

@@ -72,7 +72,7 @@ func (lw *layerwise) inBoundaryLayer(stage int) int { return lw.chunks[stage][0]
 // from the micro batch's own book, so variable-length micro batches get
 // shape-correct durations, stashes and message volumes.
 func (lw *layerwise) emitFStep(stage, mb int) {
-	c := lw.costs.MB(mb)
+	c := lw.costs.StageMB(stage, mb)
 	if stage == 0 {
 		lw.emit(stage, Op{Kind: KForward, MB: mb, Layer: LayerEmbed, Dur: c.EmbedF})
 	} else {
@@ -108,7 +108,7 @@ func (lw *layerwise) emitFStep(stage, mb int) {
 // upstream. With withW false the caller is responsible for scheduling the
 // corresponding W ops later (ZB1P).
 func (lw *layerwise) emitBStep(stage, mb int, withW bool) {
-	c := lw.costs.MB(mb)
+	c := lw.costs.StageMB(stage, mb)
 	last := lw.cfg.Stages - 1
 	if stage == last {
 		// Section 4.6: the LM-head forward and loss run inside the backward
@@ -161,22 +161,23 @@ func (lw *layerwise) emitBStep(stage, mb int, withW bool) {
 // emitWStep emits the deferred weight-gradient ops of one (micro batch,
 // layer) unit: post then pre, in the order ZB1P fills bubbles with.
 func (lw *layerwise) emitWStep(stage, mb, layer int) {
-	c := lw.costs.MB(mb)
+	c := lw.costs.StageMB(stage, mb)
 	for _, seg := range []model.Segment{model.SegPost, model.SegPre} {
 		lw.emit(stage, Op{Kind: KBackwardW, MB: mb, Layer: layer, Seg: seg,
 			Dur: c.SegDur(seg, KBackwardW), Free: c.SegStashWFree[seg]})
 	}
 }
 
-// wStepDur returns the duration of one emitWStep for one micro batch.
-func (lw *layerwise) wStepDur(mb int) float64 {
-	c := lw.costs.MB(mb)
+// wStepDur returns the duration of one emitWStep for one micro batch on one
+// stage.
+func (lw *layerwise) wStepDur(stage, mb int) float64 {
+	c := lw.costs.StageMB(stage, mb)
 	return c.SegDur(model.SegPost, KBackwardW) + c.SegDur(model.SegPre, KBackwardW)
 }
 
 // fStepDur returns the duration of one emitFStep's compute on a stage.
 func (lw *layerwise) fStepDur(stage, mb int) float64 {
-	c := lw.costs.MB(mb)
+	c := lw.costs.StageMB(stage, mb)
 	d := 0.0
 	if stage == 0 {
 		d += c.EmbedF
@@ -187,7 +188,7 @@ func (lw *layerwise) fStepDur(stage, mb int) float64 {
 
 // bStepDur returns the duration of one emitBStep's compute on a stage.
 func (lw *layerwise) bStepDur(stage, mb int, withW bool) float64 {
-	c := lw.costs.MB(mb)
+	c := lw.costs.StageMB(stage, mb)
 	d := 0.0
 	if stage == lw.cfg.Stages-1 {
 		d += c.HeadFB

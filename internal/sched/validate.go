@@ -125,6 +125,9 @@ func opIO(op Op, layers int) (req []token, prod []token) {
 // Validate checks the plan's structural and dataflow invariants and returns
 // a descriptive error for the first violation found.
 func Validate(p *Plan) error {
+	if p.validated {
+		return nil
+	}
 	if len(p.Ops) != p.Stages {
 		return fmt.Errorf("sched: plan has %d stage programs, want %d", len(p.Ops), p.Stages)
 	}
@@ -140,6 +143,7 @@ func Validate(p *Plan) error {
 	if err := validateMemory(p); err != nil {
 		return err
 	}
+	p.validated = true
 	return nil
 }
 

@@ -68,19 +68,19 @@ func zeroBubble(cfg Config, costs Costs, inflightCap int, method Method) (*Plan,
 	bNext := make([]int, p)
 	wQ := make([][]wUnit, p)
 
-	wUnitDur := func(u wUnit) float64 {
-		c := costs.MB(u.mb)
+	wUnitDur := func(s int, u wUnit) float64 {
+		c := costs.StageMB(s, u.mb)
 		switch u.layer {
 		case LayerHead:
 			return c.HeadW
 		case LayerEmbed:
 			return c.EmbedW
 		default:
-			return lw.wStepDur(u.mb)
+			return lw.wStepDur(s, u.mb)
 		}
 	}
 	emitWUnit := func(s int, u wUnit) {
-		c := costs.MB(u.mb)
+		c := costs.StageMB(s, u.mb)
 		switch u.layer {
 		case LayerHead:
 			lw.emit(s, Op{Kind: KBackwardW, MB: u.mb, Layer: LayerHead, Dur: c.HeadW, Free: c.EmbedGradStash})
@@ -175,7 +175,7 @@ func zeroBubble(cfg Config, costs Costs, inflightCap int, method Method) (*Plan,
 			u := wQ[s][0]
 			wQ[s] = wQ[s][1:]
 			emitWUnit(s, u)
-			clock[s] = bestStart + wUnitDur(u)
+			clock[s] = bestStart + wUnitDur(s, u)
 		}
 	}
 

@@ -49,8 +49,10 @@ func BenchmarkEngineSteadyState(b *testing.B) {
 	}
 }
 
-// BenchmarkEngineOneShot measures the cold path — a fresh engine per run,
-// as one sweep cell pays it.
+// BenchmarkEngineOneShot measures the cold path — a pooled Runner per Run
+// call, as one sweep cell pays it. The alloc-gate CI step pins its allocs/op
+// to the budget in testdata/alloc_budget.json: once the pool is warm, a cold
+// start costs only the deep-copied Result, not a rebuilt engine.
 func BenchmarkEngineOneShot(b *testing.B) {
 	plan, opt := benchEngineInputs(b)
 	b.ReportAllocs()
@@ -98,13 +100,12 @@ func TestRunnerReuseMatchesOneShot(t *testing.T) {
 // fails when the measured allocs/op exceed it.
 type allocBudget struct {
 	EngineSteadyStateAllocsPerOp float64 `json:"engine_steady_state_allocs_per_op"`
+	EngineColdRunAllocsPerOp     float64 `json:"engine_cold_run_allocs_per_op"`
 }
 
-// TestEngineSteadyStateAllocBudget enforces the budget in-process: the
-// steady-state run must not allocate more per iteration than the pinned
-// file allows (zero). The same contract backs the CI alloc-gate step, which
-// re-checks it from the -benchmem output.
-func TestEngineSteadyStateAllocBudget(t *testing.T) {
+// readAllocBudget loads the pinned budget file shared with the CI gate.
+func readAllocBudget(t *testing.T) allocBudget {
+	t.Helper()
 	raw, err := os.ReadFile("../../testdata/alloc_budget.json")
 	if err != nil {
 		t.Fatal(err)
@@ -113,6 +114,15 @@ func TestEngineSteadyStateAllocBudget(t *testing.T) {
 	if err := json.Unmarshal(raw, &budget); err != nil {
 		t.Fatal(err)
 	}
+	return budget
+}
+
+// TestEngineSteadyStateAllocBudget enforces the budget in-process: the
+// steady-state run must not allocate more per iteration than the pinned
+// file allows (zero). The same contract backs the CI alloc-gate step, which
+// re-checks it from the -benchmem output.
+func TestEngineSteadyStateAllocBudget(t *testing.T) {
+	budget := readAllocBudget(t)
 	plan, opt := benchEngineInputs(t)
 	r, err := NewRunner(plan, opt)
 	if err != nil {
@@ -131,5 +141,54 @@ func TestEngineSteadyStateAllocBudget(t *testing.T) {
 	if got > budget.EngineSteadyStateAllocsPerOp {
 		t.Errorf("steady-state engine run allocates %.1f allocs/op, budget %.1f (testdata/alloc_budget.json)",
 			got, budget.EngineSteadyStateAllocsPerOp)
+	}
+}
+
+// TestEngineColdRunAllocBudget pins the pooled cold-start path: once the
+// Runner pool is warm, sim.Run must cost no more allocations per call than
+// the budget file allows (the deep-copied Result plus pool bookkeeping — no
+// rebuilt engine). The CI alloc-gate re-checks the same contract from
+// BenchmarkEngineOneShot's -benchmem output.
+func TestEngineColdRunAllocBudget(t *testing.T) {
+	budget := readAllocBudget(t)
+	plan, opt := benchEngineInputs(t)
+	// Warm up the pool and the engine's maps.
+	if _, err := Run(plan, opt); err != nil {
+		t.Fatal(err)
+	}
+	got := testing.AllocsPerRun(20, func() {
+		if _, err := Run(plan, opt); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got > budget.EngineColdRunAllocsPerOp {
+		t.Errorf("cold-start sim.Run allocates %.1f allocs/op, budget %.1f (testdata/alloc_budget.json)",
+			got, budget.EngineColdRunAllocsPerOp)
+	}
+}
+
+// TestColdRunResultDetached proves the pooled Run's result is a deep copy: a
+// later Run on the same pool must not mutate an earlier result.
+func TestColdRunResultDetached(t *testing.T) {
+	plan, opt := benchEngineInputs(t)
+	first, err := Run(plan, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstJSON, err := json.Marshal(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := Run(plan, opt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	again, err := json.Marshal(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(firstJSON) {
+		t.Fatalf("earlier Run result mutated by later pooled runs:\n was %s\n now %s", firstJSON, again)
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/cluster"
 	"repro/internal/sched"
@@ -120,6 +121,22 @@ func (r *Result) Throughput(tokensPerIteration int64) float64 {
 	return float64(tokensPerIteration) / r.IterationSeconds
 }
 
+// Clone returns a deep copy of the result that aliases no Runner buffer, so
+// it stays valid after the Runner's next Run (or its return to the pool).
+func (r *Result) Clone() *Result {
+	out := *r
+	out.BusySeconds = append([]float64(nil), r.BusySeconds...)
+	out.CommStallSeconds = append([]float64(nil), r.CommStallSeconds...)
+	out.WaitSeconds = append([]float64(nil), r.WaitSeconds...)
+	out.IdleSeconds = append([]float64(nil), r.IdleSeconds...)
+	out.LinkBusySeconds = append([]float64(nil), r.LinkBusySeconds...)
+	out.PeakStashBytes = append([]int64(nil), r.PeakStashBytes...)
+	out.BytesSent = append([]int64(nil), r.BytesSent...)
+	out.LinkClasses = append([]LinkClassStats(nil), r.LinkClasses...)
+	out.Spans = append([]Span(nil), r.Spans...)
+	return &out
+}
+
 // Options tunes a simulation run.
 type Options struct {
 	// Trace records a Span per executed op.
@@ -151,16 +168,37 @@ type Options struct {
 // penalty order-independent: identical plans always stretch identically,
 // whatever the tie-breaking.
 //
-// Run is one-shot; to re-simulate the same plan repeatedly (a benchmark
-// steady state, a fleet pricing loop) build a Runner once and reuse it —
-// reruns are then allocation-free.
+// Run draws a Runner from an internal pool and rebinds it to the plan, so
+// cold starts reuse the per-stage buffers of earlier calls instead of
+// reallocating them; the returned Result is a deep copy the caller owns. To
+// re-simulate the same plan repeatedly (a benchmark steady state, a fleet
+// pricing loop) build a Runner once and reuse it — reruns are then
+// allocation-free.
 func Run(plan *sched.Plan, opt Options) (*Result, error) {
-	r, err := NewRunner(plan, opt)
+	if err := sched.Validate(plan); err != nil {
+		return nil, fmt.Errorf("sim: invalid plan: %w", err)
+	}
+	if opt.Topology != nil {
+		if err := opt.Topology.CheckStages(plan.Stages); err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+	}
+	r := runnerPool.Get().(*Runner)
+	r.reinit(plan, opt)
+	res, err := r.Run()
 	if err != nil {
+		runnerPool.Put(r)
 		return nil, err
 	}
-	return r.Run()
+	out := res.Clone()
+	runnerPool.Put(r)
+	return out, nil
 }
+
+// runnerPool recycles Runners across cold-start Run calls. A pooled Runner
+// keeps its per-stage buffers; reinit resizes them to the next plan reusing
+// their capacity.
+var runnerPool = sync.Pool{New: func() any { return &Runner{eng: &engine{}} }}
 
 // Runner is a reusable simulator for one plan: every per-stage buffer is
 // allocated and pre-sized once, from the plan, and reused across Run calls.
@@ -195,13 +233,27 @@ func NewRunner(plan *sched.Plan, opt Options) (*Runner, error) {
 // newRunner builds the runner below the validator; crafted test plans enter
 // here via runEngine.
 func newRunner(plan *sched.Plan, opt Options) *Runner {
-	r := &Runner{eng: newEngine(plan, opt)}
+	r := &Runner{eng: &engine{}}
+	r.reinit(plan, opt)
+	return r
+}
+
+// reinit rebinds the runner to a plan and options, reusing every buffer
+// capacity left by the previous binding.
+func (r *Runner) reinit(plan *sched.Plan, opt Options) {
+	r.eng.reinit(plan, opt)
 	if opt.SMPenalty > 0 {
-		r.pre = newEngine(plan, opt)
+		if r.pre == nil {
+			r.pre = &engine{}
+		}
+		r.pre.reinit(plan, opt)
 		r.pre.opt.SMPenalty = 0
 		r.pre.opt.Trace = false
+	} else {
+		// A stale pre-pass engine would wrongly install its NIC oracle on the
+		// reported pass; drop it until a penalized plan needs one again.
+		r.pre = nil
 	}
-	return r
 }
 
 // runEngine simulates one iteration below the validator.
@@ -306,35 +358,61 @@ type msgKey struct {
 }
 
 func newEngine(plan *sched.Plan, opt Options) *engine {
+	e := &engine{}
+	e.reinit(plan, opt)
+	return e
+}
+
+// grow returns s resized to length n, reusing its backing array when the
+// capacity suffices. Retained elements may hold stale values from a previous
+// binding; reset (which every Run begins with) rewrites them.
+func grow[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
+}
+
+// reinit rebinds the engine to a plan, resizing every per-stage buffer and
+// keeping whatever capacity a previous binding left behind — the cold-start
+// Run pool relies on this to avoid re-allocating the engine per call.
+func (e *engine) reinit(plan *sched.Plan, opt Options) {
 	p := plan.Stages
-	e := &engine{
-		plan:       plan,
-		opt:        opt,
-		pc:         make([]int32, p),
-		clock:      make([]float64, p),
-		tick:       make([]tick, p),
-		ready:      make([]int32, 0, p),
-		pos:        make([]int32, p),
-		sendFree:   make([]float64, p),
-		recvFree:   make([]float64, p),
-		nic:        nicLog{send: make([][]interval, p), recv: make([][]interval, p)},
-		inflight:   map[msgKey]message{},
-		classStats: map[cluster.LinkClass]*LinkClassStats{},
-		busy:       make([]float64, p),
-		commStall:  make([]float64, p),
-		wait:       make([]float64, p),
-		linkBusy:   make([]float64, p),
-		sent:       make([]int64, p),
-		stash:      make([]int64, p),
-		peak:       make([]int64, p),
-		idle:       make([]float64, p),
+	e.plan = plan
+	e.opt = opt
+	e.oracle = nil
+	e.pc = grow(e.pc, p)
+	e.clock = grow(e.clock, p)
+	e.tick = grow(e.tick, p)
+	if cap(e.ready) < p {
+		e.ready = make([]int32, 0, p)
+	}
+	e.ready = e.ready[:0]
+	e.pos = grow(e.pos, p)
+	e.sendFree = grow(e.sendFree, p)
+	e.recvFree = grow(e.recvFree, p)
+	e.nic.send = grow(e.nic.send, p)
+	e.nic.recv = grow(e.nic.recv, p)
+	if e.inflight == nil {
+		e.inflight = map[msgKey]message{}
+	}
+	if e.classStats == nil {
+		e.classStats = map[cluster.LinkClass]*LinkClassStats{}
+	}
+	e.busy = grow(e.busy, p)
+	e.commStall = grow(e.commStall, p)
+	e.wait = grow(e.wait, p)
+	e.linkBusy = grow(e.linkBusy, p)
+	e.sent = grow(e.sent, p)
+	e.stash = grow(e.stash, p)
+	e.peak = grow(e.peak, p)
+	e.idle = grow(e.idle, p)
+	for s := range e.pos {
+		e.pos[s] = -1
 	}
 	// Pre-size the NIC timelines and the span buffer exactly from the plan:
 	// sends and receives per stage are known up front, so steady-state runs
 	// never grow a buffer.
-	for s := range e.pos {
-		e.pos[s] = -1
-	}
 	sends := make([]int, p)
 	recvs := make([]int, p)
 	ops := 0
@@ -350,13 +428,19 @@ func newEngine(plan *sched.Plan, opt Options) *engine {
 		}
 	}
 	for s := 0; s < p; s++ {
-		e.nic.send[s] = make([]interval, 0, sends[s])
-		e.nic.recv[s] = make([]interval, 0, recvs[s])
+		if cap(e.nic.send[s]) < sends[s] {
+			e.nic.send[s] = make([]interval, 0, sends[s])
+		}
+		e.nic.send[s] = e.nic.send[s][:0]
+		if cap(e.nic.recv[s]) < recvs[s] {
+			e.nic.recv[s] = make([]interval, 0, recvs[s])
+		}
+		e.nic.recv[s] = e.nic.recv[s][:0]
 	}
-	if opt.Trace {
+	if opt.Trace && cap(e.spans) < ops {
 		e.spans = make([]Span, 0, ops)
 	}
-	return e
+	e.spans = e.spans[:0]
 }
 
 // reset rewinds the engine to the start of an iteration, keeping every
@@ -516,8 +600,10 @@ func (e *engine) step(s int32) {
 		e.record(s, op, start, end)
 	default: // compute
 		dur := op.Dur
-		if t := e.opt.Topology; t != nil {
+		if t := e.opt.Topology; t != nil && len(e.plan.Costs.PerStage) == 0 {
 			// Straggler and jitter perturbations stretch this stage's compute.
+			// Placement-resolved books (Costs.PerStage) already price those
+			// factors into op durations, so they must not be applied twice.
 			dur *= t.ComputeFactor(int(s))
 		}
 		if e.opt.SMPenalty > 0 {

@@ -349,7 +349,10 @@ func simulatePlacements(plan *sched.Plan, topo cluster.Cluster, strategies []str
 	var bestPlace cluster.Placement
 	var firstErr error
 	for _, strategy := range strategies {
-		place, err := cluster.Generate(strategy, topo, plan.Stages, traffic, cluster.SearchOptions{})
+		// Candidate links are priced as the perturbation leaves them, so a
+		// degraded fabric steers the search away from the broken links and the
+		// ranking matches the perturbed simulation below.
+		place, err := cluster.Generate(strategy, topo, plan.Stages, traffic, cluster.SearchOptions{Perturb: pt})
 		if err == nil {
 			var topoView *cluster.Topology
 			topoView, err = cluster.Resolve(topo, place, pt)

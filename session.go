@@ -223,6 +223,16 @@ func (s *Session) validate() error {
 	return s.resolveTopology()
 }
 
+// gpuNames lists the known per-device GPU spec names for error messages.
+func gpuNames() []string {
+	specs := costmodel.GPUs()
+	names := make([]string, len(specs))
+	for i, g := range specs {
+		names[i] = g.Name
+	}
+	return names
+}
+
 // resolveTopology validates the topology options against the session
 // geometry and caches the resolved per-stage-pair link view the simulator
 // reads. Flat-NIC sessions (no WithCluster) resolve to nil.
@@ -236,6 +246,14 @@ func (s *Session) resolveTopology() error {
 			return fmt.Errorf("helixpipe: WithPerturb requires WithCluster")
 		}
 		return nil
+	}
+	for _, n := range s.topo.Nodes {
+		if n.GPU != "" {
+			if _, ok := costmodel.GPUByName(n.GPU); !ok {
+				return fmt.Errorf("helixpipe: topology node %q has unknown GPU %q (known: %v)",
+					n.Name, n.GPU, gpuNames())
+			}
+		}
 	}
 	place := cluster.Placement{}
 	if s.placement != nil {
@@ -357,8 +375,10 @@ func (s *Session) PlacementFor(method Method, strategy string, seed uint64) (Pla
 	if err != nil {
 		return Placement{}, err
 	}
+	// The search prices candidate links as the session's perturbation leaves
+	// them, so a degraded fabric steers placement away from the broken links.
 	p, err := cluster.Generate(strategy, *s.topo, s.stages, plan.TrafficMatrix(),
-		cluster.SearchOptions{Seed: seed})
+		cluster.SearchOptions{Seed: seed, Perturb: s.perturb})
 	if err != nil {
 		return Placement{}, fmt.Errorf("helixpipe: %w", err)
 	}
@@ -373,10 +393,19 @@ func (s *Session) Workload() Workload {
 }
 
 // Costs returns the cost book plans are annotated with: per-micro-batch on a
-// variable-length session, uniform otherwise.
+// variable-length session, uniform otherwise. A topology-aware session gets
+// placement-resolved books — each stage priced by its placed node's
+// intra-node link, device generation and perturbation factor; flat NVLink
+// topologies reproduce the flat book bit for bit.
 func (s *Session) Costs() Costs {
 	if len(s.batch.Shapes) > 0 {
+		if s.resolvedTopo != nil {
+			return sched.NewPlacedBatchCosts(s.Workload(), s.batch, s.resolvedTopo)
+		}
 		return sched.NewBatchCosts(s.Workload(), s.batch)
+	}
+	if s.resolvedTopo != nil {
+		return sched.NewPlacedCosts(s.Workload(), s.resolvedTopo)
 	}
 	return sched.NewCosts(s.Workload())
 }
