@@ -10,6 +10,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/costmodel"
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // ReportCache memoizes simulation results by experiment content: the key of
@@ -23,6 +24,15 @@ type ReportCache struct {
 	entries map[string]*cacheEntry
 	hits    int
 	misses  int
+	waits   int   // hits that blocked on an in-flight computation
+	bytes   int64 // total stored report size (marshaled JSON bytes)
+
+	// Shared instruments in the registry the cache publishes into
+	// (obs.Default unless injected via NewReportCacheInRegistry).
+	hitsC   *obs.Counter
+	missesC *obs.Counter
+	waitsC  *obs.Counter
+	bytesG  *obs.Gauge
 }
 
 // cacheEntry is one computation, possibly still in flight: done closes when
@@ -35,9 +45,24 @@ type cacheEntry struct {
 	err    error
 }
 
-// NewReportCache returns an empty cache.
+// NewReportCache returns an empty cache publishing its metrics into the
+// default obs registry.
 func NewReportCache() *ReportCache {
-	return &ReportCache{entries: map[string]*cacheEntry{}}
+	return NewReportCacheInRegistry(obs.Default())
+}
+
+// NewReportCacheInRegistry returns an empty cache publishing hit/miss/
+// singleflight-wait counters and the cached-bytes gauge into reg. Several
+// caches in one registry aggregate into the same instruments; tests use a
+// private registry for exact counts.
+func NewReportCacheInRegistry(reg *obs.Registry) *ReportCache {
+	return &ReportCache{
+		entries: map[string]*cacheEntry{},
+		hitsC:   reg.Counter("helix_cache_hits_total"),
+		missesC: reg.Counter("helix_cache_misses_total"),
+		waitsC:  reg.Counter("helix_cache_singleflight_waits_total"),
+		bytesG:  reg.Gauge("helix_cache_bytes"),
+	}
 }
 
 // Key computes the content hash of a spec plus any extra context components
@@ -74,11 +99,27 @@ func (c *ReportCache) Do(key string, compute func() (*Report, error)) (*Report, 
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		c.hits++
+		if c.hitsC != nil {
+			c.hitsC.Inc()
+		}
+		select {
+		case <-e.done:
+			// Finished entry: a plain hit.
+		default:
+			// Still in flight: this hit is a singleflight wait.
+			c.waits++
+			if c.waitsC != nil {
+				c.waitsC.Inc()
+			}
+		}
 		c.mu.Unlock()
 		<-e.done
 		return e.report, true, e.err
 	}
 	c.misses++
+	if c.missesC != nil {
+		c.missesC.Inc()
+	}
 	e := &cacheEntry{done: make(chan struct{})}
 	c.entries[key] = e
 	c.mu.Unlock()
@@ -89,6 +130,16 @@ func (c *ReportCache) Do(key string, compute func() (*Report, error)) (*Report, 
 		c.mu.Lock()
 		delete(c.entries, key)
 		c.mu.Unlock()
+	} else if blob, merr := json.Marshal(e.report); merr == nil {
+		// Account the stored entry's size by its marshaled JSON — the same
+		// serialization the reports ship in, so "cached bytes" means what an
+		// operator expects.
+		c.mu.Lock()
+		c.bytes += int64(len(blob))
+		c.mu.Unlock()
+		if c.bytesG != nil {
+			c.bytesG.Add(float64(len(blob)))
+		}
 	}
 	close(e.done)
 	return e.report, false, e.err
@@ -106,6 +157,34 @@ func (c *ReportCache) Stats() (hits, misses int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// CacheStats is the full accounting of a ReportCache.
+type CacheStats struct {
+	// Hits and Misses partition the Do calls so far.
+	Hits, Misses int
+	// SingleflightWaits counts the subset of hits that blocked on a
+	// computation still in flight (duplicate cells landing while the first
+	// copy simulates).
+	SingleflightWaits int
+	// Entries is the number of stored reports.
+	Entries int
+	// Bytes is the total marshaled-JSON size of the stored reports.
+	Bytes int64
+}
+
+// StatsDetail returns the full accounting, including singleflight waits
+// and total cached bytes.
+func (c *ReportCache) StatsDetail() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:              c.hits,
+		Misses:            c.misses,
+		SingleflightWaits: c.waits,
+		Entries:           len(c.entries),
+		Bytes:             c.bytes,
+	}
 }
 
 // runKeyIdentity is the serialized identity of one cell run: everything a

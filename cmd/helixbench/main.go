@@ -33,6 +33,7 @@ import (
 
 	helixpipe "repro"
 	"repro/internal/cliutil"
+	"repro/internal/obs"
 )
 
 // The paper's Figure 8 sweep axes.
@@ -54,6 +55,7 @@ func main() {
 		jsonOut     = flag.Bool("json", false, "emit machine-readable JSON on stdout")
 		csvPath     = flag.String("csv", "", "stream sweep reports as CSV rows to this path as cells complete")
 		noCache     = flag.Bool("nocache", false, "disable the report cache: simulate every cell, even exact duplicates")
+		metricsOut  = flag.Bool("metrics", false, "dump the telemetry metrics snapshot (Prometheus text) to stderr after a sweep")
 		diffPrev    = flag.String("diff", "", "previous BENCH_baseline.json to diff the perf trajectory against")
 		diffCur     = flag.String("against", "", "current BENCH_baseline.json for -diff")
 		diffLimit   = flag.Float64("threshold", 0.10, "throughput regression fraction -diff fails on")
@@ -65,7 +67,7 @@ func main() {
 		return
 	}
 	if *methodsFlag != "" || sf.Path != "" {
-		runSweep(sf, *methodsFlag, *modelName, *clusterName, *jsonOut, *csvPath, *noCache)
+		runSweep(sf, *methodsFlag, *modelName, *clusterName, *jsonOut, *csvPath, *noCache, *metricsOut)
 		return
 	}
 	if sf.EmitPath != "" {
@@ -152,7 +154,7 @@ func runDiff(prevPath, curPath string, threshold float64) {
 // Figure 8 grid by default — streaming the reports row by row as cells
 // complete (to stdout and, with -csv, as CSV rows), or collecting them as
 // JSON.
-func runSweep(sf *cliutil.SpecFlags, methodsFlag, modelName, clusterName string, jsonOut bool, csvPath string, noCache bool) {
+func runSweep(sf *cliutil.SpecFlags, methodsFlag, modelName, clusterName string, jsonOut bool, csvPath string, noCache, metricsOut bool) {
 	spec := sf.Load()
 	if spec.Tune != nil {
 		log.Fatalf("the spec holds a tune grid; run it with helixtune -spec %s", sf.Path)
@@ -188,9 +190,18 @@ func runSweep(sf *cliutil.SpecFlags, methodsFlag, modelName, clusterName string,
 	if runset.Engine != helixpipe.EngineSim {
 		log.Fatalf("helixbench benchmarks the simulator; run %s-engine specs with helixtrain", runset.Engine)
 	}
-	// Attach an observable cache so the run can report its hit/miss counts;
-	// cell Reports themselves never carry cache markers (cached and uncached
-	// runs stay byte-identical).
+	for _, note := range spec.Notes() {
+		fmt.Fprintf(os.Stderr, "helixbench: note: %s\n", note)
+	}
+	// A live progress line on stderr tracks the sweep: rate, ETA and the
+	// cache-hit ratio, with a one-line summary when the run finishes. The
+	// sink also turns on report provenance (the telemetry block), which the
+	// digest-based golden comparisons ignore by design.
+	prog := obs.NewProgress(os.Stderr, "sweep", len(runset.Cells))
+	if session, err = session.With(helixpipe.WithEventSink(prog)); err != nil {
+		log.Fatal(err)
+	}
+	// Attach an observable cache so the run can report its hit/miss counts.
 	var cache *helixpipe.ReportCache
 	if !spec.NoCache {
 		cache = helixpipe.NewReportCache()
@@ -238,10 +249,13 @@ func runSweep(sf *cliutil.SpecFlags, methodsFlag, modelName, clusterName string,
 			log.Fatal(err)
 		}
 	}
-	if cache != nil {
-		if hits, misses := cache.Stats(); hits+misses > 0 {
-			// Stderr, so JSON/CSV consumers of stdout never see it.
-			log.Printf("report cache: %d hits, %d misses (%d duplicate cells skipped)", hits, misses, hits)
+	// The progress summary replaces the old one-off cache-stats print: it
+	// already folds the hit count into its final line on stderr, so JSON/CSV
+	// consumers of stdout never see it.
+	prog.Done()
+	if metricsOut {
+		if err := obs.WriteProm(os.Stderr, obs.Default()); err != nil {
+			log.Fatal(err)
 		}
 	}
 }

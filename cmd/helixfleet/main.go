@@ -30,6 +30,7 @@ import (
 
 	helixpipe "repro"
 	"repro/internal/cliutil"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -45,6 +46,7 @@ func main() {
 		tracePath  = flag.String("trace", "", "replay arrivals from a JSON trace file instead of generating them")
 		jsonOut    = flag.Bool("json", false, "emit the machine-readable fleet report on stdout")
 		csvPath    = flag.String("csv", "", "also write the per-job records as CSV to this path")
+		perfPath   = flag.String("perfetto", "", "write a Perfetto/Chrome trace-event JSON file (one process per job) to this path")
 	)
 	flag.Parse()
 
@@ -76,6 +78,7 @@ func main() {
 	out := ov.Output(spec, func(out *helixpipe.SpecOutput) {
 		ov.Bool("json", *jsonOut, &out.JSON)
 		ov.String("csv", *csvPath, &out.CSV)
+		ov.String("perfetto", *perfPath, &out.Perfetto)
 	})
 
 	sf.EmitResolved(spec)
@@ -87,10 +90,33 @@ func main() {
 		log.Fatalf("the spec resolved to a %s run, not a fleet run", runset.Kind)
 	}
 
-	report, err := session.Fleet(*runset.Fleet)
+	fs := *runset.Fleet
+	// Share one observable cache across the run so the simulator cache
+	// stats (hits, singleflight waits, cached bytes) can print at the end,
+	// and feed the engine probe into a live progress line on stderr.
+	cache := fs.Cache
+	if cache == nil {
+		cache = helixpipe.NewReportCache()
+		fs.Cache = cache
+	}
+	prog := obs.NewProgress(os.Stderr, "fleet", 0)
+	inner := fs.Probe
+	fs.Probe = func(p helixpipe.FleetProbeEvent) {
+		prog.Line(fmt.Sprintf("t=%.0fs  %d queued  %d running  %d preemptions",
+			p.TimeSec, p.Queued, p.Running, p.Preemptions))
+		if inner != nil {
+			inner(p)
+		}
+	}
+	report, err := session.Fleet(fs)
 	if err != nil {
 		log.Fatal(err)
 	}
+	prog.Done()
+	cs := cache.StatsDetail()
+	fmt.Fprintf(os.Stderr,
+		"helixfleet: sim cache: %d hits, %d misses, %d singleflight waits, %d entries (%.1f KB cached)\n",
+		cs.Hits, cs.Misses, cs.SingleflightWaits, cs.Entries, float64(cs.Bytes)/1024)
 	if out.JSON {
 		if err := helixpipe.WriteFleetReportJSON(os.Stdout, report); err != nil {
 			log.Fatal(err)
@@ -112,6 +138,22 @@ func main() {
 		}
 		if !out.JSON {
 			fmt.Printf("wrote %s\n", out.CSV)
+		}
+	}
+	if out.Perfetto != "" {
+		fw, err := os.Create(out.Perfetto)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := helixpipe.WriteFleetPerfetto(fw, report); err != nil {
+			fw.Close()
+			log.Fatal(err)
+		}
+		if err := fw.Close(); err != nil {
+			log.Fatal(err)
+		}
+		if !out.JSON {
+			fmt.Printf("wrote %s\n", out.Perfetto)
 		}
 	}
 }

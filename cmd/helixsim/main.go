@@ -54,6 +54,7 @@ func main() {
 		svgPath     = flag.String("svg", "", "write an SVG timeline to this path")
 		jsonOut     = flag.Bool("json", false, "emit machine-readable JSON reports on stdout")
 		csvPath     = flag.String("csv", "", "also write the reports as CSV to this path")
+		perfPath    = flag.String("perfetto", "", "write a Perfetto/Chrome trace-event JSON file to this path (forces tracing)")
 		distName    = flag.String("dist", "", "variable-length workload: document-length distribution (uniform, bimodal, longtail)")
 		docs        = flag.Int("docs", 64, "variable-length workload: documents to sample")
 		minSeq      = flag.Int("minseq", 0, "variable-length workload: shortest document (default seq/16)")
@@ -93,6 +94,7 @@ func main() {
 		ov.Bool("timeline", *timeline, &out.Timeline)
 		ov.String("svg", *svgPath, &out.SVG)
 		ov.String("csv", *csvPath, &out.CSV)
+		ov.String("perfetto", *perfPath, &out.Perfetto)
 	})
 
 	sf.EmitResolved(spec)
@@ -102,6 +104,9 @@ func main() {
 	}
 	if runset.Kind == helixpipe.RunKindTune {
 		log.Fatalf("the spec holds a tune grid; run it with helixtune -spec %s", sf.Path)
+	}
+	for _, note := range spec.Notes() {
+		fmt.Fprintf(os.Stderr, "helixsim: note: %s\n", note)
 	}
 
 	// Execute streams the reports in cell order; text output prints each as
@@ -138,7 +143,7 @@ func main() {
 		}
 		// Only the collected output modes need the slice; text mode stays
 		// streaming and holds nothing.
-		if out.JSON || out.CSV != "" {
+		if out.JSON || out.CSV != "" || out.Perfetto != "" {
 			reports = append(reports, report)
 		}
 	}
@@ -157,6 +162,22 @@ func main() {
 		}
 		if err := f.Close(); err != nil {
 			log.Fatal(err)
+		}
+	}
+	if out.Perfetto != "" {
+		f, err := os.Create(out.Perfetto)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := helixpipe.WritePerfettoTrace(f, reports); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		if !out.JSON {
+			fmt.Printf("wrote %s\n", out.Perfetto)
 		}
 	}
 }

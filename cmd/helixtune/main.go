@@ -38,6 +38,7 @@ import (
 
 	helixpipe "repro"
 	"repro/internal/cliutil"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -108,10 +109,18 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// A live progress line on stderr tracks the survivor evaluations; the
+	// search publishes the grid size once pruning settles, so the total
+	// appears as soon as the first point lands.
+	prog := obs.NewProgress(os.Stderr, "tune", 0)
+	if session, err = session.With(helixpipe.WithEventSink(prog)); err != nil {
+		log.Fatal(err)
+	}
 	result, err := session.Autotune(*runset.Tune)
 	if err != nil {
 		log.Fatal(err)
 	}
+	prog.Done()
 
 	if out.CSV != "" {
 		f, err := os.Create(out.CSV)

@@ -91,15 +91,16 @@ func main() {
 	log.SetPrefix("helixviz: ")
 	sf := cliutil.RegisterSpecFlags()
 	var (
-		figure  = flag.Int("figure", 2, "paper figure to render: 2, 5, 6 or 7")
-		width   = flag.Int("width", 140, "ASCII timeline width")
-		svgDir  = flag.String("svgdir", "", "write SVG files to this directory")
-		jsonOut = flag.Bool("json", false, "emit the panel reports as JSON on stdout")
+		figure   = flag.Int("figure", 2, "paper figure to render: 2, 5, 6 or 7")
+		width    = flag.Int("width", 140, "ASCII timeline width")
+		svgDir   = flag.String("svgdir", "", "write SVG files to this directory")
+		jsonOut  = flag.Bool("json", false, "emit the panel reports as JSON on stdout")
+		perfetto = flag.String("perfetto", "", "write a Perfetto/Chrome trace-event JSON file of the traced cells to this path")
 	)
 	flag.Parse()
 
 	if sf.Path != "" {
-		renderSpec(sf, *width, *svgDir, *jsonOut)
+		renderSpec(sf, *width, *svgDir, *jsonOut, *perfetto)
 		return
 	}
 	if sf.EmitPath != "" {
@@ -139,22 +140,46 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	writePerfetto(*perfetto, reports)
+}
+
+// writePerfetto writes the traced reports as a Perfetto trace file when a
+// path was selected (flag or spec output block).
+func writePerfetto(path string, reports []*helixpipe.Report) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := helixpipe.WritePerfettoTrace(f, reports); err != nil {
+		f.Close()
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "helixviz: wrote %s\n", path)
 }
 
 // renderSpec renders the timeline of an arbitrary experiment spec's run:
 // tracing is forced on, every cell of the spec becomes one panel, streamed
 // as each simulation completes.
-func renderSpec(sf *cliutil.SpecFlags, width int, svgDir string, jsonOut bool) {
+func renderSpec(sf *cliutil.SpecFlags, width int, svgDir string, jsonOut bool, perfetto string) {
 	spec := sf.Load()
 	spec.Trace = true
 	if spec.Engine == helixpipe.SpecEngineNumeric {
 		log.Fatal("the numeric engine records no simulator spans; use a sim-engine spec")
 	}
-	// The spec's output selection applies here too; the -json flag layers
-	// over it like every other tool's flags.
+	// The spec's output selection applies here too; the -json and -perfetto
+	// flags layer over it like every other tool's flags.
 	ov := cliutil.NewOverlay()
 	if !ov.Has("json") && spec.Output != nil {
 		jsonOut = spec.Output.JSON
+	}
+	if !ov.Has("perfetto") && spec.Output != nil && spec.Output.Perfetto != "" {
+		perfetto = spec.Output.Perfetto
 	}
 	sf.EmitResolved(spec)
 	session, runset, err := spec.Resolve()
@@ -187,7 +212,7 @@ func renderSpec(sf *cliutil.SpecFlags, width int, svgDir string, jsonOut bool) {
 				fmt.Printf("wrote %s\n\n", path)
 			}
 		}
-		if jsonOut {
+		if jsonOut || perfetto != "" {
 			reports = append(reports, report)
 		}
 	}
@@ -196,4 +221,5 @@ func renderSpec(sf *cliutil.SpecFlags, width int, svgDir string, jsonOut bool) {
 			log.Fatal(err)
 		}
 	}
+	writePerfetto(perfetto, reports)
 }

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/fleet"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/sim"
 )
@@ -112,7 +113,14 @@ type FleetSpec struct {
 	// cache per run. Share one across runs to reuse results between policy
 	// comparisons on the same stream.
 	Cache *ReportCache `json:"-"`
+	// Probe, when set, observes the fleet engine state after every processed
+	// event (arrival or completion) — the hook live progress lines use.
+	// Runtime plumbing, never serialized.
+	Probe func(FleetProbeEvent) `json:"-"`
 }
+
+// FleetProbeEvent is the engine state snapshot handed to FleetSpec.Probe.
+type FleetProbeEvent = fleet.ProbeEvent
 
 // Fleet simulates a stream of training jobs sharing the session's cluster
 // topology under an admission/placement policy and returns the fleet report.
@@ -158,7 +166,35 @@ func (s *Session) Fleet(fs FleetSpec) (*FleetReport, error) {
 			Payload:    fj,
 		}
 	}
-	return fleet.Run(*s.topo, jobs, &fleetSimulator{cache: cache}, fleet.Options{Policy: policy})
+	probe := fleetProbe(float64(s.topo.Devices()), fs.Probe)
+	return fleet.Run(*s.topo, jobs, &fleetSimulator{cache: cache}, fleet.Options{Policy: policy, Probe: probe})
+}
+
+// fleetProbe mirrors the engine state into the default obs registry on every
+// event — queue depth, running jobs, device utilization, and the cumulative
+// preemption count — and then forwards to the caller's probe, if any.
+func fleetProbe(devices float64, next func(FleetProbeEvent)) func(fleet.ProbeEvent) {
+	var (
+		queueG   = obs.Default().Gauge("helix_fleet_queue_depth")
+		runningG = obs.Default().Gauge("helix_fleet_running_jobs")
+		utilG    = obs.Default().Gauge("helix_fleet_utilization")
+		preemptC = obs.Default().Counter("helix_fleet_preemptions_total")
+	)
+	seen := 0
+	return func(p fleet.ProbeEvent) {
+		queueG.Set(float64(p.Queued))
+		runningG.Set(float64(p.Running))
+		if devices > 0 {
+			utilG.Set(float64(p.AllocatedDevices) / devices)
+		}
+		if d := p.Preemptions - seen; d > 0 {
+			preemptC.Add(int64(d))
+			seen = p.Preemptions
+		}
+		if next != nil {
+			next(p)
+		}
+	}
 }
 
 // fleetSimulator prices fleet jobs through the session/spec machinery: the
@@ -330,3 +366,37 @@ func WriteFleetReportJSON(w io.Writer, r *FleetReport) error { return r.WriteJSO
 
 // WriteFleetReportCSV writes a fleet report's per-job records as CSV.
 func WriteFleetReportCSV(w io.Writer, r *FleetReport) error { return r.WriteCSV(w) }
+
+// WriteFleetPerfetto writes a fleet report as a Chrome/Perfetto trace-event
+// JSON file: one process per job (named after the job id and template), with
+// a "queued" slice from arrival to admission and a "run" slice from admission
+// to completion on the job's lifecycle track. Load the output in
+// ui.perfetto.dev or chrome://tracing to see the whole stream at once.
+func WriteFleetPerfetto(w io.Writer, r *FleetReport) error {
+	t := obs.NewTrace()
+	for i := range r.JobRecords {
+		rec := &r.JobRecords[i]
+		pid := i + 1
+		name := rec.ID
+		if rec.Template != "" {
+			name += " " + rec.Template
+		}
+		t.ProcessName(pid, name)
+		t.ProcessSortIndex(pid, pid)
+		t.ThreadName(pid, 0, "lifecycle")
+		if wait := rec.StartSec - rec.ArrivalSec; wait > 0 {
+			t.Complete(pid, 0, "queued", "queued", rec.ArrivalSec*1e6, wait*1e6, map[string]any{
+				"wait_sec": rec.WaitSec,
+			})
+		}
+		t.Complete(pid, 0, "run", "run", rec.StartSec*1e6, (rec.EndSec-rec.StartSec)*1e6, map[string]any{
+			"devices":       len(rec.Devices),
+			"nodes":         rec.Nodes,
+			"iteration_sec": rec.IterationSec,
+			"iterations":    rec.Iterations,
+			"preempted":     rec.Preempted,
+			"cache_hit":     rec.CacheHit,
+		})
+	}
+	return t.WriteJSON(w)
+}

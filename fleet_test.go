@@ -2,6 +2,7 @@ package helixpipe
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -222,5 +223,56 @@ func TestFleetTraceReplay(t *testing.T) {
 	}
 	if report.Jobs != 3 {
 		t.Errorf("trace run covered %d jobs, want 3", report.Jobs)
+	}
+}
+
+// TestFleetProbeAndPerfetto pins the observability surface: the spec-level
+// probe sees every engine event with sane cumulative counters, and the
+// fleet report exports as a valid Perfetto trace with one process per job.
+func TestFleetProbeAndPerfetto(t *testing.T) {
+	session, fs := exampleFleet(t, "")
+	probes := 0
+	fs.Probe = func(p FleetProbeEvent) {
+		probes++
+		if p.Queued < 0 || p.Running < 0 || p.Preemptions < 0 {
+			t.Fatalf("negative probe counters at t=%gs: %+v", p.TimeSec, p)
+		}
+	}
+	report, err := session.Fleet(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probes == 0 {
+		t.Fatal("spec probe never fired")
+	}
+
+	var buf bytes.Buffer
+	if err := WriteFleetPerfetto(&buf, report); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("fleet trace is not valid JSON: %v", err)
+	}
+	pids := map[float64]bool{}
+	runs := 0
+	for _, e := range doc.TraceEvents {
+		if e["ph"] == "M" && e["name"] == "process_name" {
+			pids[e["pid"].(float64)] = true
+		}
+		if e["ph"] == "X" && e["name"] == "run" {
+			runs++
+			if e["ts"].(float64) < 0 || e["dur"].(float64) < 0 {
+				t.Fatalf("run slice with negative time: %v", e)
+			}
+		}
+	}
+	if len(pids) != report.Jobs {
+		t.Errorf("trace names %d processes, want one per job (%d)", len(pids), report.Jobs)
+	}
+	if runs != report.Jobs {
+		t.Errorf("trace has %d run slices, want %d", runs, report.Jobs)
 	}
 }

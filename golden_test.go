@@ -28,7 +28,7 @@ func TestGoldenReports(t *testing.T) {
 	}
 	var specs []string
 	for _, p := range paths {
-		if !strings.HasSuffix(p, ".golden.json") {
+		if !strings.HasSuffix(p, ".golden.json") && !strings.HasSuffix(p, ".trace.json") {
 			specs = append(specs, p)
 		}
 	}
@@ -100,8 +100,52 @@ func goldenOutput(path string) ([]byte, error) {
 		}
 		reports = append(reports, r)
 	}
+	// Golden sessions are unobserved and stamp no telemetry; strip anyway so
+	// the corpus stays byte-stable even if a future caller attaches a sink.
+	StripTelemetry(reports)
 	if err := WriteReportsJSON(&buf, reports); err != nil {
 		return nil, err
 	}
 	return buf.Bytes(), nil
+}
+
+// TestGoldenPerfettoTrace pins the Perfetto export of the paper spec's traced
+// run: the committed examples/spec_driven/paper_128k.trace.json is exactly
+// what helixviz -spec examples/spec_driven/paper_128k.json -perfetto emits.
+// Regenerate with -update like the report goldens.
+func TestGoldenPerfettoTrace(t *testing.T) {
+	spec, err := ParseSpecFile("examples/spec_driven/paper_128k.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Trace = true
+	session, _, err := spec.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reports []*Report
+	for r, err := range session.Execute(spec) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports = append(reports, r)
+	}
+	var buf bytes.Buffer
+	if err := WritePerfettoTrace(&buf, reports); err != nil {
+		t.Fatal(err)
+	}
+	goldenPath := "examples/spec_driven/paper_128k.trace.json"
+	if *updateGolden {
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (generate it with: go test -run TestGoldenPerfettoTrace -update .)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("perfetto trace drifted from %s; regenerate with -update and review the diff", goldenPath)
+	}
 }

@@ -87,6 +87,8 @@ type ProbeEvent struct {
 	FreeDevices int
 	// Queued and Running count the jobs in each state.
 	Queued, Running int
+	// Preemptions is the cumulative preemption count up to this event.
+	Preemptions int
 }
 
 // Options tunes one fleet run.
@@ -175,6 +177,7 @@ type engine struct {
 	states  []*jobState
 
 	cacheHits, cacheMisses int
+	preemptions            int // cumulative across all jobs
 }
 
 // Run simulates the job stream on the shared cluster under the policy and
@@ -261,6 +264,7 @@ func Run(c cluster.Cluster, jobs []Job, simr Simulator, opt Options) (*Report, e
 				FreeDevices:      e.a.free,
 				Queued:           len(e.queue),
 				Running:          len(e.running),
+				Preemptions:      e.preemptions,
 			})
 		}
 	}
@@ -395,6 +399,7 @@ func (e *engine) preempt(st *jobState, t float64) {
 	st.state = jsQueued
 	st.enqueuedAt = t
 	st.preempted++
+	e.preemptions++
 	e.removeRunning(st)
 	e.queue = append(e.queue, st)
 }

@@ -153,12 +153,27 @@ func TestPreemptionEvictsAndRestarts(t *testing.T) {
 		{ID: "low", ArrivalSec: 0, Priority: 0, Demand: 8, Iterations: 10},
 		{ID: "high", ArrivalSec: 5, Priority: 9, Demand: 8, Iterations: 1},
 	}
-	r, err := Run(c, jobs, newStubSim(), Options{Policy: mustPolicy(t, PolicyPreempt)})
+	// The probe's cumulative preemption count must climb monotonically to
+	// the report total.
+	lastPreempt := 0
+	r, err := Run(c, jobs, newStubSim(), Options{
+		Policy: mustPolicy(t, PolicyPreempt),
+		Probe: func(p ProbeEvent) {
+			if p.Preemptions < lastPreempt {
+				t.Fatalf("at t=%gs: preemption count went backwards (%d -> %d)",
+					p.TimeSec, lastPreempt, p.Preemptions)
+			}
+			lastPreempt = p.Preemptions
+		},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if r.Preemptions != 1 {
 		t.Fatalf("want 1 preemption, got %d", r.Preemptions)
+	}
+	if lastPreempt != r.Preemptions {
+		t.Fatalf("probe saw %d cumulative preemptions, report says %d", lastPreempt, r.Preemptions)
 	}
 	var low, high JobRecord
 	for _, rec := range r.JobRecords {

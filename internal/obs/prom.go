@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteProm writes the registry's state in the Prometheus text exposition
+// format (version 0.0.4): one `# TYPE` header per metric family, label
+// sets rendered `{k="v"}`, histograms expanded into cumulative
+// `_bucket{le=...}`, `_sum` and `_count` series.
+func WriteProm(w io.Writer, r *Registry) error {
+	snaps := r.Snapshot()
+	// Group into families: Snapshot is sorted by name, so one linear scan.
+	typed := make(map[string]bool, len(snaps))
+	for _, s := range snaps {
+		if !typed[s.Name] {
+			typed[s.Name] = true
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, s.Type); err != nil {
+				return err
+			}
+		}
+		if err := writePromMetric(w, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePromMetric(w io.Writer, s MetricSnapshot) error {
+	switch s.Type {
+	case "histogram":
+		cum := int64(0)
+		for _, b := range s.Buckets {
+			cum += b.Count
+			le := strconv.FormatFloat(b.LE, 'g', -1, 64)
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+				s.Name, promLabels(s.Labels, "le", le), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			s.Name, promLabels(s.Labels, "le", "+Inf"), s.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n",
+			s.Name, promLabels(s.Labels), promFloat(s.Sum)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", s.Name, promLabels(s.Labels), s.Count)
+		return err
+	default:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", s.Name, promLabels(s.Labels), promFloat(s.Value))
+		return err
+	}
+}
+
+// promLabels renders a label set (plus optional extra key/value pairs such
+// as a histogram's `le`) as `{k="v",...}`, or "" when empty.
+func promLabels(labels map[string]string, extra ...string) string {
+	if len(labels) == 0 && len(extra) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	put := func(k, v string) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(strconv.Quote(v))
+	}
+	for _, k := range keys {
+		put(k, labels[k])
+	}
+	for i := 0; i+1 < len(extra); i += 2 {
+		put(extra[i], extra[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// promFloat renders values integer-valued counters read naturally
+// ("42", not "4.2e+01") while keeping full float precision elsewhere.
+func promFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Trace accumulates events in the Chrome trace-event JSON format, the
+// interchange format of chrome://tracing and ui.perfetto.dev. Producers
+// append metadata, complete ("X") and flow ("s"/"f") events; WriteJSON
+// emits the standard {"traceEvents": [...]} document.
+//
+// Timestamps and durations are in microseconds, the unit the format
+// mandates; callers converting from the simulator's seconds multiply by
+// 1e6. Lanes are addressed (pid, tid): by convention one process per
+// simulated cell (or fleet job) and one thread per pipeline stage.
+type Trace struct {
+	events []map[string]any
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace { return &Trace{} }
+
+// Len returns the number of accumulated events.
+func (t *Trace) Len() int { return len(t.events) }
+
+func (t *Trace) add(e map[string]any) { t.events = append(t.events, e) }
+
+// ProcessName names a process lane via a metadata event.
+func (t *Trace) ProcessName(pid int, name string) {
+	t.add(map[string]any{
+		"ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+		"args": map[string]any{"name": name},
+	})
+}
+
+// ProcessSortIndex pins the display order of a process lane.
+func (t *Trace) ProcessSortIndex(pid, index int) {
+	t.add(map[string]any{
+		"ph": "M", "name": "process_sort_index", "pid": pid, "tid": 0,
+		"args": map[string]any{"sort_index": index},
+	})
+}
+
+// ThreadName names a thread lane within a process.
+func (t *Trace) ThreadName(pid, tid int, name string) {
+	t.add(map[string]any{
+		"ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+		"args": map[string]any{"name": name},
+	})
+}
+
+// Complete appends a complete ("X") event: one slice on the (pid, tid)
+// lane spanning [tsUS, tsUS+durUS]. A nil args map is omitted.
+func (t *Trace) Complete(pid, tid int, name, cat string, tsUS, durUS float64, args map[string]any) {
+	e := map[string]any{
+		"ph": "X", "name": name, "cat": cat,
+		"pid": pid, "tid": tid, "ts": tsUS, "dur": durUS,
+	}
+	if len(args) > 0 {
+		e["args"] = args
+	}
+	t.add(e)
+}
+
+// FlowStart appends a flow-start ("s") event anchored inside the slice
+// enclosing tsUS on the (pid, tid) lane. Flow events with equal ids are
+// drawn as an arrow between their anchors.
+func (t *Trace) FlowStart(pid, tid int, name, cat string, tsUS float64, id uint64) {
+	t.add(map[string]any{
+		"ph": "s", "name": name, "cat": cat, "id": flowID(id),
+		"pid": pid, "tid": tid, "ts": tsUS,
+	})
+}
+
+// FlowEnd appends a flow-finish ("f") event with binding point "e"
+// (enclosing slice), terminating the arrow of the matching FlowStart.
+func (t *Trace) FlowEnd(pid, tid int, name, cat string, tsUS float64, id uint64) {
+	t.add(map[string]any{
+		"ph": "f", "bp": "e", "name": name, "cat": cat, "id": flowID(id),
+		"pid": pid, "tid": tid, "ts": tsUS,
+	})
+}
+
+// flowID renders flow ids as hex strings, the format's recommended id
+// representation (numeric ids are legal but string ids survive every
+// consumer).
+func flowID(id uint64) string { return fmt.Sprintf("0x%x", id) }
+
+// WriteJSON writes the accumulated events as a Chrome trace JSON document,
+// one event per line so the output diffs cleanly under version control.
+// Event field order is deterministic (encoding/json sorts map keys), so
+// identical traces serialize byte-identically.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	if _, err := io.WriteString(w, "{\"displayTimeUnit\":\"ms\",\n\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	for i, e := range t.events {
+		b, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		if i > 0 {
+			if _, err := io.WriteString(w, ",\n"); err != nil {
+				return err
+			}
+		}
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n]}\n")
+	return err
+}

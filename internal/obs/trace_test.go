@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTraceWriteJSON(t *testing.T) {
+	tr := NewTrace()
+	tr.ProcessName(1, "cell")
+	tr.ProcessSortIndex(1, 1)
+	tr.ThreadName(1, 0, "stage 0")
+	tr.Complete(1, 0, "fwd mb0", "forward", 0, 1.5e6, map[string]any{"mb": 0})
+	tr.Complete(1, 0, "idle", "other", 1.5e6, 0.5e6, nil)
+	tr.FlowStart(1, 0, "xfer", "transfer", 2e6, 7)
+	tr.FlowEnd(1, 1, "xfer", "transfer", 3e6, 7)
+	if tr.Len() != 7 {
+		t.Fatalf("Len = %d, want 7", tr.Len())
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+		TraceEvents     []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) != 7 {
+		t.Fatalf("decoded %d events, want 7", len(doc.TraceEvents))
+	}
+
+	// The nil-args slice must omit the args key entirely.
+	idle := doc.TraceEvents[4]
+	if _, ok := idle["args"]; ok {
+		t.Error("nil args serialized instead of being omitted")
+	}
+	// Flow ids render as hex strings and match across start/finish.
+	start, end := doc.TraceEvents[5], doc.TraceEvents[6]
+	if start["id"] != "0x7" || end["id"] != "0x7" {
+		t.Errorf("flow ids = %v / %v, want 0x7", start["id"], end["id"])
+	}
+	if end["bp"] != "e" {
+		t.Errorf("flow end bp = %v, want e", end["bp"])
+	}
+
+	// One event per line: VCS-diffable output.
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 7+3 { // header, opener, 7 events, closer share lines
+		t.Errorf("got %d lines, want 10:\n%s", len(lines), buf.String())
+	}
+}
+
+func TestTraceDeterministicBytes(t *testing.T) {
+	build := func() []byte {
+		tr := NewTrace()
+		tr.ProcessName(1, "p")
+		tr.Complete(1, 0, "op", "cat", 1, 2, map[string]any{"b": 1, "a": 2, "c": 3})
+		var buf bytes.Buffer
+		if err := tr.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(build(), build()) {
+		t.Fatal("identical traces serialized differently")
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"sync"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -71,6 +72,9 @@ type Result struct {
 	LinkClasses []LinkClassStats
 	// Spans is the executed-op timeline (only when Options.Trace is set).
 	Spans []Span
+	// PoolReused reports whether the run executed on a recycled pooled
+	// Runner (set only by the package-level Run; telemetry provenance).
+	PoolReused bool
 }
 
 // LinkClassStats aggregates the transfers that crossed one link class.
@@ -184,21 +188,39 @@ func Run(plan *sched.Plan, opt Options) (*Result, error) {
 		}
 	}
 	r := runnerPool.Get().(*Runner)
+	poolGets.Inc()
+	reused := r.used
+	r.used = true
 	r.reinit(plan, opt)
 	res, err := r.Run()
 	if err != nil {
 		runnerPool.Put(r)
+		poolPuts.Inc()
 		return nil, err
 	}
 	out := res.Clone()
 	runnerPool.Put(r)
+	poolPuts.Inc()
+	out.PoolReused = reused
 	return out, nil
 }
 
 // runnerPool recycles Runners across cold-start Run calls. A pooled Runner
 // keeps its per-stage buffers; reinit resizes them to the next plan reusing
 // their capacity.
-var runnerPool = sync.Pool{New: func() any { return &Runner{eng: &engine{}} }}
+var runnerPool = sync.Pool{New: func() any {
+	poolCold.Inc()
+	return &Runner{eng: &engine{}}
+}}
+
+// Pool traffic publishes to the default registry through package-level
+// instruments resolved once at init: the gated hot paths stay
+// allocation-free (Counter.Inc is one atomic add).
+var (
+	poolGets = obs.Default().Counter("helix_sim_runner_pool_gets_total")
+	poolPuts = obs.Default().Counter("helix_sim_runner_pool_puts_total")
+	poolCold = obs.Default().Counter("helix_sim_runner_pool_cold_inits_total")
+)
 
 // Runner is a reusable simulator for one plan: every per-stage buffer is
 // allocated and pre-sized once, from the plan, and reused across Run calls.
@@ -214,6 +236,9 @@ type Runner struct {
 	// timeline is the oracle the reported pass resolves overlap against.
 	pre *engine
 	res Result
+	// used marks a pool-managed Runner that has executed at least one run,
+	// so Run can report buffer reuse in the result's provenance.
+	used bool
 }
 
 // NewRunner validates the plan against the options and returns a reusable

@@ -5,14 +5,29 @@ import (
 	"iter"
 	"runtime"
 	"sort"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/costmodel"
 	"repro/internal/memsim"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/sim"
 )
+
+// Search accounting mirrors into the default obs registry: the evaluated-
+// point and memoized-cost-eval totals as plain counters, the per-reason
+// prune totals as one labeled counter family.
+var (
+	tunePointsC    = obs.Default().Counter("helix_tune_points_total")
+	tuneCostEvalsC = obs.Default().Counter("helix_tune_cost_evals_total")
+)
+
+func (s *Search) prune(reason string) {
+	s.res.Pruned[reason]++
+	obs.Default().Counter("helix_tune_pruned_total", "reason", reason).Inc()
+}
 
 // PruneError reports one discarded grid point of a streaming search: the
 // candidate, the constraint that discarded it (PruneBuild, PruneSim,
@@ -126,13 +141,13 @@ func NewSearch(m model.Config, cl costmodel.ClusterSpec, spec Spec) (*Search, er
 	for _, c := range grid {
 		if c.Stages <= 0 || c.MicroBatches <= 0 || c.MicroBatchSize <= 0 ||
 			c.SeqLen <= 0 || m.Layers%c.Stages != 0 {
-			s.res.Pruned[PruneGeometry]++
+			s.prune(PruneGeometry)
 			continue
 		}
 		w := costmodel.NewWorkload(m, cl, model.Shape{B: c.MicroBatchSize, S: c.SeqLen})
 		est, err := estimatePeak(w, c, s.batchOf(c), budget)
 		if err != nil || est > budget {
-			s.res.Pruned[PruneMemory]++
+			s.prune(PruneMemory)
 			continue
 		}
 		s.survivors = append(s.survivors, survivor{Candidate: c, estPeak: est})
@@ -154,6 +169,7 @@ func NewSearch(m model.Config, cl costmodel.ClusterSpec, spec Spec) (*Search, er
 			s.costs[key] = sched.NewCosts(w)
 		}
 		s.res.CostModelEvals++
+		tuneCostEvalsC.Inc()
 	}
 	return s, nil
 }
@@ -206,14 +222,31 @@ func (s *Search) Points() iter.Seq2[Point, error] {
 		for i := range results {
 			results[i] = make(chan outcome, 1)
 		}
-		sem := make(chan struct{}, workers)
+		// The semaphore doubles as the worker-id pool, so progress events
+		// can report which slot evaluated each survivor.
+		sem := make(chan int, workers)
+		for w := 0; w < workers; w++ {
+			sem <- w
+		}
+		sink := s.spec.Sink
 		launch := func(i int) {
 			go func() {
-				sem <- struct{}{}
-				defer func() { <-sem }()
+				w := <-sem
+				defer func() { sem <- w }()
 				sv := s.survivors[i]
+				var start time.Time
+				if sink != nil {
+					start = time.Now()
+					sink.Emit(obs.Event{Kind: obs.CellStarted, Label: sv.Candidate.String(),
+						Index: i, Total: len(s.survivors), Worker: w})
+				}
 				point, reason, err := evaluate(s.m, s.cl, s.spec, sv.Candidate,
 					s.batchOf(sv.Candidate), sv.estPeak, s.budget, s.costs[keyOf(sv.Candidate)])
+				if sink != nil {
+					sink.Emit(obs.Event{Kind: obs.CellFinished, Label: sv.Candidate.String(),
+						Index: i, Total: len(s.survivors), Worker: w,
+						Duration: time.Since(start), Err: err})
+				}
 				results[i] <- outcome{point: point, reason: reason, err: err}
 			}()
 		}
@@ -228,7 +261,7 @@ func (s *Search) Points() iter.Seq2[Point, error] {
 				next++
 			}
 			if o.reason != "" {
-				s.res.Pruned[o.reason]++
+				s.prune(o.reason)
 				s.res.Errors = append(s.res.Errors, o.err.Error())
 				if !yield(Point{}, &PruneError{Candidate: sv.Candidate, Reason: o.reason, Err: o.err}) {
 					return
@@ -236,6 +269,7 @@ func (s *Search) Points() iter.Seq2[Point, error] {
 				continue
 			}
 			s.res.Points = append(s.res.Points, o.point)
+			tunePointsC.Inc()
 			if !yield(o.point, nil) {
 				return
 			}

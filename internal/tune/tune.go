@@ -22,6 +22,7 @@ import (
 	_ "repro/internal/core"
 	"repro/internal/costmodel"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -102,6 +103,10 @@ type Spec struct {
 	// simulation, ranking configurations under the degraded cluster.
 	// Requires Cluster.
 	Perturb *cluster.Perturb `json:"perturb,omitempty"`
+	// Sink optionally receives a progress event per evaluated survivor
+	// (started/finished, worker id, duration). It is runtime plumbing, not
+	// search identity: never serialized, and excluded from spec hashing.
+	Sink obs.Sink `json:"-"`
 }
 
 // Validate reports an error when the spec cannot be searched.

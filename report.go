@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -112,10 +113,41 @@ type Report struct {
 	Sim *SimMetrics `json:"sim,omitempty"`
 	// Numeric holds the numeric metrics (numeric engine only).
 	Numeric *NumericMetrics `json:"numeric,omitempty"`
+	// Telemetry is the run's provenance (wall clock, cache hit, runner
+	// reuse). It is stamped only on observed sessions (WithEventSink), so
+	// default runs — including the golden corpus and the byte-identity
+	// CI diffs — marshal without it and stay byte-stable; StripTelemetry
+	// removes it before any digest comparison that mixes both.
+	Telemetry *ReportTelemetry `json:"telemetry,omitempty"`
 
 	// Unserialized raw results, retained for timelines and gradient access.
 	simResult     *sim.Result
 	numericResult *exec.Result
+}
+
+// ReportTelemetry is a report's run provenance. Wall-clock fields vary run
+// to run by construction — comparisons that expect byte-identical reports
+// must strip the block first (StripTelemetry).
+type ReportTelemetry struct {
+	// WallSeconds is the cell's wall clock: the engine run for computed
+	// reports, the cache wait for reports served from the report cache.
+	WallSeconds float64 `json:"wall_seconds"`
+	// CacheHit marks a report served from the report cache.
+	CacheHit bool `json:"cache_hit"`
+	// RunnerReused marks a simulation that ran on a recycled pooled Runner
+	// (warm per-stage buffers) rather than a cold one.
+	RunnerReused bool `json:"runner_reused,omitempty"`
+}
+
+// StripTelemetry removes the telemetry block from every report, in place.
+// Golden-corpus digests and cached-vs-uncached byte comparisons call it so
+// provenance never perturbs content equality.
+func StripTelemetry(reports []*Report) {
+	for _, r := range reports {
+		if r != nil {
+			r.Telemetry = nil
+		}
+	}
 }
 
 // reportMeta is the session-derived context an engine stamps onto reports.
@@ -247,6 +279,38 @@ func (r *Report) TimelineSVG(width int) string {
 	return trace.SVG(r.simResult, width)
 }
 
+// perfettoLabel names a report's process lane in a Perfetto trace.
+func (r *Report) perfettoLabel() string {
+	label := fmt.Sprintf("%s seq=%d p=%d", r.Method, r.SeqLen, r.Stages)
+	if r.MicroBatchSize > 1 {
+		label += fmt.Sprintf(" b=%d", r.MicroBatchSize)
+	}
+	return label
+}
+
+// WritePerfettoTrace writes the traced reports as one Chrome/Perfetto
+// trace-event JSON document, loadable in ui.perfetto.dev: one process per
+// report (named by method and geometry), one thread lane per pipeline
+// stage, and flow events linking each send to its receive across lanes.
+// Reports without traced sim results are skipped; when none of the reports
+// carries spans an error is returned instead of an empty trace (run with
+// trace enabled, e.g. spec `trace` or Output.Perfetto).
+func WritePerfettoTrace(w io.Writer, reports []*Report) error {
+	t := obs.NewTrace()
+	pid := 0
+	for _, r := range reports {
+		if r == nil || r.simResult == nil || len(r.simResult.Spans) == 0 {
+			continue
+		}
+		pid++
+		trace.Perfetto(t, r.simResult, pid, r.perfettoLabel())
+	}
+	if pid == 0 {
+		return fmt.Errorf("helixpipe: no traced sim reports to export as a Perfetto trace (enable tracing)")
+	}
+	return t.WriteJSON(w)
+}
+
 // ReportCSVHeader returns the column names of Report.CSVRow.
 func ReportCSVHeader() []string {
 	return []string{
@@ -256,6 +320,7 @@ func ReportCSVHeader() []string {
 		"tokens_per_iteration", "pad_fraction", "mb_tokens", "seq_len_hist",
 		"iteration_seconds", "tokens_per_second", "bubble_fraction",
 		"max_peak_stash_bytes", "link_traffic", "loss",
+		"wall_seconds", "cache_hit",
 	}
 }
 
@@ -295,6 +360,13 @@ func (r *Report) CSVRow() []string {
 	for _, b := range r.SeqLenHistogram {
 		hist = append(hist, fmt.Sprintf("%d-%d:%d", b.MinSeqLen, b.MaxSeqLen, b.MicroBatches))
 	}
+	// The telemetry columns are empty on unobserved runs, so default CSV
+	// output stays deterministic.
+	wall, cacheHit := "", ""
+	if r.Telemetry != nil {
+		wall = fmt.Sprintf("%g", r.Telemetry.WallSeconds)
+		cacheHit = fmt.Sprintf("%t", r.Telemetry.CacheHit)
+	}
 	return []string{
 		string(r.Method), r.Engine, r.Model, r.Cluster,
 		r.Topology, r.PlacementStrategy, strings.Join(placement, ";"),
@@ -304,6 +376,7 @@ func (r *Report) CSVRow() []string {
 		fmt.Sprintf("%d", r.TokensPerIteration), padFraction,
 		strings.Join(mbTokens, ";"), strings.Join(hist, ";"),
 		iter, tput, bubble, stash, strings.Join(linkTraffic, ";"), loss,
+		wall, cacheHit,
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"iter"
 	"runtime"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/cluster"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/model"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/tune"
@@ -53,6 +55,11 @@ type Session struct {
 	// each Stream/Execute uses a fresh one); noCache disables caching.
 	cache   *ReportCache
 	noCache bool
+
+	// events receives progress events from Stream/Execute/Sweep and turns
+	// on telemetry provenance stamping (Report.Telemetry). Nil on
+	// unobserved sessions, whose reports stay byte-stable run to run.
+	events obs.Sink
 }
 
 // Option mutates a Session under construction. Options are applied in order;
@@ -167,6 +174,18 @@ func WithoutReportCache() Option {
 // WithMicroBatches) do the same.
 func WithWorkload(spec BatchSpec) Option {
 	return func(ses *Session) { ses.batch = spec }
+}
+
+// WithEventSink attaches a progress-event sink: Stream, Execute and Sweep
+// emit an obs.Event when each cell starts and finishes (with worker id,
+// duration and cache-hit flag), and tune runs launched through the session
+// inherit the sink. Attaching a sink also turns on telemetry provenance:
+// every report carries a Telemetry block (wall clock, cache hit, runner
+// reuse) in its JSON and CSV forms. Unobserved sessions stamp nothing, so
+// their reports stay byte-identical run to run; use obs.NewProgress for a
+// ready-made live stderr line, or any Sink for custom consumers.
+func WithEventSink(sink obs.Sink) Option {
+	return func(ses *Session) { ses.events = sink }
 }
 
 // NewSession builds and eagerly validates a session. The defaults reproduce
@@ -647,21 +666,53 @@ func (s *Session) streamCache() *ReportCache {
 
 // cachedJob wraps one cell job with the report cache: identical cells share
 // one simulation. A nil cache, or a cell whose identity cannot be
-// content-hashed (caller-supplied sim topology), runs the job directly.
+// content-hashed (caller-supplied sim topology), runs the job directly. On
+// observed sessions (WithEventSink) the wrapper also stamps telemetry
+// provenance — wall clock, cache-hit flag, runner reuse — onto a shallow
+// copy of the report: stored cache entries stay provenance-free, so
+// sessions sharing the cache never see another run's wall clocks.
 func cachedJob(cache *ReportCache, cell *Session, method Method, engineName string, seed uint64,
 	strategy string, placementSeed uint64, job func() (*Report, error)) func() (*Report, error) {
-	if cache == nil {
-		return job
+	key, useCache := "", false
+	if cache != nil {
+		if k, err := cell.runKey(method, engineName, seed, strategy, placementSeed); err == nil {
+			key, useCache = k, true
+		}
 	}
-	key, err := cell.runKey(method, engineName, seed, strategy, placementSeed)
-	if err != nil {
+	if !useCache && cell.events == nil {
 		return job
 	}
 	return func() (*Report, error) {
-		r, _, err := cache.Do(key, job)
-		return r, err
+		start := time.Now()
+		var (
+			r   *Report
+			hit bool
+			err error
+		)
+		if useCache {
+			r, hit, err = cache.Do(key, job)
+		} else {
+			r, err = job()
+		}
+		if err != nil || r == nil || cell.events == nil {
+			return r, err
+		}
+		r2 := *r
+		t := &ReportTelemetry{WallSeconds: time.Since(start).Seconds(), CacheHit: hit}
+		if r.simResult != nil {
+			t.RunnerReused = r.simResult.PoolReused
+		}
+		r2.Telemetry = t
+		return &r2, nil
 	}
 }
+
+// cellSecondsH is the per-cell wall-clock distribution across every
+// Stream/Execute/Sweep job (cache hits included — a hit's cell time is its
+// cache wait). Bounds span sub-millisecond cached lookups to multi-second
+// long-sequence simulations.
+var cellSecondsH = obs.Default().Histogram("helix_cell_seconds",
+	[]float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10})
 
 // streamReports runs the jobs on a bounded worker pool and yields each
 // job's (report, error) in job order, as soon as it is available — the
@@ -673,7 +724,11 @@ func cachedJob(cache *ReportCache, cell *Session, method Method, engineName stri
 // job error is yielded as (nil, err) and never aborts the remaining jobs.
 // Breaking out of the iteration launches nothing further; in-flight jobs
 // finish into their buffered slots and are collected by the GC.
-func streamReports(jobs []func() (*Report, error)) iter.Seq2[*Report, error] {
+//
+// A non-nil sink receives a CellStarted/CellFinished event pair per job,
+// carrying the job's label, the worker slot that ran it, its wall clock
+// and (off the report's telemetry) the cache-hit flag.
+func streamReports(jobs []func() (*Report, error), labels []string, sink obs.Sink) iter.Seq2[*Report, error] {
 	return func(yield func(*Report, error) bool) {
 		type slot struct {
 			report *Report
@@ -685,12 +740,38 @@ func streamReports(jobs []func() (*Report, error)) iter.Seq2[*Report, error] {
 		for i := range results {
 			results[i] = make(chan slot, 1)
 		}
-		sem := make(chan struct{}, workers)
+		// The semaphore doubles as the worker-id pool: a job holds one id
+		// for its whole run, so events can say which slot ran it.
+		sem := make(chan int, workers)
+		for w := 0; w < workers; w++ {
+			sem <- w
+		}
+		labelAt := func(i int) string {
+			if i < len(labels) {
+				return labels[i]
+			}
+			return ""
+		}
 		launch := func(i int) {
 			go func() {
-				sem <- struct{}{}
-				defer func() { <-sem }()
+				w := <-sem
+				defer func() { sem <- w }()
+				start := time.Now()
+				if sink != nil {
+					sink.Emit(obs.Event{Kind: obs.CellStarted, Label: labelAt(i),
+						Index: i, Total: len(jobs), Worker: w})
+				}
 				r, err := jobs[i]()
+				cellSecondsH.Observe(time.Since(start).Seconds())
+				if sink != nil {
+					ev := obs.Event{Kind: obs.CellFinished, Label: labelAt(i),
+						Index: i, Total: len(jobs), Worker: w,
+						Duration: time.Since(start), Err: err}
+					if r != nil && r.Telemetry != nil {
+						ev.CacheHit = r.Telemetry.CacheHit
+					}
+					sink.Emit(ev)
+				}
 				results[i] <- slot{r, err}
 			}()
 		}
@@ -744,11 +825,13 @@ func (s *Session) Stream(sw Sweep) iter.Seq2[*Report, error] {
 	}
 
 	var jobs []func() (*Report, error)
+	var labels []string
 	for _, seq := range seqLens {
 		for _, p := range stages {
 			derived, derr := s.With(WithSeqLen(seq), WithStages(p))
 			for _, m := range methods {
 				seq, p, method := seq, p, m
+				labels = append(labels, fmt.Sprintf("%s seq=%d p=%d", method, seq, p))
 				if derr != nil {
 					jobs = append(jobs, func() (*Report, error) {
 						return nil, fmt.Errorf("seq=%d p=%d: %w", seq, p, derr)
@@ -767,7 +850,7 @@ func (s *Session) Stream(sw Sweep) iter.Seq2[*Report, error] {
 			}
 		}
 	}
-	return streamReports(jobs)
+	return streamReports(jobs, labels, s.events)
 }
 
 // Sweep is a thin collector over Stream: it drains the stream and returns
@@ -834,8 +917,10 @@ func (s *Session) Execute(spec *ExperimentSpec) iter.Seq2[*Report, error] {
 			cache = nil
 		}
 		jobs := make([]func() (*Report, error), 0, len(rs.Cells))
+		labels := make([]string, 0, len(rs.Cells))
 		for _, c := range rs.Cells {
 			cell := c
+			labels = append(labels, fmt.Sprintf("%s seq=%d p=%d", cell.Method, cell.SeqLen, cell.Stages))
 			run := s
 			var derr error
 			if rs.Kind == RunKindSweep {
@@ -877,7 +962,7 @@ func (s *Session) Execute(spec *ExperimentSpec) iter.Seq2[*Report, error] {
 			}
 			jobs = append(jobs, cachedJob(cache, run, cell.Method, rs.Engine, rs.Seed, rs.Placement, rs.PlacementSeed, runJob))
 		}
-		for r, err := range streamReports(jobs) {
+		for r, err := range streamReports(jobs, labels, s.events) {
 			if !yield(r, err) {
 				return
 			}
@@ -957,6 +1042,10 @@ func (s *Session) fillTuneDefaults(spec TuneSpec) TuneSpec {
 			p := s.perturb
 			spec.Perturb = &p
 		}
+	}
+	if spec.Sink == nil {
+		// An observed session's tune runs report progress to the same sink.
+		spec.Sink = s.events
 	}
 	return spec
 }

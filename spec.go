@@ -290,6 +290,10 @@ type SpecOutput struct {
 	// SVG writes an SVG timeline per report under this path (forces
 	// tracing).
 	SVG string `json:"svg,omitempty"`
+	// Perfetto writes a Chrome/Perfetto trace-event JSON file of every
+	// traced cell to this path (forces tracing); load it in
+	// ui.perfetto.dev.
+	Perfetto string `json:"perfetto,omitempty"`
 }
 
 // ExperimentSpec is the serializable description of one experiment: every
@@ -442,6 +446,11 @@ func WriteSpecFile(path string, spec *ExperimentSpec) error {
 // expanded, workload and tune axes made explicit). The result re-resolves
 // to a RunSet identical to the original spec's — it is what the
 // command-line tools' -emit-spec writes for exact reproduction.
+//
+// Resolved accepts advisory oddities without failing — notably `trace`
+// with no span-consuming output, where spans are recorded and then
+// dropped; Notes reports them and the command-line tools print them to
+// stderr.
 func (s *ExperimentSpec) Resolved() (*ExperimentSpec, error) {
 	n, err := s.normalized()
 	if err != nil {
@@ -454,6 +463,25 @@ func (s *ExperimentSpec) Resolved() (*ExperimentSpec, error) {
 		return nil, err
 	}
 	return n, nil
+}
+
+// Notes returns advisory notes about a valid spec: configurations that are
+// accepted but probably not what the author meant. Notes never fail a
+// resolve; the command-line tools print them to stderr. An unresolvable
+// spec has no notes — resolution errors out first and says why.
+func (s *ExperimentSpec) Notes() []string {
+	n, err := s.normalized()
+	if err != nil {
+		return nil
+	}
+	var notes []string
+	spansConsumed := n.Output != nil &&
+		(n.Output.Timeline || n.Output.SVG != "" || n.Output.Perfetto != "")
+	if n.Trace && !spansConsumed {
+		notes = append(notes,
+			"trace is set but no timeline/svg/perfetto output consumes the spans; they are recorded per cell and dropped")
+	}
+	return notes
 }
 
 // Resolve validates the spec eagerly and returns the Session it configures
@@ -739,7 +767,7 @@ func (s *ExperimentSpec) resolveParts() (*specParts, error) {
 		p.batch = batch
 		p.options = append(p.options, WithWorkload(batch))
 	}
-	p.wantsTrace = s.Trace || (s.Output != nil && (s.Output.Timeline || s.Output.SVG != ""))
+	p.wantsTrace = s.Trace || (s.Output != nil && (s.Output.Timeline || s.Output.SVG != "" || s.Output.Perfetto != ""))
 	if p.wantsTrace {
 		p.options = append(p.options, WithTrace())
 	}

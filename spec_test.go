@@ -496,7 +496,7 @@ func TestExampleSpecsResolve(t *testing.T) {
 		t.Fatal("no example specs found")
 	}
 	for _, path := range paths {
-		if strings.HasSuffix(path, ".golden.json") {
+		if strings.HasSuffix(path, ".golden.json") || strings.HasSuffix(path, ".trace.json") {
 			// Pinned expected outputs, not specs; golden_test.go diffs them.
 			continue
 		}
@@ -522,5 +522,79 @@ func TestResolveClusterListing(t *testing.T) {
 		if !strings.Contains(err.Error(), want) {
 			t.Errorf("error %q misses %q", err, want)
 		}
+	}
+}
+
+// TestSpecNotes pins the trace-without-consumer advisory: a spec forcing
+// trace while selecting no timeline/SVG/perfetto output is accepted but
+// noted (the spans are recorded per cell and dropped); any span-consuming
+// output silences the note.
+func TestSpecNotes(t *testing.T) {
+	base := ExperimentSpec{
+		Model: "3B", Cluster: "A800", SeqLen: 8192, Stages: 2,
+		Methods: []string{"1F1B"}, Trace: true,
+	}
+
+	spec := base
+	if _, _, err := spec.Resolve(); err != nil {
+		t.Fatalf("trace without output must still resolve: %v", err)
+	}
+	notes := spec.Notes()
+	if len(notes) != 1 || !strings.Contains(notes[0], "trace is set but no timeline/svg/perfetto output") {
+		t.Fatalf("want the dropped-spans note, got %v", notes)
+	}
+
+	for name, out := range map[string]SpecOutput{
+		"timeline": {Timeline: true},
+		"svg":      {SVG: "out.svg"},
+		"perfetto": {Perfetto: "out.trace.json"},
+	} {
+		spec := base
+		o := out
+		spec.Output = &o
+		if notes := spec.Notes(); len(notes) != 0 {
+			t.Errorf("%s output consumes the spans, but Notes = %v", name, notes)
+		}
+	}
+
+	// No trace, no note — and a broken spec yields no notes (resolution
+	// errors first).
+	spec = base
+	spec.Trace = false
+	if notes := spec.Notes(); len(notes) != 0 {
+		t.Errorf("untraced spec has notes: %v", notes)
+	}
+	spec = base
+	spec.Methods = []string{"no-such-method"}
+	if notes := spec.Notes(); notes != nil {
+		t.Errorf("unresolvable spec has notes: %v", notes)
+	}
+}
+
+// TestSpecPerfettoOutputForcesTracing pins the resolution rule: selecting a
+// Perfetto output implies span tracing, like timeline and SVG.
+func TestSpecPerfettoOutputForcesTracing(t *testing.T) {
+	spec := ExperimentSpec{
+		Model: "3B", Cluster: "A800", SeqLen: 8192, Stages: 2,
+		Methods: []string{"1F1B"},
+		Output:  &SpecOutput{Perfetto: "out.trace.json"},
+	}
+	session, _, err := spec.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reports []*Report
+	for r, err := range session.Execute(&spec) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports = append(reports, r)
+	}
+	var buf bytes.Buffer
+	if err := WritePerfettoTrace(&buf, reports); err != nil {
+		t.Fatalf("perfetto output did not force tracing: %v", err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty trace")
 	}
 }
