@@ -59,9 +59,17 @@ func main() {
 		diffPrev    = flag.String("diff", "", "previous BENCH_baseline.json to diff the perf trajectory against")
 		diffCur     = flag.String("against", "", "current BENCH_baseline.json for -diff")
 		diffLimit   = flag.Float64("threshold", 0.10, "throughput regression fraction -diff fails on")
+		listenAddr  = flag.String("listen", "", "serve /metrics and /debug/vars on this address (e.g. localhost:6060) for the run's duration")
 	)
 	flag.Parse()
 
+	if *listenAddr != "" {
+		addr, err := obs.Serve(*listenAddr, obs.Default())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "helixbench: serving /metrics and /debug/vars on http://%s\n", addr)
+	}
 	if *diffPrev != "" || *diffCur != "" {
 		runDiff(*diffPrev, *diffCur, *diffLimit)
 		return

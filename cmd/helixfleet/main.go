@@ -47,8 +47,17 @@ func main() {
 		jsonOut    = flag.Bool("json", false, "emit the machine-readable fleet report on stdout")
 		csvPath    = flag.String("csv", "", "also write the per-job records as CSV to this path")
 		perfPath   = flag.String("perfetto", "", "write a Perfetto/Chrome trace-event JSON file (one process per job) to this path")
+		listenAddr = flag.String("listen", "", "serve /metrics and /debug/vars on this address (e.g. localhost:6060) for the run's duration")
 	)
 	flag.Parse()
+
+	if *listenAddr != "" {
+		addr, err := obs.Serve(*listenAddr, obs.Default())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "helixfleet: serving /metrics and /debug/vars on http://%s\n", addr)
+	}
 
 	if strings.EqualFold(*policyName, "help") {
 		fmt.Fprint(os.Stderr, helixpipe.FleetPolicyListing())

@@ -1,0 +1,140 @@
+// Command helixserve prices interactive decoding under Helix Parallelism:
+// for a model with a multi-million-token KV cache on an N-GPU node, it
+// enumerates the KVP x TPA sharding lattice (KV heads sharded across TPA
+// ranks, the sequence across KVP ranks), prunes shardings whose KV cache
+// plus weight shard overflows device memory, simulates token-by-token
+// decoding against the growing cache, and reports the best sharding under
+// the chosen objective. Like every tool, the run is an experiment spec:
+// -spec loads a saved one (flags become overrides) and -emit-spec writes
+// the fully-resolved spec back.
+//
+// Usage:
+//
+//	helixserve -model 7B -cluster H20 -kv-heads 8 -context 1048576
+//	                                   # GQA: rank the full sharding lattice
+//	helixserve -model 7B -cluster H20 -mla -context 4194304
+//	                                   # MLA: the lattice collapses to pure KVP
+//	helixserve -spec examples/interactive_decode/gqa_1m.json -json
+//	helixserve -kvp 1,2,4 -tpa 1,2 -objective throughput
+//	                                   # explicit axes, ranked by tokens/s
+//	helixserve -spec decode.json -perfetto decode.trace.json
+//	                                   # one Perfetto process per sharding
+//	helixserve -spec decode.json -listen localhost:6060
+//	                                   # scrape /metrics and /debug/vars live
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	helixpipe "repro"
+	"repro/internal/cliutil"
+	"repro/internal/obs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("helixserve: ")
+	sf := cliutil.RegisterSpecFlags()
+	var (
+		modelName   = flag.String("model", "7B", "model preset: 1.3B, 3B, 7B, 13B, tiny")
+		clusterName = flag.String("cluster", "H20", "cluster: flat preset (H20, A800), topology preset (DGX-A800x4, DGX-H20x2, PCIe-box), or a topology .json file")
+		contextLen  = flag.Int("context", 0, "KV-cache context length in tokens at decode start (default 1M)")
+		tokens      = flag.Int("tokens", 0, "tokens to decode per session (default 32)")
+		sessions    = flag.Int("sessions", 0, "concurrent decoding sessions, i.e. the batch (default 4)")
+		gpus        = flag.Int("gpus", 0, "GPUs to shard across (default 8)")
+		kvHeads     = flag.Int("kv-heads", 0, "GQA KV-head count (default the model's full head count, MHA)")
+		mla         = flag.Bool("mla", false, "multi-head latent attention: one shared latent KV, lattice collapses to pure KVP")
+		latentDim   = flag.Int("latent-dim", 0, "MLA latent dimension (default 512; requires -mla)")
+		kvpList     = flag.String("kvp", "", "comma-separated KVP (sequence-shard) values; empty enumerates the lattice")
+		tpaList     = flag.String("tpa", "", "comma-separated TPA (KV-head-shard) values; empty enumerates the lattice")
+		objective   = flag.String("objective", "", "ranking objective: latency_per_token (default) or throughput")
+		budgetGB    = flag.Float64("budget", 0, "per-GPU memory budget in GB for KV cache plus weight shard (0 = GPU capacity)")
+		jsonOut     = flag.Bool("json", false, "emit the machine-readable decode report on stdout")
+		perfPath    = flag.String("perfetto", "", "write a Perfetto/Chrome trace-event JSON file (one process per sharding) to this path")
+		listenAddr  = flag.String("listen", "", "serve /metrics and /debug/vars on this address (e.g. localhost:6060) for the run's duration")
+	)
+	flag.Parse()
+
+	spec := sf.Load()
+	ov := cliutil.NewOverlay()
+	ov.String("model", *modelName, &spec.Model)
+	ov.String("cluster", *clusterName, &spec.Cluster)
+	if spec.Decode == nil {
+		spec.Decode = &helixpipe.SpecDecode{}
+	}
+	d := spec.Decode
+	ov.Int("context", *contextLen, &d.ContextLen)
+	ov.Int("tokens", *tokens, &d.DecodeTokens)
+	ov.Int("sessions", *sessions, &d.Sessions)
+	ov.Int("gpus", *gpus, &d.GPUs)
+	ov.Int("kv-heads", *kvHeads, &d.KVHeads)
+	ov.Bool("mla", *mla, &d.MLA)
+	ov.Int("latent-dim", *latentDim, &d.LatentDim)
+	if ov.Has("kvp") {
+		d.KVP = cliutil.ParseInts("kvp", *kvpList)
+	}
+	if ov.Has("tpa") {
+		d.TPA = cliutil.ParseInts("tpa", *tpaList)
+	}
+	ov.String("objective", *objective, &d.Objective)
+	ov.Float64("budget", *budgetGB, &d.BudgetGB)
+	out := ov.Output(spec, func(out *helixpipe.SpecOutput) {
+		ov.Bool("json", *jsonOut, &out.JSON)
+		ov.String("perfetto", *perfPath, &out.Perfetto)
+	})
+
+	sf.EmitResolved(spec)
+	if *listenAddr != "" {
+		addr, err := obs.Serve(*listenAddr, obs.Default())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "helixserve: serving /metrics and /debug/vars on http://%s\n", addr)
+	}
+	session, runset, err := spec.Resolve()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if runset.Kind != helixpipe.RunKindDecode || runset.Decode == nil {
+		log.Fatalf("the spec resolved to a %s run, not a decode run", runset.Kind)
+	}
+	// A live progress line on stderr tracks the sharding evaluations.
+	prog := obs.NewProgress(os.Stderr, "decode", 0)
+	if session, err = session.With(helixpipe.WithEventSink(prog)); err != nil {
+		log.Fatal(err)
+	}
+	report, err := session.Decode(*runset.Decode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog.Done()
+
+	if out.JSON {
+		if err := helixpipe.WriteDecodeReportJSON(os.Stdout, report); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		fmt.Print(report.Summary())
+		fmt.Println()
+		fmt.Print(report.Table())
+	}
+	if out.Perfetto != "" {
+		fw, err := os.Create(out.Perfetto)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := helixpipe.WriteDecodePerfetto(fw, report); err != nil {
+			fw.Close()
+			log.Fatal(err)
+		}
+		if err := fw.Close(); err != nil {
+			log.Fatal(err)
+		}
+		if !out.JSON {
+			fmt.Printf("wrote %s\n", out.Perfetto)
+		}
+	}
+}

@@ -28,6 +28,9 @@
 //	helixtune -cluster DGX-A800x4 -perturb link=ibx0.5
 //	                                    # rank configurations under a degraded
 //	                                    # inter-node fabric
+//	helixtune -objective latency_per_token -target 0.002
+//	                                    # rank by seconds/token and stop the
+//	                                    # search once a config meets the target
 package main
 
 import (
@@ -54,6 +57,8 @@ func main() {
 		bList       = flag.String("b", "1", "comma-separated candidate micro-batch sizes")
 		methodsFlag = flag.String("method", "", "comma-separated methods to consider (default all; 'help' lists)")
 		budgetGB    = flag.Float64("budget", 0, "per-GPU memory budget in GB, model states included (0 = GPU capacity)")
+		objective   = flag.String("objective", "", "ranking objective: throughput (default) or latency_per_token")
+		target      = flag.Float64("target", 0, "early-stopping target in the objective's unit (tokens/s or seconds/token); 0 searches the full grid")
 		workers     = flag.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS)")
 		jsonOut     = flag.Bool("json", false, "emit the full machine-readable result as JSON on stdout")
 		csvPath     = flag.String("csv", "", "also write every evaluated point as CSV to this path")
@@ -91,6 +96,8 @@ func main() {
 	ov.Ints("m", *mbList, &t.MicroBatches)
 	ov.Ints("b", *bList, &t.MicroBatchSizes)
 	ov.Float64("budget", *budgetGB, &t.BudgetGB)
+	ov.String("objective", *objective, &t.Objective)
+	ov.Float64("target", *target, &t.Budget)
 	ov.Int("workers", *workers, &t.Workers)
 	if ov.Has("placement") {
 		t.Placements = cliutil.SplitList(*placeList)

@@ -72,6 +72,15 @@ func goldenOutput(path string) ([]byte, error) {
 	}
 	var buf bytes.Buffer
 	switch runset.Kind {
+	case RunKindDecode:
+		report, err := session.Decode(*runset.Decode)
+		if err != nil {
+			return nil, err
+		}
+		if err := WriteDecodeReportJSON(&buf, report); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
 	case RunKindFleet:
 		report, err := session.Fleet(*runset.Fleet)
 		if err != nil {

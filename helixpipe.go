@@ -315,6 +315,12 @@ type (
 	TuneWorkload = tune.WorkloadSpec
 )
 
+// The autotuner's ranking objectives (TuneSpec.Objective).
+const (
+	TuneObjectiveThroughput      = tune.ObjectiveThroughput
+	TuneObjectiveLatencyPerToken = tune.ObjectiveLatencyPerToken
+)
+
 // The autotuner's "why pruned" constraint names (TuneResult.Pruned keys).
 const (
 	TunePruneGeometry  = tune.PruneGeometry

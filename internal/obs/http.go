@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+)
+
+// Handler serves a registry over HTTP on two read-only endpoints:
+//
+//   - /debug/vars — the registry's JSON snapshot, expvar-style
+//   - /metrics — the Prometheus text exposition of the same snapshot
+//
+// Everything else is 404. The handler reads a live snapshot per request, so
+// a long-lived scrape loop observes counters as they move.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		fmt.Fprintf(w, "{\n\"helix\": %s\n}\n", r.String())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := WriteProm(w, r); err != nil {
+			// The connection died mid-write; nothing useful left to do.
+			return
+		}
+	})
+	return mux
+}
+
+// Serve binds addr (e.g. "localhost:6060", or ":0" for an ephemeral port)
+// and serves Handler(r) on it in a background goroutine for the life of the
+// process. It returns the bound address so callers can print the real port.
+// The tools' -listen flag lands here; a scrape endpoint has no orderly
+// shutdown story worth carrying, so none is offered.
+func Serve(addr string, r *Registry) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(r)}
+	go srv.Serve(ln)
+	return ln.Addr(), nil
+}

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestServeEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("helix_http_test_total").Add(3)
+	r.Gauge("helix_http_test_gauge", "kind", "x").Set(1.5)
+
+	addr, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(path string) (int, string) {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars status = %d", code)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v\n%s", err, body)
+	}
+	if _, ok := doc["helix"]; !ok {
+		t.Fatalf("/debug/vars missing the helix namespace: %s", body)
+	}
+	if !strings.Contains(body, "helix_http_test_total") {
+		t.Errorf("/debug/vars missing the counter: %s", body)
+	}
+
+	code, body = get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	if !strings.Contains(body, "helix_http_test_total 3") {
+		t.Errorf("/metrics missing the counter sample:\n%s", body)
+	}
+	if !strings.Contains(body, `helix_http_test_gauge{kind="x"} 1.5`) {
+		t.Errorf("/metrics missing the labeled gauge:\n%s", body)
+	}
+
+	if code, _ := get("/other"); code != http.StatusNotFound {
+		t.Errorf("unknown path status = %d, want 404", code)
+	}
+}

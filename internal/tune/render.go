@@ -20,6 +20,9 @@ func (r *Result) Summary() string {
 			fmt.Fprintf(&b, "pruned %d (%s)\n", n, reason)
 		}
 	}
+	if r.StoppedEarly {
+		b.WriteString("stopped early: budget target met\n")
+	}
 	return b.String()
 }
 
@@ -80,7 +83,7 @@ func CSVHeader() []string {
 	return []string{
 		"method", "workload", "order", "seq_len", "stages", "micro_batches", "micro_batch_size",
 		"placement", "placement_devices", "pad_fraction",
-		"tokens_per_second", "iteration_seconds", "bubble_fraction",
+		"tokens_per_second", "seconds_per_token", "iteration_seconds", "bubble_fraction",
 		"peak_bytes", "estimated_peak_bytes",
 	}
 }
@@ -102,7 +105,8 @@ func (p Point) CSVRow() []string {
 		fmt.Sprintf("%d", p.SeqLen), fmt.Sprintf("%d", p.Stages),
 		fmt.Sprintf("%d", p.MicroBatches), fmt.Sprintf("%d", p.MicroBatchSize),
 		p.Placement, strings.Join(devices, ";"), padFraction,
-		fmt.Sprintf("%g", p.TokensPerSecond), fmt.Sprintf("%g", p.IterationSeconds),
+		fmt.Sprintf("%g", p.TokensPerSecond), fmt.Sprintf("%g", p.SecondsPerToken),
+		fmt.Sprintf("%g", p.IterationSeconds),
 		fmt.Sprintf("%g", p.BubbleFraction),
 		fmt.Sprintf("%d", p.PeakBytes), fmt.Sprintf("%d", p.EstimatedPeakBytes),
 	}

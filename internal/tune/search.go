@@ -273,6 +273,13 @@ func (s *Search) Points() iter.Seq2[Point, error] {
 			if !yield(o.point, nil) {
 				return
 			}
+			if s.spec.budgetMet(o.point) {
+				// The budget target is met: stop the stream here. In-flight
+				// launches drain into their buffered channels and are
+				// discarded; nothing further launches.
+				s.res.StoppedEarly = true
+				return
+			}
 		}
 	}
 }
@@ -283,7 +290,7 @@ func (s *Search) Points() iter.Seq2[Point, error] {
 func (s *Search) Result() *Result {
 	s.res.Evaluated = len(s.res.Points)
 	s.res.Best = bestPerScenario(s.spec, s.res.Points)
-	s.res.Frontier = paretoFrontier(s.res.Points)
+	s.res.Frontier = paretoFrontier(s.spec, s.res.Points)
 	return s.res
 }
 
@@ -352,7 +359,7 @@ func evaluate(m model.Config, cl costmodel.ClusterSpec, spec Spec, c Candidate, 
 		return Point{}, PruneMeasured, fmt.Errorf(
 			"%s: measured peak %d exceeds budget %d", c, peak, budget)
 	}
-	return Point{
+	point := Point{
 		Candidate:          c,
 		Placement:          best.Strategy,
 		PlacementDevices:   best.Devices,
@@ -363,7 +370,11 @@ func evaluate(m model.Config, cl costmodel.ClusterSpec, spec Spec, c Candidate, 
 		IterationSeconds:   simRes.IterationSeconds,
 		TokensPerSecond:    simRes.Throughput(tokens),
 		BubbleFraction:     bubbleFraction(simRes),
-	}, "", nil
+	}
+	if tokens > 0 {
+		point.SecondsPerToken = simRes.IterationSeconds / float64(tokens)
+	}
+	return point, "", nil
 }
 
 // simulatePlacements runs the plan once per placement strategy on the
@@ -546,20 +557,20 @@ func embedGradResidents(w costmodel.Workload, warmup int) []int64 {
 	return out
 }
 
-// bestPerScenario picks the highest-throughput point per scenario: one per
-// sequence length (fixed-length points only) in the spec's order, then one
-// per workload in the spec's order.
+// bestPerScenario picks the best point under the spec's objective per
+// scenario: one per sequence length (fixed-length points only) in the
+// spec's order, then one per workload in the spec's order.
 func bestPerScenario(spec Spec, points []Point) []Point {
 	bestSeq := map[int]Point{}
 	bestWL := map[string]Point{}
 	for _, p := range points {
 		if p.Workload != "" {
-			if cur, ok := bestWL[p.Workload]; !ok || p.TokensPerSecond > cur.TokensPerSecond {
+			if cur, ok := bestWL[p.Workload]; !ok || spec.better(p, cur) {
 				bestWL[p.Workload] = p
 			}
 			continue
 		}
-		if cur, ok := bestSeq[p.SeqLen]; !ok || p.TokensPerSecond > cur.TokensPerSecond {
+		if cur, ok := bestSeq[p.SeqLen]; !ok || spec.better(p, cur) {
 			bestSeq[p.SeqLen] = p
 		}
 	}
@@ -578,21 +589,19 @@ func bestPerScenario(spec Spec, points []Point) []Point {
 }
 
 // paretoFrontier returns the points no other point dominates in (peak
-// memory down, throughput up), ordered by ascending peak memory.
-func paretoFrontier(points []Point) []Point {
+// memory down, objective up), ordered by ascending peak memory.
+func paretoFrontier(spec Spec, points []Point) []Point {
 	sorted := append([]Point(nil), points...)
 	sort.Slice(sorted, func(i, j int) bool {
 		if sorted[i].PeakBytes != sorted[j].PeakBytes {
 			return sorted[i].PeakBytes < sorted[j].PeakBytes
 		}
-		return sorted[i].TokensPerSecond > sorted[j].TokensPerSecond
+		return spec.better(sorted[i], sorted[j])
 	})
 	var frontier []Point
-	best := 0.0
 	for _, p := range sorted {
-		if p.TokensPerSecond > best {
+		if len(frontier) == 0 || spec.better(p, frontier[len(frontier)-1]) {
 			frontier = append(frontier, p)
-			best = p.TokensPerSecond
 		}
 	}
 	return frontier

@@ -47,6 +47,18 @@ const (
 	PrunePlacement = "placement"
 )
 
+// The objectives a search can rank points by. Throughput (tokens per
+// second, the training default) and latency per token (seconds per token)
+// are reciprocal on any one point, so they induce the same ranking — the
+// objective chooses the direction a Budget threshold is read in and how
+// results are oriented.
+const (
+	// ObjectiveThroughput maximizes tokens per second (the default).
+	ObjectiveThroughput = "throughput"
+	// ObjectiveLatencyPerToken minimizes seconds per token.
+	ObjectiveLatencyPerToken = "latency_per_token"
+)
+
 // WorkloadSpec names one variable-length workload candidate: a per-micro-
 // batch shape list the autotuner ranks methods on, next to the fixed-length
 // SeqLens axis.
@@ -82,6 +94,14 @@ type Spec struct {
 	// MemoryBudgetBytes is the per-GPU memory budget (model states included)
 	// a configuration must fit in. Zero means the GPU's full capacity.
 	MemoryBudgetBytes int64 `json:"memory_budget_bytes,omitempty"`
+	// Objective ranks points: ObjectiveThroughput (default) or
+	// ObjectiveLatencyPerToken.
+	Objective string `json:"objective,omitempty"`
+	// Budget is an early-stopping target in the objective's unit: the
+	// stream stops as soon as a point reaches it (tokens/s >= Budget under
+	// throughput, seconds/token <= Budget under latency), marking the
+	// result StoppedEarly. Zero searches the whole grid.
+	Budget float64 `json:"budget,omitempty"`
 	// Workers bounds the simulation worker pool; zero picks a default.
 	Workers int `json:"workers,omitempty"`
 	// Cluster is an optional cluster topology. When set, every surviving
@@ -120,6 +140,14 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("tune: negative memory budget %d", s.MemoryBudgetBytes)
 	case s.Workers < 0:
 		return fmt.Errorf("tune: negative worker count %d", s.Workers)
+	case s.Budget < 0:
+		return fmt.Errorf("tune: negative budget target %g", s.Budget)
+	}
+	switch s.Objective {
+	case "", ObjectiveThroughput, ObjectiveLatencyPerToken:
+	default:
+		return fmt.Errorf("tune: unknown objective %q (want %q or %q)",
+			s.Objective, ObjectiveThroughput, ObjectiveLatencyPerToken)
 	}
 	for _, seq := range s.SeqLens {
 		if seq <= 0 {
@@ -240,6 +268,9 @@ type Point struct {
 	IterationSeconds float64 `json:"iteration_seconds"`
 	// TokensPerSecond is the simulated training throughput.
 	TokensPerSecond float64 `json:"tokens_per_second"`
+	// SecondsPerToken is the reciprocal latency reading of the same
+	// simulation — what the latency_per_token objective ranks by.
+	SecondsPerToken float64 `json:"seconds_per_token"`
 	// BubbleFraction is the simulated bubble share of the iteration.
 	BubbleFraction float64 `json:"bubble_fraction"`
 }
@@ -274,8 +305,31 @@ type Result struct {
 	Frontier []Point `json:"frontier"`
 	// Points are all evaluated points in deterministic grid order.
 	Points []Point `json:"points"`
+	// StoppedEarly marks a run the Budget target cut short: the last point
+	// met the threshold and the remaining grid never simulated.
+	StoppedEarly bool `json:"stopped_early,omitempty"`
 	// Errors records build/sim failures of pruned survivors.
 	Errors []string `json:"errors,omitempty"`
+}
+
+// better ranks a over b under the spec's objective.
+func (s Spec) better(a, b Point) bool {
+	if s.Objective == ObjectiveLatencyPerToken {
+		return a.SecondsPerToken < b.SecondsPerToken
+	}
+	return a.TokensPerSecond > b.TokensPerSecond
+}
+
+// budgetMet reports whether the point reaches the spec's early-stopping
+// target; always false without one.
+func (s Spec) budgetMet(p Point) bool {
+	if s.Budget <= 0 {
+		return false
+	}
+	if s.Objective == ObjectiveLatencyPerToken {
+		return p.SecondsPerToken <= s.Budget
+	}
+	return p.TokensPerSecond >= s.Budget
 }
 
 // grid enumerates the candidate grid in deterministic order: the fixed-length

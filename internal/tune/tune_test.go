@@ -229,6 +229,8 @@ func TestAutotuneSpecValidation(t *testing.T) {
 		{SeqLens: []int{4096}, Stages: []int{2}, Workers: -1},
 		{SeqLens: []int{4096}, Stages: []int{2}, MicroBatchSizes: []int{0}},
 		{SeqLens: []int{4096}, Stages: []int{2}, MicroBatches: []int{-2}},
+		{SeqLens: []int{4096}, Stages: []int{2}, Budget: -1},
+		{SeqLens: []int{4096}, Stages: []int{2}, Objective: "goodput"},
 	}
 	for i, spec := range bad {
 		if _, err := Run(model.Model3B(), cl, spec); err == nil {
@@ -342,5 +344,92 @@ func TestStageTraceProfiles(t *testing.T) {
 	c.Method = sched.MethodZB1P
 	if tr := stageTrace(w, c, nil); len(tr.ResidentBytes) != c.Stages-1 {
 		t.Errorf("ZB1P residents = %d, want %d", len(tr.ResidentBytes), c.Stages-1)
+	}
+}
+
+func TestAutotuneObjectiveLatency(t *testing.T) {
+	spec := a800Spec()
+	spec.Objective = ObjectiveLatencyPerToken
+	res, err := Run(model.Model3B(), costmodel.A800Cluster(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Points {
+		want := p.IterationSeconds / float64(p.TokensPerIteration)
+		if diff := p.SecondsPerToken - want; diff > want*1e-9 || diff < -want*1e-9 {
+			t.Errorf("%s: seconds/token %g != iteration/tokens %g", p.Candidate, p.SecondsPerToken, want)
+		}
+	}
+	// The best pick per scenario minimizes seconds per token.
+	for _, p := range res.Best {
+		for _, q := range res.Points {
+			if q.SeqLen == p.SeqLen && q.Workload == p.Workload && q.SecondsPerToken < p.SecondsPerToken {
+				t.Errorf("seq=%d: %s undercuts the best pick %s", p.SeqLen, q.Candidate, p.Candidate)
+			}
+		}
+	}
+	// The frontier still ascends in the objective as peak memory grows.
+	for i := 1; i < len(res.Frontier); i++ {
+		if res.Frontier[i].SecondsPerToken >= res.Frontier[i-1].SecondsPerToken {
+			t.Errorf("frontier not descending in latency at %d", i)
+		}
+	}
+}
+
+func TestAutotuneBudgetEarlyStop(t *testing.T) {
+	full, err := Run(model.Model3B(), costmodel.A800Cluster(), a800Spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.StoppedEarly {
+		t.Fatal("full run must not carry the early-stop marker")
+	}
+	// Any feasible configuration clears one token per second: the stream
+	// must stop at its first point.
+	spec := a800Spec()
+	spec.Budget = 1
+	res, err := Run(model.Model3B(), costmodel.A800Cluster(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.StoppedEarly {
+		t.Fatal("expected the early-stop marker on a trivially met target")
+	}
+	if res.Evaluated == 0 || res.Evaluated >= full.Evaluated {
+		t.Errorf("early stop evaluated %d points, full run %d", res.Evaluated, full.Evaluated)
+	}
+	// An unreachable target searches the whole grid without the marker.
+	spec.Budget = 1e18
+	res, err = Run(model.Model3B(), costmodel.A800Cluster(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StoppedEarly || res.Evaluated != full.Evaluated {
+		t.Errorf("unreachable target: stopped=%v evaluated=%d, want full %d",
+			res.StoppedEarly, res.Evaluated, full.Evaluated)
+	}
+}
+
+func TestAutotuneBudgetDirectionFollowsObjective(t *testing.T) {
+	// Under the latency objective the target is an upper bound: a generous
+	// seconds-per-token allowance stops at the first point, an impossible
+	// one never does.
+	spec := a800Spec()
+	spec.Objective = ObjectiveLatencyPerToken
+	spec.Budget = 1e6
+	res, err := Run(model.Model3B(), costmodel.A800Cluster(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.StoppedEarly {
+		t.Error("a 1e6 s/token allowance should stop the search immediately")
+	}
+	spec.Budget = 1e-12
+	res, err = Run(model.Model3B(), costmodel.A800Cluster(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StoppedEarly {
+		t.Error("a 1e-12 s/token target is unreachable; the marker must stay clear")
 	}
 }

@@ -908,6 +908,12 @@ func (s *Session) Execute(spec *ExperimentSpec) iter.Seq2[*Report, error] {
 			yield(nil, fmt.Errorf("helixpipe: a fleet spec runs via Session.Fleet (or the helixfleet tool), not Execute"))
 			return
 		}
+		if rs.Kind == RunKindDecode {
+			// Likewise: a decode run produces one DecodeReport, via its own
+			// entry point.
+			yield(nil, fmt.Errorf("helixpipe: a decode spec runs via Session.Decode (or the helixserve tool), not Execute"))
+			return
+		}
 		if rs.Kind == RunKindTune {
 			s.executeTune(*rs.Tune, yield)
 			return

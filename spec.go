@@ -41,6 +41,9 @@ const (
 	// RunKindFleet is a shared-cluster job-stream simulation of the spec's
 	// fleet section (Session.Fleet / helixfleet).
 	RunKindFleet = "fleet"
+	// RunKindDecode is an interactive-decoding KVP x TPA search of the
+	// spec's decode section (Session.Decode / helixserve).
+	RunKindDecode = "decode"
 )
 
 // SpecWorkload describes a variable-length workload inside an
@@ -115,6 +118,13 @@ type SpecTune struct {
 	// workload ("packed", "longest", "shortest", "balanced"); requires a
 	// workload. Empty keeps the workload's own order.
 	Orders []string `json:"orders,omitempty"`
+	// Objective ranks points: "throughput" (default, tokens/s up) or
+	// "latency_per_token" (seconds/token down).
+	Objective string `json:"objective,omitempty"`
+	// Budget is an early-stopping target in the objective's unit: the search
+	// stops streaming once a point meets it (tokens/s at or above, or
+	// seconds/token at or below). 0 disables early stopping.
+	Budget float64 `json:"budget,omitempty"`
 }
 
 // SpecFleetTemplate is one job shape of a fleet section. Its geometry
@@ -279,6 +289,130 @@ func (f *SpecFleet) normalized(parent *ExperimentSpec) (*SpecFleet, error) {
 	return &n, nil
 }
 
+// SpecDecode turns the spec into an interactive-decoding scenario: the
+// Helix Parallelism setting where a batch of concurrent sessions decodes
+// against a multi-million-token KV cache and attention shards over KV
+// heads (TPA) versus sequence (KVP). The search sweeps the KVP x TPA
+// lattice (or explicit axes) under a per-device KV-memory prune and ranks
+// by latency per token or throughput. Requires the sim engine; mutually
+// exclusive with Sweep, Tune, Fleet and Workload.
+type SpecDecode struct {
+	// ContextLen is the KV-cache length every session starts decoding from
+	// (default 1M tokens — the Helix Parallelism regime).
+	ContextLen int `json:"context_len,omitempty"`
+	// DecodeTokens is the number of tokens each session generates
+	// (default 32).
+	DecodeTokens int `json:"decode_tokens,omitempty"`
+	// Sessions is the batch of concurrent sessions (default 4).
+	Sessions int `json:"sessions,omitempty"`
+	// GPUs is the tensor-parallel world size the lattice carves
+	// (default 8).
+	GPUs int `json:"gpus,omitempty"`
+	// KVHeads is the GQA KV-head count K; 0 defaults to the model's full
+	// head count (MHA). Must be unset under MLA.
+	KVHeads int `json:"kv_heads,omitempty"`
+	// MLA switches to multi-head latent attention: one shared latent per
+	// token (effective K = 1, so TPA is pinned to 1).
+	MLA bool `json:"mla,omitempty"`
+	// LatentDim is the MLA latent width (default 512); requires MLA.
+	LatentDim int `json:"latent_dim,omitempty"`
+	// KVP and TPA pin explicit sharding axes to cross; empty sweeps the
+	// full-utilization lattice KVP*TPA = GPUs.
+	KVP []int `json:"kvp,omitempty"`
+	TPA []int `json:"tpa,omitempty"`
+	// Objective ranks shardings: "latency_per_token" (default) or
+	// "throughput".
+	Objective string `json:"objective,omitempty"`
+	// BudgetGB is the per-device memory budget the KV prune checks weights
+	// plus peak cache against; 0 means the GPU's full capacity.
+	BudgetGB float64 `json:"budget_gb,omitempty"`
+}
+
+// normalized deep-copies a decode section, fills its defaults and validates
+// it against the parent spec. Idempotent, like ExperimentSpec's own
+// normalized, so -emit-spec round-trips decode specs exactly.
+func (d *SpecDecode) normalized(parent *ExperimentSpec) (*SpecDecode, error) {
+	n := *d
+	n.KVP = append([]int(nil), n.KVP...)
+	n.TPA = append([]int(nil), n.TPA...)
+	if n.ContextLen == 0 {
+		n.ContextLen = 1 << 20
+	}
+	if n.ContextLen < 0 {
+		return nil, fmt.Errorf("helixpipe: decode context_len must be positive, got %d", n.ContextLen)
+	}
+	if n.DecodeTokens == 0 {
+		n.DecodeTokens = 32
+	}
+	if n.DecodeTokens < 0 {
+		return nil, fmt.Errorf("helixpipe: decode decode_tokens must be positive, got %d", n.DecodeTokens)
+	}
+	if n.Sessions == 0 {
+		n.Sessions = 4
+	}
+	if n.Sessions < 0 {
+		return nil, fmt.Errorf("helixpipe: decode sessions must be positive, got %d", n.Sessions)
+	}
+	if n.GPUs == 0 {
+		n.GPUs = 8
+	}
+	if n.GPUs < 0 {
+		return nil, fmt.Errorf("helixpipe: decode gpus must be positive, got %d", n.GPUs)
+	}
+	mc, ok := ModelByName(parent.Model)
+	if !ok {
+		return nil, fmt.Errorf("helixpipe: unknown model %q (presets: %s)",
+			parent.Model, strings.Join(ModelNames(), ", "))
+	}
+	if n.MLA {
+		if n.KVHeads > 0 {
+			return nil, fmt.Errorf("helixpipe: decode mla uses one shared latent; drop kv_heads")
+		}
+		if n.LatentDim == 0 {
+			n.LatentDim = 512
+		}
+		if n.LatentDim < 0 {
+			return nil, fmt.Errorf("helixpipe: decode latent_dim must be positive, got %d", n.LatentDim)
+		}
+	} else {
+		if n.LatentDim != 0 {
+			return nil, fmt.Errorf("helixpipe: decode latent_dim requires mla")
+		}
+		if n.KVHeads == 0 {
+			n.KVHeads = mc.Heads
+		}
+		if n.KVHeads < 0 {
+			return nil, fmt.Errorf("helixpipe: decode kv_heads must be positive, got %d", n.KVHeads)
+		}
+		if mc.Heads%n.KVHeads != 0 {
+			return nil, fmt.Errorf("helixpipe: decode kv_heads (%d) must divide the model's %d query heads",
+				n.KVHeads, mc.Heads)
+		}
+	}
+	switch n.Objective {
+	case "":
+		n.Objective = DecodeObjectiveLatencyPerToken
+	case DecodeObjectiveLatencyPerToken, DecodeObjectiveThroughput:
+	default:
+		return nil, fmt.Errorf("helixpipe: unknown decode objective %q (want %q or %q)",
+			n.Objective, DecodeObjectiveLatencyPerToken, DecodeObjectiveThroughput)
+	}
+	if n.BudgetGB < 0 {
+		return nil, fmt.Errorf("helixpipe: decode budget_gb must be non-negative, got %g", n.BudgetGB)
+	}
+	for _, v := range n.KVP {
+		if v <= 0 {
+			return nil, fmt.Errorf("helixpipe: decode kvp values must be positive, got %d", v)
+		}
+	}
+	for _, v := range n.TPA {
+		if v <= 0 {
+			return nil, fmt.Errorf("helixpipe: decode tpa values must be positive, got %d", v)
+		}
+	}
+	return &n, nil
+}
+
 // SpecOutput selects what a command-line tool emits for the spec's run.
 type SpecOutput struct {
 	// JSON emits machine-readable reports on stdout.
@@ -351,6 +485,9 @@ type ExperimentSpec struct {
 	// Fleet turns the run into a shared-cluster job-stream simulation;
 	// mutually exclusive with Sweep and Tune, requires a topology cluster.
 	Fleet *SpecFleet `json:"fleet,omitempty"`
+	// Decode turns the run into an interactive-decoding KVP x TPA search;
+	// mutually exclusive with Sweep, Tune, Fleet and Workload.
+	Decode *SpecDecode `json:"decode,omitempty"`
 	// NoCache disables the report cache: every cell simulates, even exact
 	// duplicates (maps to WithoutReportCache).
 	NoCache bool `json:"no_cache,omitempty"`
@@ -391,6 +528,9 @@ type RunSet struct {
 	// arrival drawn, every template resolved into a single-method job spec.
 	// Run it with Session.Fleet.
 	Fleet *FleetSpec `json:"fleet,omitempty"`
+	// Decode is the fully-resolved decoding scenario of a RunKindDecode
+	// run. Run it with Session.Decode.
+	Decode *DecodeSpec `json:"decode,omitempty"`
 }
 
 // ParseSpec decodes and strictly validates an ExperimentSpec from JSON:
@@ -601,6 +741,22 @@ func (s *ExperimentSpec) normalized() (*ExperimentSpec, error) {
 	if n.Sweep != nil && n.Tune != nil {
 		return nil, fmt.Errorf("helixpipe: spec has both sweep axes and a tune grid; pick one")
 	}
+	if n.Decode != nil {
+		if n.Sweep != nil || n.Tune != nil || n.Fleet != nil {
+			return nil, fmt.Errorf("helixpipe: a decode spec cannot also sweep, tune or run a fleet; pick one")
+		}
+		if n.Workload != nil {
+			return nil, fmt.Errorf("helixpipe: a decode spec generates per-token work from its context; drop the workload section")
+		}
+		if n.Engine != SpecEngineSim {
+			return nil, fmt.Errorf("helixpipe: a decode run prices shardings on the simulator; engine must be %q", SpecEngineSim)
+		}
+		d, err := n.Decode.normalized(&n)
+		if err != nil {
+			return nil, err
+		}
+		n.Decode = d
+	}
 	if n.Fleet != nil {
 		if n.Sweep != nil || n.Tune != nil {
 			return nil, fmt.Errorf("helixpipe: a fleet spec cannot also sweep or tune; pick one")
@@ -662,6 +818,18 @@ func (s *ExperimentSpec) normalized() (*ExperimentSpec, error) {
 				return nil, fmt.Errorf("helixpipe: unknown placement strategy %q in tune grid (known: %s)",
 					strategy, strings.Join(PlacementStrategies(), ", "))
 			}
+		}
+		if t.Objective == "" {
+			t.Objective = TuneObjectiveThroughput
+		}
+		switch t.Objective {
+		case TuneObjectiveThroughput, TuneObjectiveLatencyPerToken:
+		default:
+			return nil, fmt.Errorf("helixpipe: unknown tune objective %q (known: %s, %s)",
+				t.Objective, TuneObjectiveThroughput, TuneObjectiveLatencyPerToken)
+		}
+		if t.Budget < 0 {
+			return nil, fmt.Errorf("helixpipe: tune budget must be non-negative, got %g", t.Budget)
 		}
 		n.Tune = &t
 	}
@@ -816,6 +984,15 @@ func (s *ExperimentSpec) runSet(p *specParts) (RunSet, error) {
 		Placement:     s.Placement,
 		PlacementSeed: s.PlacementSeed,
 	}
+	if s.Decode != nil {
+		rs.Kind = RunKindDecode
+		ds, err := s.buildDecodeSpec(p)
+		if err != nil {
+			return RunSet{}, err
+		}
+		rs.Decode = ds
+		return rs, nil
+	}
 	if s.Fleet != nil {
 		rs.Kind = RunKindFleet
 		fs, err := s.buildFleetSpec(p)
@@ -873,6 +1050,8 @@ func (s *ExperimentSpec) tuneSpec(p *specParts) *TuneSpec {
 		Workers:           t.Workers,
 		Placements:        append([]string(nil), t.Placements...),
 		Orders:            append([]string(nil), t.Orders...),
+		Objective:         t.Objective,
+		Budget:            t.Budget,
 		Cluster:           p.topo,
 	}
 	if s.Perturb != "" {

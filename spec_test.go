@@ -93,9 +93,11 @@ func TestSpecResolvedReproduces(t *testing.T) {
 			Cluster: "A800",
 			Methods: []string{"HelixPipe", "ZB1P"},
 			Tune: &SpecTune{
-				SeqLens:  []int{32768},
-				Stages:   []int{2, 4},
-				BudgetGB: 64,
+				SeqLens:   []int{32768},
+				Stages:    []int{2, 4},
+				BudgetGB:  64,
+				Objective: TuneObjectiveLatencyPerToken,
+				Budget:    0.001,
 			},
 		},
 	} {
@@ -214,6 +216,10 @@ func TestSpecInvalid(t *testing.T) {
 			Tune: &SpecTune{Placements: []string{"greedy"}}}, "without a cluster topology"},
 		{"tune negative seqlen", ExperimentSpec{Model: "7B", Cluster: "H20",
 			Tune: &SpecTune{SeqLens: []int{-1}}}, "non-positive sequence length"},
+		{"tune bad objective", ExperimentSpec{Model: "7B", Cluster: "H20",
+			Tune: &SpecTune{Objective: "goodput"}}, "unknown tune objective"},
+		{"tune negative budget", ExperimentSpec{Model: "7B", Cluster: "H20",
+			Tune: &SpecTune{Budget: -1}}, "non-negative"},
 		{"numeric tune", ExperimentSpec{Model: "7B", Cluster: "H20", Engine: "numeric",
 			Tune: &SpecTune{}}, "engine must be"},
 		{"indivisible layers", ExperimentSpec{Model: "7B", Cluster: "H20", Stages: 5}, "divisible"},
